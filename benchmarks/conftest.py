@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures (or an ablation
+backing one of its claims) and asserts the reproduced *shape* — who wins,
+by roughly what factor.  Budgets are sized so the full suite completes in
+a few minutes; pass-through configs can be scaled up via
+``ExperimentConfig.scaled`` for higher-fidelity runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Printed tables appear with ``-s``; headline numbers are also attached to
+each benchmark's ``extra_info``.
+"""

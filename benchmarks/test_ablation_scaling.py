@@ -1,0 +1,38 @@
+"""Ablation E — scalability with circuit size (§II-A / abstract).
+
+The paper: "Our multi-level, multi-agent RL approach is scalable."
+We grow the current mirror (10 → 30 units) and check that the placer
+keeps reaching the symmetric-quality target and that its Q-table
+footprint grows gently rather than combinatorially.
+"""
+
+import pytest
+
+from repro.experiments.scaling import format_scaling, run_scaling
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scaling_with_circuit_size(benchmark):
+    result = benchmark.pedantic(
+        run_scaling, kwargs={"units_per_device": (2, 4, 6),
+                             "max_steps": 350, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_scaling(result))
+    benchmark.extra_info["rows"] = {
+        str(k): {kk: (None if vv == float("inf") else vv)
+                 for kk, vv in v.items()}
+        for k, v in result.rows.items()
+    }
+
+    sizes = result.sizes
+    assert sizes == [10, 20, 30]
+    for size in sizes:
+        row = result.rows[size]
+        # Every instance reaches its symmetric target...
+        assert row["sims_to_target"] != float("inf"), size
+        # ...and beats it.
+        assert row["best"] <= row["target"], size
+    # Table growth stays far from combinatorial: the biggest circuit's
+    # whole footprint remains a few thousand entries.
+    assert result.rows[30]["total_entries"] < 20_000

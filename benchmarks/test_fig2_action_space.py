@@ -1,0 +1,93 @@
+"""Fig. 2 — the layout environment and its legal action space.
+
+The paper's Fig. 2(a) shows a toy environment of three groups with two
+devices each (two units per device); Fig. 2(b) shows that for one unit
+five of the eight king moves are legal.  This bench rebuilds that
+environment, verifies the legality structure, and measures the cost of
+legal-move generation — the operation both agent levels perform on every
+step.
+"""
+
+import pytest
+
+from repro.layout import (
+    CanvasSpec,
+    Placement,
+    PlacementEnv,
+    legal_unit_moves,
+)
+from repro.netlist import Circuit, Group, GroupKind, Mosfet, VoltageSource
+from repro.netlist.library import AnalogBlock
+
+
+def fig2_block() -> AnalogBlock:
+    """Three groups x two devices x two units, as drawn in Fig. 2(a)."""
+    ckt = Circuit("fig2_toy")
+    mos = dict(polarity=+1, width=2e-6, length=0.2e-6, n_units=2)
+    # Three diff-pair-like groups chained tail-to-drain.
+    ckt.add(Mosfet("a1", {"d": "n1", "g": "in1", "s": "tail1", "b": "gnd"}, **mos))
+    ckt.add(Mosfet("a2", {"d": "n2", "g": "in2", "s": "tail1", "b": "gnd"}, **mos))
+    ckt.add(Mosfet("b1", {"d": "n3", "g": "n1", "s": "tail2", "b": "gnd"}, **mos))
+    ckt.add(Mosfet("b2", {"d": "n4", "g": "n2", "s": "tail2", "b": "gnd"}, **mos))
+    ckt.add(Mosfet("c1", {"d": "outp", "g": "n3", "s": "gnd", "b": "gnd"}, **mos))
+    ckt.add(Mosfet("c2", {"d": "outn", "g": "n4", "s": "gnd", "b": "gnd"}, **mos))
+    ckt.add(VoltageSource("vin1", {"p": "in1", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vin2", {"p": "in2", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vt1", {"p": "tail1", "n": "gnd"}, dc=0.2))
+    ckt.add(VoltageSource("vt2", {"p": "tail2", "n": "gnd"}, dc=0.2))
+    ckt.add(VoltageSource("vo1", {"p": "outp", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vo2", {"p": "outn", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vn1", {"p": "n1", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vn2", {"p": "n2", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vn3", {"p": "n3", "n": "gnd"}, dc=0.5))
+    ckt.add(VoltageSource("vn4", {"p": "n4", "n": "gnd"}, dc=0.5))
+    groups = (
+        Group("g_a", GroupKind.DIFF_PAIR, ("a1", "a2")),
+        Group("g_b", GroupKind.DIFF_PAIR, ("b1", "b2")),
+        Group("g_c", GroupKind.LOAD_PAIR, ("c1", "c2")),
+    )
+    return AnalogBlock(
+        name="CM",  # reuse the cm measurement suite shape
+        kind="cm",
+        circuit=ckt,
+        groups=groups,
+        pairs=(),
+        canvas=(6, 8),
+        params={"iref": 1e-6, "vdd": 1.1, "probe_sources": ("vo1", "vo2")},
+        input_nets=("in1", "in2"),
+        output_nets=("outp", "outn"),
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_action_space(benchmark):
+    block = fig2_block()
+    env = PlacementEnv(block, lambda p: float(p.area_cells()))
+
+    def enumerate_actions():
+        unit_actions = {g: env.legal_unit_actions(g) for g in env.group_names}
+        group_actions = {g: env.legal_group_actions(g) for g in env.group_names}
+        return unit_actions, group_actions
+
+    unit_actions, group_actions = benchmark(enumerate_actions)
+
+    # Every group has moves at both levels in the seeded placement.
+    for name in env.group_names:
+        assert unit_actions[name], name
+        assert group_actions[name], name
+
+    # The Fig. 2(b) situation: an L-corner unit has exactly 5 legal moves.
+    placement = Placement(CanvasSpec(5, 5))
+    group = [("g1", 0), ("g1", 1), ("g1", 2)]
+    placement.place(group[0], (1, 2))
+    placement.place(group[1], (2, 2))
+    placement.place(group[2], (2, 3))
+    legal = legal_unit_moves(placement, group[1], group, adjacency=8)
+    assert len(legal) == 5
+    benchmark.extra_info["fig2b_legal_moves"] = len(legal)
+
+    # Out of 8 possible moves, illegality comes from occupancy (2) and
+    # the group-connectivity rule (1) — matching the paper's narrative
+    # that not all 8 moves are available.
+    total = sum(len(a) for a in unit_actions.values())
+    benchmark.extra_info["toy_unit_actions"] = total

@@ -1,0 +1,38 @@
+"""Fig. 3 / CM — current-mirror comparison: symmetric vs SA vs Q-learning.
+
+Regenerates the CM column of the paper's Fig. 3: static mismatch, FOM and
+simulation counts for the SOTA symmetric layout, simulated annealing, and
+the multi-level multi-agent Q-learning placer.
+"""
+
+import pytest
+
+from repro.experiments import CM_CONFIG, format_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_current_mirror(benchmark):
+    result = benchmark.pedantic(run_fig3, args=(CM_CONFIG,), rounds=1, iterations=1)
+    print("\n" + format_fig3(result))
+
+    ql = result.row("Q-learning")
+    sa = result.row("SA")
+    sym = result.row("Symmetric (SOTA)")
+    benchmark.extra_info.update({
+        "sym_mismatch_pct": sym.primary,
+        "sa_mismatch_pct": sa.primary,
+        "ql_mismatch_pct": ql.primary,
+        "ql_fom": ql.fom,
+        "ql_sims_to_target": ql.sims_to_target,
+        "sa_sims_to_target": sa.sims_to_target,
+    })
+
+    claims = result.claims_hold()
+    # The paper's bolded results for CM:
+    assert claims["ql_beats_symmetric_primary"]
+    assert claims["ql_beats_symmetric_fom"]
+    assert claims["sa_beats_symmetric_primary"]
+    assert claims["ql_not_worse_than_sa_primary"]
+    assert claims["ql_fewer_sims_to_target"]
+    # "significantly better": at least 5x lower mismatch than symmetric.
+    assert ql.primary < sym.primary / 5.0

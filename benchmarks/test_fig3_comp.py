@@ -1,0 +1,35 @@
+"""Fig. 3 / COMP — comparator comparison: symmetric vs SA vs Q-learning.
+
+Regenerates the COMP column of the paper's Fig. 3: input-referred offset,
+FOM (offset, delay, power, area) and simulation counts.
+"""
+
+import pytest
+
+from repro.experiments import COMP_CONFIG, format_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_comparator(benchmark):
+    result = benchmark.pedantic(run_fig3, args=(COMP_CONFIG,), rounds=1, iterations=1)
+    print("\n" + format_fig3(result))
+
+    ql = result.row("Q-learning")
+    sa = result.row("SA")
+    sym = result.row("Symmetric (SOTA)")
+    benchmark.extra_info.update({
+        "sym_offset_mv": sym.primary,
+        "sa_offset_mv": sa.primary,
+        "ql_offset_mv": ql.primary,
+        "ql_fom": ql.fom,
+        "ql_sims_to_target": ql.sims_to_target,
+        "sa_sims_to_target": sa.sims_to_target,
+    })
+
+    claims = result.claims_hold()
+    assert claims["ql_beats_symmetric_primary"]
+    assert claims["ql_beats_symmetric_fom"]
+    assert claims["sa_beats_symmetric_primary"]
+    assert claims["ql_not_worse_than_sa_primary"]
+    assert claims["ql_fewer_sims_to_target"]
+    assert ql.primary < sym.primary / 5.0

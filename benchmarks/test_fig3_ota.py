@@ -1,0 +1,43 @@
+"""Fig. 3 / OTA — folded-cascode OTA comparison: symmetric vs SA vs QL.
+
+Regenerates the OTA column of the paper's Fig. 3: offset, FOM (gain, BW,
+PM, offset, power, area) and simulation counts.  Also checks that the
+optimized unconventional layout did not sacrifice the small-signal health
+of the amplifier (the FOM's job in the paper).
+"""
+
+import pytest
+
+from repro.experiments import OTA_CONFIG, format_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_folded_cascode_ota(benchmark):
+    result = benchmark.pedantic(run_fig3, args=(OTA_CONFIG,), rounds=1, iterations=1)
+    print("\n" + format_fig3(result))
+
+    ql = result.row("Q-learning")
+    sa = result.row("SA")
+    sym = result.row("Symmetric (SOTA)")
+    benchmark.extra_info.update({
+        "sym_offset_mv": sym.primary,
+        "sa_offset_mv": sa.primary,
+        "ql_offset_mv": ql.primary,
+        "ql_fom": ql.fom,
+        "ql_gain_db": ql.metrics["gain_db"],
+        "ql_pm_deg": ql.metrics["pm_deg"],
+        "ql_sims_to_target": ql.sims_to_target,
+        "sa_sims_to_target": sa.sims_to_target,
+    })
+
+    claims = result.claims_hold()
+    assert claims["ql_beats_symmetric_primary"]
+    assert claims["ql_beats_symmetric_fom"]
+    assert claims["sa_beats_symmetric_primary"]
+    assert claims["ql_not_worse_than_sa_primary"]
+    assert claims["ql_fewer_sims_to_target"]
+
+    # The unconventional layout keeps the amplifier healthy: gain within
+    # 1 dB and PM within 5 degrees of the symmetric layout.
+    assert abs(ql.metrics["gain_db"] - sym.metrics["gain_db"]) < 1.0
+    assert abs(ql.metrics["pm_deg"] - sym.metrics["pm_deg"]) < 5.0

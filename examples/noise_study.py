@@ -1,0 +1,94 @@
+"""Noise analysis of the 5T OTA: who makes the noise, and does the
+unconventional placement pay a noise penalty?
+
+Runs the small-signal noise analysis at the closed-loop operating point,
+prints the per-device contribution ranking and the flicker corner, then
+compares output noise between the common-centroid and Q-learning-optimized
+layouts (spoiler: the difference rides on parasitic loading and is tiny —
+offset is where placement matters).
+
+Run:
+    python examples/noise_study.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    MultiLevelPlacer,
+    PlacementEnv,
+    PlacementEvaluator,
+    banded_placement,
+    five_transistor_ota,
+    generic_tech_40,
+)
+from repro.route import annotate_parasitics
+from repro.sim import solve_ac, solve_dc
+from repro.sim.noise import solve_noise
+
+TECH = generic_tech_40()
+FREQS = np.logspace(2, 9, 60)
+
+
+def input_referred_noise(block, placement):
+    """(freqs, input-referred PSD, per-device output contributions)."""
+    annotated = annotate_parasitics(block.circuit, placement, TECH)
+    op = solve_dc(annotated, TECH)
+    noise = solve_noise(annotated, TECH, op.voltages, FREQS, "outp")
+    # Differential gain for input-referral.
+    vip = annotated.device("vvip")
+    vin = annotated.device("vvin")
+    ac_bench = annotated.copy_with(replacements={
+        "vvip": dataclasses.replace(vip, ac=+0.5),
+        "vvin": dataclasses.replace(vin, ac=-0.5),
+    })
+    gain = np.abs(solve_ac(ac_bench, TECH, op.voltages, FREQS).transfer("outp"))
+    return noise.input_referred_psd(gain), noise
+
+
+def main() -> None:
+    block = five_transistor_ota()
+    placement = banded_placement(block, "common_centroid")
+    psd_in, noise = input_referred_noise(block, placement)
+
+    rms_in = float(np.sqrt(np.trapezoid(psd_in, FREQS)))
+    print("== input-referred noise of the 5T OTA (common-centroid) ==")
+    print(f"integrated {FREQS[0]:.0f} Hz .. {FREQS[-1]:.0e} Hz: "
+          f"{rms_in * 1e6:.1f} uV rms")
+    print(f"spot noise at 1 MHz: "
+          f"{np.sqrt(np.interp(1e6, FREQS, psd_in)) * 1e9:.1f} nV/sqrt(Hz)")
+
+    mid = len(FREQS) // 2
+    print(f"\nper-device output contributions at {FREQS[mid]/1e3:.0f} kHz:")
+    ranked = sorted(noise.contributions.items(),
+                    key=lambda kv: kv[1][mid], reverse=True)
+    total_mid = noise.output_psd[mid]
+    for name, psd in ranked:
+        print(f"  {name:>6}: {100 * psd[mid] / total_mid:5.1f} %")
+
+    # Flicker corner of the *input-referred* PSD: where 1/f meets the floor.
+    floor = float(np.min(psd_in))
+    corner_idx = int(np.argmin(np.abs(psd_in - 2 * floor)))
+    print(f"\nflicker corner ~ {FREQS[corner_idx] / 1e3:.0f} kHz")
+
+    print("\n== does unconventional placement cost noise? ==")
+    evaluator = PlacementEvaluator(block)
+    target = evaluator.cost(placement)
+    env = PlacementEnv(block, evaluator.cost)
+    placer = MultiLevelPlacer(env, seed=4, sim_counter=lambda: evaluator.sim_count)
+    optimized = placer.optimize(max_steps=250, target=target).best_placement
+
+    for tag, p in (("common-centroid", placement), ("q-learning", optimized)):
+        psd, __ = input_referred_noise(block, p)
+        rms = float(np.sqrt(np.trapezoid(psd, FREQS)))
+        offset = evaluator.evaluate(p)["offset_mv"]
+        print(f"{tag:>16}: {rms * 1e6:6.1f} uV rms input noise | "
+              f"offset {offset:.3f} mV")
+    print("\nNoise is device-physics-bound (gm, area); placement moves it "
+          "only through parasitics. Offset is where layout wins — which is "
+          "why the paper optimizes offset, not noise.")
+
+
+if __name__ == "__main__":
+    main()

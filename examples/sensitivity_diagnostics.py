@@ -1,0 +1,87 @@
+"""Placement forensics: sensitivities, corner fragility, robust fix.
+
+The closing workflow of a placement campaign:
+
+1. rank devices by offset sensitivity (where does variation hurt?);
+2. discover that the TT-optimized unconventional layout is *corner
+   fragile* — its offset cancellation balances NMOS against PMOS
+   contributions, which split apart at skewed corners;
+3. fix it with worst-case multi-corner optimization
+   (:class:`repro.eval.WorstCaseEvaluator`);
+4. hand the circuit off as a SPICE deck for external verification.
+
+Run:
+    python examples/sensitivity_diagnostics.py
+"""
+
+from repro import (
+    MultiLevelPlacer,
+    PlacementEnv,
+    PlacementEvaluator,
+    banded_placement,
+    comparator,
+    generic_tech_40,
+    to_spice,
+)
+from repro.eval import WorstCaseEvaluator, primary_sensitivities, rank_sensitivities
+from repro.variation import CORNERS, corner
+
+
+def corner_table(block, placements: dict) -> None:
+    header = f"{'corner':>8}"
+    for tag in placements:
+        header += f"  {tag:>14}"
+    print(header + "   offset [mV]")
+    for name in sorted(CORNERS):
+        ev = PlacementEvaluator(block, corner=corner(name))
+        line = f"{name:>8}"
+        for placement in placements.values():
+            line += f"  {ev.evaluate(placement)['offset_mv']:14.3f}"
+        print(line)
+
+
+def main() -> None:
+    block = comparator()
+    evaluator = PlacementEvaluator(block)
+    symmetric = banded_placement(block, "common_centroid")
+
+    print("== which devices move the comparator's offset? ==")
+    sens = primary_sensitivities(evaluator, symmetric)
+    print(f"{'device':>8}  d(offset)/d(Vth) [mV/V]")
+    for name, value in rank_sensitivities(sens)[:6]:
+        print(f"{name:>8}  {value:+10.1f}")
+    print("\nThe input pair dominates, with the NMOS latch close behind — "
+          "matching analog intuition (and the paper's pair weighting).")
+
+    print("\n== optimize at TT, verify at every corner ==")
+    target = evaluator.cost(symmetric)
+    env = PlacementEnv(block, evaluator.cost)
+    placer = MultiLevelPlacer(env, seed=6, sim_counter=lambda: evaluator.sim_count)
+    tt_opt = placer.optimize(max_steps=350, target=target).best_placement
+    corner_table(block, {"symmetric": symmetric, "tt-optimized": tt_opt})
+    print("\nCaveat found: the TT-optimized layout cancels offset by "
+          "balancing NMOS against PMOS contributions — at the skewed "
+          "corners (fs/sf) that cancellation breaks.")
+
+    print("\n== robust fix: optimize the worst case over {tt, fs, sf} ==")
+    robust = WorstCaseEvaluator(block, corner_names=("tt", "fs", "sf"))
+    env2 = PlacementEnv(block, robust.cost)
+    placer2 = MultiLevelPlacer(env2, seed=6,
+                               sim_counter=lambda: robust.sim_count)
+    robust_opt = placer2.optimize(
+        max_steps=350, target=robust.cost(symmetric)).best_placement
+    corner_table(block, {"symmetric": symmetric, "tt-optimized": tt_opt,
+                         "robust-opt": robust_opt})
+    worst_corner, worst_value = robust.worst_primary(robust_opt)
+    print(f"\nRobust layout's worst corner: {worst_corner} at "
+          f"{worst_value:.3f} mV — an unconventional placement that holds "
+          "everywhere.")
+
+    print("\n== SPICE hand-off (first lines) ==")
+    deck = to_spice(block.circuit, generic_tech_40())
+    print("\n".join(deck.splitlines()[:8]))
+    print(f"... ({len(deck.splitlines())} lines total)")
+
+
+if __name__ == "__main__":
+    main()

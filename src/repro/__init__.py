@@ -1,0 +1,94 @@
+"""Breaking Symmetry — unconventional analog placement via multi-level,
+multi-agent Q-learning.
+
+Reproduction of Maji, Zhao, Poddar & Pan, "Late Breaking Results: Breaking
+Symmetry — Unconventional Placement of Analog Circuits using Multi-Level
+Multi-Agent Reinforcement Learning" (DAC 2025).
+
+Quick start::
+
+    from repro import (
+        current_mirror, PlacementEvaluator, PlacementEnv, MultiLevelPlacer,
+        banded_placement,
+    )
+
+    block = current_mirror()
+    evaluator = PlacementEvaluator(block)
+    target = evaluator.cost(banded_placement(block, "common_centroid"))
+    env = PlacementEnv(block, evaluator.cost)
+    placer = MultiLevelPlacer(env, sim_counter=lambda: evaluator.sim_count)
+    result = placer.optimize(max_steps=600, target=target)
+    print(result.best_cost, "vs symmetric", target)
+
+Subpackages: :mod:`repro.core` (the RL framework + SA baseline),
+:mod:`repro.netlist`, :mod:`repro.tech`, :mod:`repro.variation`,
+:mod:`repro.sim`, :mod:`repro.layout`, :mod:`repro.route`,
+:mod:`repro.eval`, :mod:`repro.experiments`.
+"""
+
+from repro.core import (
+    EpsilonSchedule,
+    FlatQPlacer,
+    MultiLevelPlacer,
+    PlacerResult,
+    QAgent,
+    RandomSearchPlacer,
+    RewardConfig,
+    SimulatedAnnealingPlacer,
+)
+from repro.eval import Metrics, PlacementEvaluator, compute_fom
+from repro.layout import (
+    Placement,
+    PlacementEnv,
+    banded_placement,
+    initial_placement,
+    render_placement,
+)
+from repro.netlist import (
+    AnalogBlock,
+    Circuit,
+    comparator,
+    current_mirror,
+    five_transistor_ota,
+    folded_cascode_ota,
+    from_spice,
+    to_spice,
+    two_stage_ota,
+)
+from repro.tech import Technology, generic_tech_40
+from repro.variation import VariationModel, default_variation_model
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AnalogBlock",
+    "Circuit",
+    "EpsilonSchedule",
+    "FlatQPlacer",
+    "Metrics",
+    "MultiLevelPlacer",
+    "Placement",
+    "PlacementEnv",
+    "PlacementEvaluator",
+    "PlacerResult",
+    "QAgent",
+    "RandomSearchPlacer",
+    "RewardConfig",
+    "SimulatedAnnealingPlacer",
+    "Technology",
+    "VariationModel",
+    "banded_placement",
+    "comparator",
+    "compute_fom",
+    "current_mirror",
+    "default_variation_model",
+    "five_transistor_ota",
+    "folded_cascode_ota",
+    "from_spice",
+    "generic_tech_40",
+    "initial_placement",
+    "render_placement",
+    "to_spice",
+    "two_stage_ota",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``styles``   — measure the symmetric layout styles of a circuit;
+* ``fig3``     — run the paper's three-way comparison on one circuit;
+* ``ablation`` — run one of the ablation experiments;
+* ``spice``    — print a circuit's SPICE deck;
+* ``place``    — optimize one circuit and print/export the placement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.hierarchy import MultiLevelPlacer
+from repro.core.policy import EpsilonSchedule
+from repro.eval.evaluator import PlacementEvaluator
+from repro.experiments import (
+    ALL_CONFIGS,
+    format_convergence,
+    format_dummies,
+    format_fig3,
+    format_hierarchy,
+    format_linearity,
+    run_convergence_ablation,
+    run_dummy_ablation,
+    run_fig3,
+    run_hierarchy_ablation,
+    run_linearity_ablation,
+)
+from repro.experiments.scaling import format_scaling, run_scaling
+from repro.layout.env import PlacementEnv
+from repro.layout.generators import banded_placement
+from repro.layout.render import render_placement
+from repro.layout.svg import save_placement_svg
+from repro.netlist.library import (
+    comparator,
+    current_mirror,
+    five_transistor_ota,
+    folded_cascode_ota,
+    two_stage_ota,
+)
+from repro.netlist.spice import to_spice
+from repro.tech import generic_tech_40
+
+CIRCUITS = {
+    "cm": current_mirror,
+    "comp": comparator,
+    "ota": folded_cascode_ota,
+    "ota5t": five_transistor_ota,
+    "ota2s": two_stage_ota,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Breaking Symmetry (DAC'25 LBR) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    styles = sub.add_parser("styles", help="measure symmetric layout styles")
+    styles.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
+
+    fig3 = sub.add_parser("fig3", help="run the Fig. 3 comparison")
+    fig3.add_argument("--circuit", choices=sorted(ALL_CONFIGS), default="cm")
+    fig3.add_argument("--scale", type=float, default=1.0,
+                      help="step-budget multiplier")
+
+    ablation = sub.add_parser("ablation", help="run an ablation experiment")
+    ablation.add_argument("which", choices=[
+        "hierarchy", "convergence", "linearity", "dummies", "scaling",
+    ])
+    ablation.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
+    ablation.add_argument("--steps", type=int, default=400)
+    ablation.add_argument("--seed", type=int, default=1)
+
+    spice = sub.add_parser("spice", help="print a circuit's SPICE deck")
+    spice.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
+
+    place = sub.add_parser("place", help="optimize a placement")
+    place.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
+    place.add_argument("--steps", type=int, default=400)
+    place.add_argument("--seed", type=int, default=1)
+    place.add_argument("--svg", metavar="PATH",
+                       help="write the winning placement as SVG")
+    return parser
+
+
+def _cmd_styles(args) -> int:
+    block = CIRCUITS[args.circuit]()
+    evaluator = PlacementEvaluator(block)
+    for style in ("sequential", "ysym", "common_centroid"):
+        placement = banded_placement(block, style)
+        metrics = evaluator.evaluate(placement)
+        print(f"--- {style} ---")
+        print(render_placement(placement, block.circuit, legend=False))
+        print(metrics.summary())
+        print()
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    config = ALL_CONFIGS[args.circuit]
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    print(format_fig3(run_fig3(config)))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    block = CIRCUITS[args.circuit]()
+    if args.which == "hierarchy":
+        print(format_hierarchy(run_hierarchy_ablation(
+            block, max_steps=args.steps, seed=args.seed)))
+    elif args.which == "convergence":
+        print(format_convergence(run_convergence_ablation(
+            block, max_steps=args.steps, seed=args.seed)))
+    elif args.which == "linearity":
+        print(format_linearity(run_linearity_ablation(
+            CIRCUITS[args.circuit], max_steps=args.steps, seed=args.seed)))
+    elif args.which == "dummies":
+        print(format_dummies(run_dummy_ablation(
+            block, max_steps=args.steps, seed=args.seed)))
+    else:
+        print(format_scaling(run_scaling(max_steps=args.steps, seed=args.seed)))
+    return 0
+
+
+def _cmd_spice(args) -> int:
+    block = CIRCUITS[args.circuit]()
+    sys.stdout.write(to_spice(block.circuit, generic_tech_40()))
+    return 0
+
+
+def _cmd_place(args) -> int:
+    block = CIRCUITS[args.circuit]()
+    evaluator = PlacementEvaluator(block)
+    target = min(
+        evaluator.cost(banded_placement(block, style))
+        for style in ("ysym", "common_centroid")
+    )
+    env = PlacementEnv(block, evaluator.cost)
+    epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * args.steps)))
+    placer = MultiLevelPlacer(env, epsilon=epsilon, seed=args.seed,
+                              sim_counter=lambda: evaluator.sim_count)
+    result = placer.optimize(max_steps=args.steps, target=target)
+    metrics = evaluator.evaluate(result.best_placement)
+    print(metrics.summary())
+    print(f"target (best symmetric): {target:.4f}  "
+          f"reached after {result.sims_to_target} simulations "
+          f"({result.sims_used} total)")
+    print(render_placement(result.best_placement, block.circuit))
+    if args.svg:
+        save_placement_svg(result.best_placement, block.circuit, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "styles": _cmd_styles,
+        "fig3": _cmd_fig3,
+        "ablation": _cmd_ablation,
+        "spice": _cmd_spice,
+        "place": _cmd_place,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

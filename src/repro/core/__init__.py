@@ -1,0 +1,38 @@
+"""The paper's contribution: multi-level multi-agent Q-learning placement.
+
+* :class:`MultiLevelPlacer` — the proposed framework (top-level group
+  agent + per-group unit agents, interleaved, episodic).
+* :class:`FlatQPlacer` — single-table ablation control.
+* :class:`SimulatedAnnealingPlacer` — the paper's non-ML baseline.
+* :class:`RandomSearchPlacer` — sanity floor.
+
+All placers share the :class:`Placer` protocol and report a
+:class:`PlacerResult` with the paper's bookkeeping (best quality,
+simulations used, sims-to-target, convergence history).
+"""
+
+from repro.core.annealing import RandomSearchPlacer, SimulatedAnnealingPlacer
+from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
+from repro.core.optimizer import BudgetTracker, Placer, PlacerResult
+from repro.core.persistence import load_placer_tables, save_placer_tables
+from repro.core.policy import EpsilonSchedule, epsilon_greedy
+from repro.core.qlearning import QAgent, QTable
+from repro.core.rewards import RewardConfig, shaped_reward
+
+__all__ = [
+    "BudgetTracker",
+    "EpsilonSchedule",
+    "FlatQPlacer",
+    "MultiLevelPlacer",
+    "Placer",
+    "PlacerResult",
+    "QAgent",
+    "QTable",
+    "RandomSearchPlacer",
+    "RewardConfig",
+    "SimulatedAnnealingPlacer",
+    "epsilon_greedy",
+    "load_placer_tables",
+    "save_placer_tables",
+    "shaped_reward",
+]

@@ -1,0 +1,227 @@
+"""Simulated-annealing baseline (the paper's non-ML comparison).
+
+Classic Metropolis SA over the *same* move set the RL agents use (unit
+moves and rigid group moves), with geometric cooling.  SA "focuses on
+exploring solutions near the current best" and carries no memory between
+moves — the contrast the paper draws against Q-learning's accumulated
+policy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.optimizer import BudgetTracker, PlacerResult
+from repro.layout.env import PlacementEnv
+
+
+class SimulatedAnnealingPlacer:
+    """Metropolis SA on a placement environment.
+
+    Args:
+        env: placement environment.
+        t_start_frac: initial temperature as a fraction of the initial
+            cost (temperature lives in cost units).
+        t_end_frac: final temperature as a fraction of the initial cost.
+        p_group_move: probability a proposal is a rigid group move rather
+            than a single-unit move.
+        seed: RNG seed.
+        sim_counter: callable returning cumulative simulator evaluations.
+    """
+
+    def __init__(
+        self,
+        env: PlacementEnv,
+        t_start_frac: float = 0.3,
+        t_end_frac: float = 1e-3,
+        p_group_move: float = 0.25,
+        seed: int = 0,
+        sim_counter: Callable[[], int] | None = None,
+    ):
+        if not 0 < t_end_frac <= t_start_frac:
+            raise ValueError("need 0 < t_end_frac <= t_start_frac")
+        if not 0.0 <= p_group_move <= 1.0:
+            raise ValueError(f"p_group_move must be in [0, 1], got {p_group_move}")
+        self.env = env
+        self.t_start_frac = t_start_frac
+        self.t_end_frac = t_end_frac
+        self.p_group_move = p_group_move
+        self.rng = np.random.default_rng(seed)
+        self._objective_calls = 0
+        self._sim_counter = sim_counter if sim_counter is not None else (
+            lambda: self._objective_calls
+        )
+        self.accepted = 0
+        self.proposed = 0
+
+    def _cost(self) -> float:
+        self._objective_calls += 1
+        return self.env.cost()
+
+    def _propose(self) -> tuple[str, str, int, int] | None:
+        """Pick a random legal move: ("group"/"unit", group, local, dir)."""
+        groups = self.env.group_names
+        for __ in range(20):  # retry if the sampled group has no legal move
+            group = groups[int(self.rng.integers(len(groups)))]
+            if self.rng.random() < self.p_group_move:
+                legal = self.env.legal_group_actions(group)
+                if legal:
+                    d = legal[int(self.rng.integers(len(legal)))]
+                    return ("group", group, -1, d)
+            else:
+                legal = self.env.legal_unit_actions(group)
+                if legal:
+                    local, d = legal[int(self.rng.integers(len(legal)))]
+                    return ("unit", group, local, d)
+        return None
+
+    def optimize(
+        self,
+        max_steps: int,
+        target: float | None = None,
+        sim_budget: int | None = None,
+        stop_at_target: bool = False,
+    ) -> PlacerResult:
+        """Run annealing for ``max_steps`` proposals.
+
+        Temperature decays geometrically from ``t_start_frac * C0`` to
+        ``t_end_frac * C0`` across the step budget.
+        """
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.env.reset()
+        initial = self._cost()
+        tracker = BudgetTracker(
+            target=target, sim_budget=sim_budget,
+            best_cost=initial, best_placement=self.env.placement.copy(),
+        )
+        tracker.update(initial, self.env.placement, self._sim_counter())
+
+        t_start = self.t_start_frac * max(initial, 1e-12)
+        t_end = self.t_end_frac * max(initial, 1e-12)
+        decay = (t_end / t_start) ** (1.0 / max_steps)
+
+        cost = initial
+        temperature = t_start
+        steps = 0
+        while steps < max_steps:
+            proposal = self._propose()
+            if proposal is None:
+                break
+            kind, group, local, direction = proposal
+            if kind == "group":
+                applied = self.env.step_group(group, direction)
+            else:
+                applied = self.env.step_unit(group, local, direction)
+            if not applied:
+                steps += 1
+                temperature *= decay
+                continue
+            self.proposed += 1
+            new_cost = self._cost()
+            delta = new_cost - cost
+            accept = delta <= 0 or self.rng.random() < math.exp(-delta / temperature)
+            if accept:
+                self.accepted += 1
+                cost = new_cost
+                tracker.update(cost, self.env.placement, self._sim_counter())
+            else:
+                if kind == "group":
+                    self.env.undo_group(group, direction)
+                else:
+                    self.env.undo_unit(group, local, direction)
+            steps += 1
+            temperature *= decay
+            if tracker.out_of_budget(self._sim_counter()):
+                break
+            if stop_at_target and tracker.reached_target:
+                break
+
+        return PlacerResult(
+            best_placement=tracker.best_placement,
+            best_cost=tracker.best_cost,
+            initial_cost=initial,
+            sims_used=self._sim_counter(),
+            steps=steps,
+            reached_target=tracker.reached_target,
+            sims_to_target=tracker.sims_to_target,
+            history=tracker.history,
+            diagnostics={
+                "accepted": self.accepted,
+                "proposed": self.proposed,
+                "acceptance_rate": self.accepted / max(1, self.proposed),
+            },
+        )
+
+
+class RandomSearchPlacer:
+    """Uniform random legal walk — the sanity floor for both real optimizers."""
+
+    def __init__(
+        self,
+        env: PlacementEnv,
+        seed: int = 0,
+        sim_counter: Callable[[], int] | None = None,
+    ):
+        self.env = env
+        self.rng = np.random.default_rng(seed)
+        self._objective_calls = 0
+        self._sim_counter = sim_counter if sim_counter is not None else (
+            lambda: self._objective_calls
+        )
+
+    def _cost(self) -> float:
+        self._objective_calls += 1
+        return self.env.cost()
+
+    def optimize(
+        self,
+        max_steps: int,
+        target: float | None = None,
+        sim_budget: int | None = None,
+        stop_at_target: bool = False,
+    ) -> PlacerResult:
+        """Take random legal moves, tracking the best placement seen."""
+        self.env.reset()
+        initial = self._cost()
+        tracker = BudgetTracker(
+            target=target, sim_budget=sim_budget,
+            best_cost=initial, best_placement=self.env.placement.copy(),
+        )
+        tracker.update(initial, self.env.placement, self._sim_counter())
+        steps = 0
+        while steps < max_steps:
+            group = self.env.group_names[
+                int(self.rng.integers(len(self.env.group_names)))
+            ]
+            legal = self.env.legal_unit_actions(group)
+            group_legal = self.env.legal_group_actions(group)
+            if legal and (not group_legal or self.rng.random() < 0.75):
+                local, d = legal[int(self.rng.integers(len(legal)))]
+                self.env.step_unit(group, local, d)
+            elif group_legal:
+                d = group_legal[int(self.rng.integers(len(group_legal)))]
+                self.env.step_group(group, d)
+            else:
+                steps += 1
+                continue
+            cost = self._cost()
+            tracker.update(cost, self.env.placement, self._sim_counter())
+            steps += 1
+            if tracker.out_of_budget(self._sim_counter()):
+                break
+            if stop_at_target and tracker.reached_target:
+                break
+        return PlacerResult(
+            best_placement=tracker.best_placement,
+            best_cost=tracker.best_cost,
+            initial_cost=initial,
+            sims_used=self._sim_counter(),
+            steps=steps,
+            reached_target=tracker.reached_target,
+            sims_to_target=tracker.sims_to_target,
+            history=tracker.history,
+        )

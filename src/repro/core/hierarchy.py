@@ -1,0 +1,369 @@
+"""Multi-level, multi-agent Q-learning placement — the paper's Section II-A.
+
+Two levels of tabular agents share one placement environment:
+
+* the **top-level agent** owns a Q-table over *group* moves: its state is
+  the tuple of group centroids, its actions rigid group translations;
+* one **bottom-level agent per group** owns a Q-table over *unit* moves
+  within that group: its state is the group's translation-invariant
+  internal arrangement, its actions (unit, direction) pairs.
+
+Agents act in an **interleaved round-robin** — top, then each bottom agent
+in turn — so every agent sees the placement the previous one left behind
+and moves are conflict-free by construction (the paper's "Q-table updates
+are performed in an interleaved manner, ensuring conflict-free movement
+between agents").
+
+Learning is **episodic**: after ``episode_length`` agent steps the
+environment resets to the initial placement while all Q-tables persist —
+this is how Q-learning "improves over time by gradually refining its
+policy" across restarts, the property the paper contrasts against SA.
+
+:class:`FlatQPlacer` is the ablation control: one agent, one Q-table over
+the whole placement, no hierarchy — used to demonstrate the scalability
+claim (Q-table growth).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.optimizer import BudgetTracker, PlacerResult
+from repro.core.policy import EpsilonSchedule
+from repro.core.qlearning import QAgent
+from repro.core.rewards import RewardConfig, shaped_reward
+from repro.layout.env import PlacementEnv
+
+
+class MultiLevelPlacer:
+    """The paper's placer.
+
+    Every proposed move is priced by the simulator before it is kept: a
+    move that worsens the objective beyond the current tolerance (relative
+    to the *current* cost — the objective is multiplicative, so tolerances
+    must be too) is *reverted*, but the agent still receives the negative
+    reward and updates its Q-table — it learns the move is bad without the
+    search trajectory paying for it.  This is the "objective-driven" loop
+    of the paper's Fig. 2(c): the simulator checks the quality of a move
+    and guides the algorithm.  The tolerance decays linearly from
+    ``worse_tolerance`` to zero across the step budget, so early episodes
+    roam and late episodes polish.
+
+    Args:
+        env: placement environment (owns the objective hook).
+        alpha: Q-learning rate for all agents.
+        gamma: discount factor for all agents.
+        epsilon: exploration schedule (shared shape; each agent advances
+            its own step counter).
+        reward_config: reward shaping parameters.
+        episode_length: agent steps between environment resets.
+        episode_restart: where episodes restart — ``"best"`` (elitist:
+            resume from the best placement seen, default) or
+            ``"initial"`` (the paper's literal initial-placement restart;
+            kept for the restart ablation).
+        worse_tolerance: accepted relative worsening per move (fraction of
+            the *current* cost, annealed to zero over the budget);
+            ``None`` disables reverting entirely (plain-accept Q-learning,
+            used by the acceptance ablation).
+        seed: RNG seed (agents get independent child generators).
+        sim_counter: callable returning cumulative simulator evaluations
+            (pass ``lambda: evaluator.sim_count``); defaults to counting
+            objective calls.
+    """
+
+    def __init__(
+        self,
+        env: PlacementEnv,
+        alpha: float = 0.3,
+        gamma: float = 0.9,
+        epsilon: EpsilonSchedule | None = None,
+        reward_config: RewardConfig | None = None,
+        episode_length: int = 100,
+        episode_restart: str = "best",
+        worse_tolerance: float | None = 0.5,
+        seed: int = 0,
+        sim_counter: Callable[[], int] | None = None,
+    ):
+        if episode_length < 1:
+            raise ValueError(f"episode_length must be >= 1, got {episode_length}")
+        if episode_restart not in ("best", "initial"):
+            raise ValueError(
+                f"episode_restart must be 'best' or 'initial', got {episode_restart!r}"
+            )
+        if worse_tolerance is not None and worse_tolerance < 0:
+            raise ValueError("worse_tolerance cannot be negative")
+        self.env = env
+        self.reward_config = reward_config if reward_config is not None else RewardConfig()
+        self.episode_length = episode_length
+        self.episode_restart = episode_restart
+        self.worse_tolerance = worse_tolerance
+        epsilon = epsilon if epsilon is not None else EpsilonSchedule()
+        seed_seq = np.random.SeedSequence(seed)
+        children = seed_seq.spawn(1 + len(env.group_names))
+        self.top_agent = QAgent(alpha, gamma, epsilon,
+                                np.random.default_rng(children[0]))
+        self.bottom_agents = {
+            name: QAgent(alpha, gamma, epsilon, np.random.default_rng(child))
+            for name, child in zip(env.group_names, children[1:])
+        }
+        self._objective_calls = 0
+        self._sim_counter = sim_counter if sim_counter is not None else (
+            lambda: self._objective_calls
+        )
+        self._global_step = 0
+        self._max_steps = 1
+
+    # ------------------------------------------------------------- internals
+
+    def _cost(self) -> float:
+        self._objective_calls += 1
+        return self.env.cost()
+
+    def _keep_move(self, cost: float, new_cost: float, initial: float) -> bool:
+        if self.worse_tolerance is None:
+            return True
+        frac_left = 1.0 - self._global_step / max(1, self._max_steps)
+        tolerance = self.worse_tolerance * max(0.0, frac_left)
+        return new_cost <= cost * (1.0 + tolerance)
+
+    def _top_step(self, cost: float, initial: float, target: float | None) -> float:
+        state = self.env.global_state()
+        legal = [
+            (gi, d)
+            for gi, name in enumerate(self.env.group_names)
+            for d in self.env.legal_group_actions(name)
+        ]
+        if not legal:
+            return cost
+        action = self.top_agent.select(state, legal, step=self._global_step)
+        group = self.env.group_names[action[0]]
+        self.env.step_group(group, action[1])
+        new_cost = self._cost()
+        reward = shaped_reward(cost, new_cost, initial, target, self.reward_config)
+        self.top_agent.learn(state, action, reward, self.env.global_state())
+        if not self._keep_move(cost, new_cost, initial):
+            self.env.undo_group(group, action[1])
+            return cost
+        return new_cost
+
+    def _bottom_step(
+        self, group: str, cost: float, initial: float, target: float | None
+    ) -> float:
+        agent = self.bottom_agents[group]
+        state = self.env.group_state(group)
+        legal = self.env.legal_unit_actions(group)
+        if not legal:
+            return cost
+        action = agent.select(state, [tuple(a) for a in legal], step=self._global_step)
+        self.env.step_unit(group, action[0], action[1])
+        new_cost = self._cost()
+        reward = shaped_reward(cost, new_cost, initial, target, self.reward_config)
+        agent.learn(state, action, reward, self.env.group_state(group))
+        if not self._keep_move(cost, new_cost, initial):
+            self.env.undo_unit(group, action[0], action[1])
+            return cost
+        return new_cost
+
+    # --------------------------------------------------------------- public
+
+    def optimize(
+        self,
+        max_steps: int,
+        target: float | None = None,
+        sim_budget: int | None = None,
+        stop_at_target: bool = False,
+    ) -> PlacerResult:
+        """Run interleaved multi-agent Q-learning.
+
+        Args:
+            max_steps: total agent steps across all agents and episodes.
+            target: target cost (sims-to-target is recorded; with
+                ``stop_at_target`` the run ends there).
+            sim_budget: stop once this many simulator calls were spent.
+            stop_at_target: stop as soon as the target is met.
+        """
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self._max_steps = max_steps
+        self.env.reset()
+        initial = self._cost()
+        tracker = BudgetTracker(
+            target=target, sim_budget=sim_budget,
+            best_cost=initial, best_placement=self.env.placement.copy(),
+        )
+        tracker.update(initial, self.env.placement, self._sim_counter())
+
+        schedule: list[tuple[str, str | None]] = [("top", None)]
+        schedule += [("bottom", name) for name in self.env.group_names]
+
+        cost = initial
+        steps = 0
+        episode_steps = 0
+        done = False
+        while not done:
+            for level, group in schedule:
+                if level == "top":
+                    cost = self._top_step(cost, initial, target)
+                else:
+                    cost = self._bottom_step(group, cost, initial, target)
+                steps += 1
+                episode_steps += 1
+                self._global_step = steps
+                tracker.update(cost, self.env.placement, self._sim_counter())
+                if steps >= max_steps or tracker.out_of_budget(self._sim_counter()):
+                    done = True
+                    break
+                if stop_at_target and tracker.reached_target:
+                    done = True
+                    break
+                if episode_steps >= self.episode_length:
+                    if self.episode_restart == "best":
+                        self.env.placement = tracker.best_placement.copy()
+                    else:
+                        self.env.reset()
+                    cost = self._cost()
+                    episode_steps = 0
+
+        return PlacerResult(
+            best_placement=tracker.best_placement,
+            best_cost=tracker.best_cost,
+            initial_cost=initial,
+            sims_used=self._sim_counter(),
+            steps=steps,
+            reached_target=tracker.reached_target,
+            sims_to_target=tracker.sims_to_target,
+            history=tracker.history,
+            diagnostics=self.table_sizes(),
+        )
+
+    def table_sizes(self) -> dict:
+        """Q-table growth diagnostics (the scalability ablation's metric)."""
+        bottom = {
+            name: agent.table.n_entries
+            for name, agent in self.bottom_agents.items()
+        }
+        return {
+            "top_states": self.top_agent.table.n_states,
+            "top_entries": self.top_agent.table.n_entries,
+            "bottom_entries": bottom,
+            "total_entries": self.top_agent.table.n_entries + sum(bottom.values()),
+        }
+
+
+class FlatQPlacer:
+    """Single-agent, single-table Q-learning — the no-hierarchy ablation.
+
+    One Q-table over the *entire* placement state (all unit offsets,
+    bbox-normalised) with the combined unit-move action space.  On anything
+    beyond toy sizes the state space explodes — which is exactly the
+    scalability point the paper's hierarchy addresses.
+    """
+
+    def __init__(
+        self,
+        env: PlacementEnv,
+        alpha: float = 0.3,
+        gamma: float = 0.9,
+        epsilon: EpsilonSchedule | None = None,
+        reward_config: RewardConfig | None = None,
+        episode_length: int = 100,
+        worse_tolerance: float | None = 0.5,
+        seed: int = 0,
+        sim_counter: Callable[[], int] | None = None,
+    ):
+        self.env = env
+        self.reward_config = reward_config if reward_config is not None else RewardConfig()
+        self.episode_length = episode_length
+        self.worse_tolerance = worse_tolerance
+        self.agent = QAgent(
+            alpha, gamma, epsilon if epsilon is not None else EpsilonSchedule(),
+            np.random.default_rng(seed),
+        )
+        self._objective_calls = 0
+        self._sim_counter = sim_counter if sim_counter is not None else (
+            lambda: self._objective_calls
+        )
+
+    def _cost(self) -> float:
+        self._objective_calls += 1
+        return self.env.cost()
+
+    def _state(self) -> tuple:
+        placement = self.env.placement
+        cells = [(unit, placement.cell_of(unit)) for unit in sorted(placement.units)]
+        c0 = min(c for __, (c, __r) in cells)
+        r0 = min(r for __, (__c, r) in cells)
+        return tuple((unit, c - c0, r - r0) for unit, (c, r) in cells)
+
+    def _legal_actions(self) -> list[tuple[str, int, int]]:
+        actions = []
+        for group in self.env.group_names:
+            for local, direction in self.env.legal_unit_actions(group):
+                actions.append((group, local, direction))
+        return actions
+
+    def optimize(
+        self,
+        max_steps: int,
+        target: float | None = None,
+        sim_budget: int | None = None,
+        stop_at_target: bool = False,
+    ) -> PlacerResult:
+        """Run flat Q-learning (same protocol as :class:`MultiLevelPlacer`)."""
+        self.env.reset()
+        initial = self._cost()
+        tracker = BudgetTracker(
+            target=target, sim_budget=sim_budget,
+            best_cost=initial, best_placement=self.env.placement.copy(),
+        )
+        tracker.update(initial, self.env.placement, self._sim_counter())
+        cost = initial
+        steps = 0
+        episode_steps = 0
+        while steps < max_steps:
+            state = self._state()
+            legal = self._legal_actions()
+            if not legal:
+                break
+            action = self.agent.select(state, legal, step=steps)
+            self.env.step_unit(action[0], action[1], action[2])
+            new_cost = self._cost()
+            reward = shaped_reward(cost, new_cost, initial, target, self.reward_config)
+            self.agent.learn(state, action, reward, self._state())
+            if self.worse_tolerance is None:
+                keep = True
+            else:
+                tolerance = self.worse_tolerance * max(0.0, 1.0 - steps / max_steps)
+                keep = new_cost <= cost * (1.0 + tolerance)
+            if keep:
+                cost = new_cost
+            else:
+                self.env.undo_unit(action[0], action[1], action[2])
+            steps += 1
+            episode_steps += 1
+            tracker.update(cost, self.env.placement, self._sim_counter())
+            if tracker.out_of_budget(self._sim_counter()):
+                break
+            if stop_at_target and tracker.reached_target:
+                break
+            if episode_steps >= self.episode_length:
+                self.env.reset()
+                cost = self._cost()
+                episode_steps = 0
+
+        return PlacerResult(
+            best_placement=tracker.best_placement,
+            best_cost=tracker.best_cost,
+            initial_cost=initial,
+            sims_used=self._sim_counter(),
+            steps=steps,
+            reached_target=tracker.reached_target,
+            sims_to_target=tracker.sims_to_target,
+            history=tracker.history,
+            diagnostics={
+                "states": self.agent.table.n_states,
+                "entries": self.agent.table.n_entries,
+            },
+        )

@@ -1,0 +1,92 @@
+"""Shared optimizer interfaces and result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.layout.placement import Placement
+
+
+@dataclass
+class PlacerResult:
+    """Outcome of one optimization run.
+
+    Attributes:
+        best_placement: the best placement seen (a copy, safe to keep).
+        best_cost: its objective value.
+        initial_cost: objective of the starting placement.
+        sims_used: simulator evaluations consumed (cache misses).
+        steps: agent/optimizer steps taken.
+        reached_target: whether the target cost was met.
+        sims_to_target: simulation count when the target was first met
+            (None if never).
+        history: (sims_used, best_cost_so_far) samples for convergence
+            plots — the paper's Q-learning-vs-SA trajectory comparison.
+        diagnostics: optimizer-specific extras (Q-table sizes, acceptance
+            rates, ...).
+    """
+
+    best_placement: Placement
+    best_cost: float
+    initial_cost: float
+    sims_used: int
+    steps: int
+    reached_target: bool
+    sims_to_target: int | None
+    history: list[tuple[int, float]] = field(default_factory=list)
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional cost improvement over the starting placement."""
+        if self.initial_cost == 0:
+            return 0.0
+        return (self.initial_cost - self.best_cost) / self.initial_cost
+
+
+@runtime_checkable
+class Placer(Protocol):
+    """Anything that can optimize a placement environment."""
+
+    def optimize(
+        self,
+        max_steps: int,
+        target: float | None = None,
+        sim_budget: int | None = None,
+        stop_at_target: bool = False,
+    ) -> PlacerResult:
+        """Run the optimization and return the result."""
+        ...
+
+
+@dataclass
+class BudgetTracker:
+    """Tracks progress against a target and budgets during a run."""
+
+    target: float | None
+    sim_budget: int | None
+    best_cost: float
+    best_placement: Placement
+    history: list[tuple[int, float]] = field(default_factory=list)
+    sims_to_target: int | None = None
+
+    def update(self, cost: float, placement: Placement, sims_used: int) -> None:
+        """Record a new evaluation; keeps the best-so-far snapshot."""
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_placement = placement.copy()
+            self.history.append((sims_used, cost))
+        if (
+            self.sims_to_target is None
+            and self.target is not None
+            and cost <= self.target
+        ):
+            self.sims_to_target = sims_used
+
+    def out_of_budget(self, sims_used: int) -> bool:
+        return self.sim_budget is not None and sims_used >= self.sim_budget
+
+    @property
+    def reached_target(self) -> bool:
+        return self.sims_to_target is not None

@@ -1,0 +1,74 @@
+"""Q-table serialization — pause/resume for long placement campaigns.
+
+States and actions are hashable trees of ints/strings/tuples, so they
+serialise exactly through ``repr`` and parse back with
+:func:`ast.literal_eval` (no pickle, no code execution).  A saved
+:class:`MultiLevelPlacer` snapshot carries the top table plus every
+bottom agent's table keyed by group name.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.core.hierarchy import MultiLevelPlacer
+from repro.core.qlearning import QTable
+
+
+def qtable_to_dict(table: QTable) -> dict[str, dict[str, float]]:
+    """JSON-compatible representation of a Q-table."""
+    return {
+        repr(state): {repr(action): value for action, value in actions.items()}
+        for state, actions in table._table.items()
+    }
+
+
+def qtable_from_dict(data: dict[str, dict[str, float]]) -> QTable:
+    """Rebuild a Q-table from :func:`qtable_to_dict` output."""
+    table = QTable()
+    for state_repr, actions in data.items():
+        state = ast.literal_eval(state_repr)
+        for action_repr, value in actions.items():
+            table.set(state, ast.literal_eval(action_repr), float(value))
+    return table
+
+
+def save_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
+    """Write all of a placer's Q-tables to a JSON file."""
+    payload = {
+        "top": qtable_to_dict(placer.top_agent.table),
+        "bottom": {
+            name: qtable_to_dict(agent.table)
+            for name, agent in placer.bottom_agents.items()
+        },
+        "steps": {
+            "top": placer.top_agent.steps,
+            **{name: agent.steps for name, agent in placer.bottom_agents.items()},
+        },
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
+    """Restore Q-tables saved by :func:`save_placer_tables`.
+
+    The placer must have the same group structure as the one saved.
+
+    Raises:
+        ValueError: if the saved group set does not match the placer's.
+    """
+    payload = json.loads(Path(path).read_text())
+    saved_groups = set(payload["bottom"])
+    have_groups = set(placer.bottom_agents)
+    if saved_groups != have_groups:
+        raise ValueError(
+            f"saved tables are for groups {sorted(saved_groups)}, "
+            f"placer has {sorted(have_groups)}"
+        )
+    placer.top_agent.table = qtable_from_dict(payload["top"])
+    placer.top_agent.steps = int(payload["steps"]["top"])
+    for name, agent in placer.bottom_agents.items():
+        agent.table = qtable_from_dict(payload["bottom"][name])
+        agent.steps = int(payload["steps"][name])

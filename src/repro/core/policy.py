@@ -1,0 +1,64 @@
+"""Exploration policies for tabular Q-learning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Linearly decaying exploration rate.
+
+    epsilon(t) falls from ``start`` to ``end`` over ``decay_steps`` agent
+    steps and stays at ``end`` afterwards.  The paper relies on Q-learning
+    "gradually refining its policy"; early exploration with late
+    exploitation is what makes that happen in a tabular setting.
+    """
+
+    start: float = 0.9
+    end: float = 0.08
+    decay_steps: int = 1500
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.end <= self.start <= 1.0:
+            raise ValueError(
+                f"need 0 <= end <= start <= 1, got start={self.start} end={self.end}"
+            )
+        if self.decay_steps < 1:
+            raise ValueError(f"decay_steps must be >= 1, got {self.decay_steps}")
+
+    def value(self, step: int) -> float:
+        """Exploration rate at agent step ``step`` (0-based)."""
+        if step < 0:
+            raise ValueError(f"step cannot be negative, got {step}")
+        if step >= self.decay_steps:
+            return self.end
+        frac = step / self.decay_steps
+        return self.start + (self.end - self.start) * frac
+
+
+def epsilon_greedy(
+    q_values: dict, legal_actions: list, epsilon: float, rng: np.random.Generator
+):
+    """Pick an action: explore with probability epsilon, else greedy.
+
+    Greedy ties (including the everything-unvisited case where all values
+    are 0) are broken uniformly at random, which matters a lot for early
+    exploration quality.
+
+    Args:
+        q_values: action → Q estimate for the current state (missing
+            actions count as 0).
+        legal_actions: candidate actions (must be non-empty).
+        epsilon: exploration probability.
+        rng: random generator.
+    """
+    if not legal_actions:
+        raise ValueError("no legal actions to select from")
+    if rng.random() < epsilon:
+        return legal_actions[int(rng.integers(len(legal_actions)))]
+    best_value = max(q_values.get(a, 0.0) for a in legal_actions)
+    best = [a for a in legal_actions if q_values.get(a, 0.0) == best_value]
+    return best[int(rng.integers(len(best)))]

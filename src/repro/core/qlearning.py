@@ -1,0 +1,101 @@
+"""Tabular Q-learning: the Q-table and the Bellman update (paper Eq. 1-2).
+
+The update implemented verbatim from the paper::
+
+    Q(S_t, A_t) <- (1 - alpha) Q(S_t, A_t) + alpha [R_{t+1} + gamma V(S_{t+1})]
+    V(s) = max_a Q(s, a)
+
+States are arbitrary hashables (the environment provides translation-
+invariant encodings); actions likewise.  Unvisited (state, action) entries
+read as 0, so optimistic/neutral initialisation is implicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import EpsilonSchedule, epsilon_greedy
+
+
+class QTable:
+    """Sparse state → (action → value) table."""
+
+    def __init__(self):
+        self._table: dict = {}
+
+    def actions(self, state) -> dict:
+        """Action-value mapping of a state ({} if unvisited)."""
+        return self._table.get(state, {})
+
+    def get(self, state, action) -> float:
+        return self._table.get(state, {}).get(action, 0.0)
+
+    def set(self, state, action, value: float) -> None:
+        self._table.setdefault(state, {})[action] = value
+
+    def state_value(self, state) -> float:
+        """V(s) = max_a Q(s, a) over visited actions, 0 if none (Eq. 2)."""
+        entries = self._table.get(state)
+        if not entries:
+            return 0.0
+        return max(entries.values())
+
+    @property
+    def n_states(self) -> int:
+        return len(self._table)
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(v) for v in self._table.values())
+
+
+class QAgent:
+    """One tabular Q-learning agent.
+
+    Args:
+        alpha: learning rate (paper's alpha).
+        gamma: discount factor (paper's gamma).
+        epsilon: exploration schedule.
+        rng: random generator (shared or per-agent).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        gamma: float = 0.9,
+        epsilon: EpsilonSchedule | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= gamma < 1.0:
+            raise ValueError(f"gamma must be in [0, 1), got {gamma}")
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon if epsilon is not None else EpsilonSchedule()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.table = QTable()
+        self.steps = 0
+
+    def select(self, state, legal_actions: list, step: int | None = None):
+        """Epsilon-greedy action selection.
+
+        Args:
+            state: current state.
+            legal_actions: non-empty candidate actions.
+            step: schedule position; pass the *optimizer's global* step in
+                multi-agent settings so all agents cool together (an agent
+                acting 1/N of the time would otherwise stay explorative N
+                times longer).  Defaults to this agent's own counter.
+        """
+        eps = self.epsilon.value(self.steps if step is None else step)
+        self.steps += 1
+        return epsilon_greedy(self.table.actions(state), legal_actions, eps, self.rng)
+
+    def learn(self, state, action, reward: float, next_state) -> float:
+        """Apply the Bellman update; returns the new Q(s, a)."""
+        old = self.table.get(state, action)
+        target = reward + self.gamma * self.table.state_value(next_state)
+        new = (1.0 - self.alpha) * old + self.alpha * target
+        self.table.set(state, action, new)
+        return new

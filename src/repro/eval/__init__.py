@@ -1,0 +1,34 @@
+"""Objective-driven evaluation pipeline.
+
+Closes the placement → physics → simulation → metrics loop (paper
+Fig. 2c): :class:`PlacementEvaluator` is the objective both optimizers
+query, :mod:`repro.eval.suites` holds the per-circuit measurement
+protocols, and :mod:`repro.eval.fom` reproduces the paper's figure of
+merit.
+"""
+
+from repro.eval.evaluator import FAILURE_PRIMARY, PlacementEvaluator
+from repro.eval.fom import FOM_SPECS, MetricSpec, RATIO_CLAMP, compute_fom
+from repro.eval.metrics import Metrics
+from repro.eval.montecarlo import McResult, monte_carlo
+from repro.eval.robust import WorstCaseEvaluator
+from repro.eval.sensitivity import primary_sensitivities, rank_sensitivities
+from repro.eval.suites import measure_cm, measure_comp, measure_ota
+
+__all__ = [
+    "FAILURE_PRIMARY",
+    "FOM_SPECS",
+    "McResult",
+    "MetricSpec",
+    "Metrics",
+    "PlacementEvaluator",
+    "RATIO_CLAMP",
+    "WorstCaseEvaluator",
+    "compute_fom",
+    "measure_cm",
+    "measure_comp",
+    "measure_ota",
+    "monte_carlo",
+    "primary_sensitivities",
+    "rank_sensitivities",
+]

@@ -1,0 +1,101 @@
+"""Figure-of-merit computation (paper Fig. 3).
+
+The paper reports one FOM per circuit "covering key metrics: CM (Mismatch,
+Area), COMP (Offset, Delay, Power, Area), and OTA (Gain, BW, PM, Offset,
+Power, Area)" without giving the formula — standard practice for FOMs is a
+weighted sum of metric ratios against a reference design.  We use:
+
+    FOM = sum_i w_i * r_i,   r_i = x_i / ref_i   (higher-is-better metric)
+                             r_i = ref_i / x_i   (lower-is-better metric)
+
+with weights normalised to sum to 1, so the *reference layout scores
+exactly 1.0* and better layouts score above 1.  Individual ratios are
+clamped to [0, RATIO_CLAMP] so a near-zero offset cannot produce an
+unbounded FOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.metrics import Metrics
+
+RATIO_CLAMP = 10.0
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One FOM component.
+
+    Attributes:
+        key: metric name in the :class:`Metrics` values.
+        higher_is_better: ratio orientation.
+        weight: relative weight (normalised internally).
+    """
+
+    key: str
+    higher_is_better: bool
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+FOM_SPECS: dict[str, tuple[MetricSpec, ...]] = {
+    "cm": (
+        MetricSpec("mismatch_pct", higher_is_better=False, weight=3.0),
+        MetricSpec("area_um2", higher_is_better=False, weight=1.0),
+    ),
+    "comp": (
+        MetricSpec("offset_mv", higher_is_better=False, weight=3.0),
+        MetricSpec("delay_s", higher_is_better=False, weight=1.0),
+        MetricSpec("power_w", higher_is_better=False, weight=1.0),
+        MetricSpec("area_um2", higher_is_better=False, weight=1.0),
+    ),
+    "ota": (
+        MetricSpec("gain_db", higher_is_better=True, weight=1.0),
+        MetricSpec("gbw_hz", higher_is_better=True, weight=1.0),
+        MetricSpec("pm_deg", higher_is_better=True, weight=1.0),
+        MetricSpec("offset_mv", higher_is_better=False, weight=3.0),
+        MetricSpec("power_w", higher_is_better=False, weight=1.0),
+        MetricSpec("area_um2", higher_is_better=False, weight=1.0),
+    ),
+}
+
+
+def _ratio(value: float, reference: float, higher_is_better: bool) -> float:
+    if higher_is_better:
+        if reference == 0:
+            return RATIO_CLAMP if value > 0 else 1.0
+        r = value / reference
+    else:
+        if value == 0:
+            return RATIO_CLAMP
+        r = reference / value
+    return max(0.0, min(RATIO_CLAMP, r))
+
+
+def compute_fom(metrics: Metrics, reference: Metrics) -> float:
+    """FOM of ``metrics`` against a reference layout's metrics.
+
+    The reference layout scores 1.0 by construction.
+
+    Raises:
+        ValueError: if the two metric sets come from different suites.
+        KeyError: if a FOM component is missing from either side.
+    """
+    if metrics.kind != reference.kind:
+        raise ValueError(
+            f"cannot compare {metrics.kind!r} metrics to {reference.kind!r} reference"
+        )
+    specs = FOM_SPECS.get(metrics.kind)
+    if specs is None:
+        raise ValueError(f"no FOM definition for kind {metrics.kind!r}")
+    total_weight = sum(s.weight for s in specs)
+    fom = 0.0
+    for spec in specs:
+        fom += spec.weight / total_weight * _ratio(
+            metrics[spec.key], reference[spec.key], spec.higher_is_better
+        )
+    return fom

@@ -1,0 +1,51 @@
+"""The metrics container shared by all measurement suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Named measurement results of one placement evaluation.
+
+    Attributes:
+        kind: measurement suite that produced this ("cm", "comp", "ota").
+        primary: key of the paper's headline metric for this circuit
+            (static mismatch for CM, offset for COMP/OTA) — the quantity
+            the objective-driven placer minimises.
+        values: metric name → value, SI units unless the name says
+            otherwise (``mismatch_pct``, ``offset_mv``, ``area_um2``,
+            ``gain_db``, ``pm_deg``).
+    """
+
+    kind: str
+    primary: str
+    values: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+        if self.primary not in self.values:
+            raise ValueError(
+                f"primary metric {self.primary!r} missing from values "
+                f"{sorted(self.values)}"
+            )
+
+    def __getitem__(self, key: str) -> float:
+        if key not in self.values:
+            raise KeyError(f"no metric named {key!r}; have {sorted(self.values)}")
+        return self.values[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    @property
+    def primary_value(self) -> float:
+        """Value of the headline metric (lower is always better)."""
+        return self.values[self.primary]
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        parts = [f"{k}={v:.4g}" for k, v in sorted(self.values.items())]
+        return f"[{self.kind}] " + " ".join(parts)

@@ -1,0 +1,83 @@
+"""Worst-case multi-corner evaluation — corner-robust placement.
+
+A finding of this reproduction (see ``EXPERIMENTS.md``, robustness note):
+an unconventional layout optimized at the typical corner may cancel
+offset by balancing NMOS against PMOS contributions — a cancellation that
+*breaks* at skewed corners where the two polarities move oppositely.  The
+:class:`WorstCaseEvaluator` fixes this the standard robust-design way:
+the objective becomes the worst cost across a corner set, so the
+optimizer can only win by cancellations that survive every corner.
+"""
+
+from __future__ import annotations
+
+from repro.eval.evaluator import PlacementEvaluator
+from repro.eval.metrics import Metrics
+from repro.layout.placement import Placement
+from repro.netlist.library import AnalogBlock
+from repro.tech import Technology
+from repro.variation import VariationModel
+from repro.variation.corners import corner
+
+
+class WorstCaseEvaluator:
+    """Max-over-corners wrapper around per-corner evaluators.
+
+    Exposes the same ``cost`` / ``evaluate`` / ``sim_count`` interface the
+    placers consume.  ``sim_count`` sums the member evaluators' counts —
+    every corner's simulation is real work and is counted, exactly as a
+    multi-corner Spectre sweep would be.
+
+    Args:
+        block: circuit block.
+        corner_names: corners to guard (default: typical + both skewed).
+        tech, variation, cost_area_weight: forwarded to every member
+            evaluator.
+    """
+
+    def __init__(
+        self,
+        block: AnalogBlock,
+        corner_names: tuple[str, ...] = ("tt", "fs", "sf"),
+        tech: Technology | None = None,
+        variation: VariationModel | None = None,
+        cost_area_weight: float = 0.05,
+    ):
+        if not corner_names:
+            raise ValueError("need at least one corner")
+        self.block = block
+        self.evaluators = {
+            name: PlacementEvaluator(
+                block, tech=tech, variation=variation,
+                cost_area_weight=cost_area_weight, corner=corner(name),
+            )
+            for name in corner_names
+        }
+
+    @property
+    def sim_count(self) -> int:
+        return sum(ev.sim_count for ev in self.evaluators.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(ev.cache_hits for ev in self.evaluators.values())
+
+    def cost(self, placement: Placement) -> float:
+        """Worst cost over the corner set (lower is better)."""
+        return max(ev.cost(placement) for ev in self.evaluators.values())
+
+    def evaluate(self, placement: Placement) -> dict[str, Metrics]:
+        """Full metrics per corner."""
+        return {
+            name: ev.evaluate(placement)
+            for name, ev in self.evaluators.items()
+        }
+
+    def worst_primary(self, placement: Placement) -> tuple[str, float]:
+        """(corner, value) of the worst headline metric."""
+        per_corner = {
+            name: ev.evaluate(placement).primary_value
+            for name, ev in self.evaluators.items()
+        }
+        worst = max(per_corner, key=per_corner.get)
+        return worst, per_corner[worst]

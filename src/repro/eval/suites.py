@@ -1,0 +1,277 @@
+"""Circuit-specific measurement protocols (the "testbench" layer).
+
+Each suite takes a parasitic-annotated circuit plus variation-resolved
+device deltas and produces the paper's metrics for that circuit class:
+
+* :func:`measure_cm` — static current mismatch of the mirror outputs;
+* :func:`measure_comp` — clamped-latch input-referred offset, regeneration
+  delay, power;
+* :func:`measure_ota` — unity-feedback offset, open-loop AC (gain, GBW,
+  phase margin), power.
+
+All suites also report bounding-box area and estimated wirelength.  The
+protocols mirror standard silicon characterisation practice; deviations
+forced by the simulator substrate are noted inline and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.eval.metrics import Metrics
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Capacitor, Mosfet, Vcvs, VoltageSource
+from repro.netlist.library import AnalogBlock
+from repro.route.estimator import total_wirelength
+from repro.sim.ac import logspace_frequencies, solve_ac
+from repro.sim.dc import DcResult, solve_dc
+from repro.sim.measures import (
+    db,
+    dc_gain,
+    phase_margin,
+    supply_power,
+    unity_gain_frequency,
+)
+from repro.sim.mosfet import device_caps, terminal_currents
+from repro.tech import Technology
+from repro.variation import DeviceDelta
+
+Warm = dict[str, np.ndarray]
+
+
+def resolved_params(tech: Technology, device: Mosfet, deltas: Mapping[str, DeviceDelta]):
+    """Nominal parameters of a device with its variation delta applied."""
+    params = tech.params_for(device.polarity)
+    delta = deltas.get(device.name)
+    if delta is None:
+        return params
+    return params.with_deltas(dvth=delta.dvth, dbeta_rel=delta.dbeta_rel)
+
+
+def _geometry_values(
+    block: AnalogBlock, circuit: Circuit, placement: Placement, tech: Technology
+) -> dict[str, float]:
+    cell_area_um2 = tech.cell_area() * 1e12
+    return {
+        "area_um2": placement.area_cells() * cell_area_um2,
+        "wirelength_um": total_wirelength(block.circuit, placement, tech) * 1e6,
+    }
+
+
+def _node_capacitance(
+    circuit: Circuit, net: str, tech: Technology,
+    deltas: Mapping[str, DeviceDelta],
+) -> float:
+    """Total small-signal capacitance hanging on ``net`` [F]."""
+    total = 0.0
+    for device, port in circuit.net_devices(net):
+        if isinstance(device, Mosfet):
+            caps = device_caps(resolved_params(tech, device, deltas),
+                               device.width, device.length)
+            if port == "d":
+                total += caps.cdb + caps.cgd
+            elif port == "g":
+                total += caps.cgs + caps.cgd
+            elif port == "s":
+                total += caps.csb + caps.cgs
+        elif isinstance(device, Capacitor):
+            total += device.value
+    return total
+
+
+def _device_gm(
+    circuit: Circuit, name: str, op: DcResult, tech: Technology,
+    deltas: Mapping[str, DeviceDelta],
+) -> float:
+    device = circuit.device(name)
+    point = terminal_currents(
+        resolved_params(tech, device, deltas), device.width, device.length,
+        op.voltage(device.net("d")), op.voltage(device.net("g")),
+        op.voltage(device.net("s")), op.voltage(device.net("b")),
+    )
+    return abs(point.gm)
+
+
+# ---------------------------------------------------------------------- CM
+
+def measure_cm(
+    block: AnalogBlock,
+    annotated: Circuit,
+    deltas: Mapping[str, DeviceDelta],
+    tech: Technology,
+    placement: Placement,
+    warm: Warm,
+) -> Metrics:
+    """Static mismatch of the mirror's delivered currents vs the reference.
+
+    Each output is probed by a fixed-voltage source; static mismatch is
+    the worst-case percentage deviation of |I_probe| from I_ref.
+    """
+    iref = block.params["iref"]
+    result = solve_dc(annotated, tech, deltas=deltas, x0=warm.get("cm"))
+    warm["cm"] = result.x
+
+    probes = block.params["probe_sources"]
+    currents = [abs(result.current(p)) for p in probes]
+    mismatch_pct = 100.0 * max(abs(i - iref) for i in currents) / iref
+
+    values = {
+        "mismatch_pct": mismatch_pct,
+        "power_w": supply_power(block.params["vdd"], result.current("vvdd")),
+    }
+    for probe, current in zip(probes, currents):
+        values[f"i_{probe}_ua"] = current * 1e6
+    values.update(_geometry_values(block, annotated, placement, tech))
+    return Metrics(kind="cm", primary="mismatch_pct", values=values)
+
+
+# -------------------------------------------------------------------- COMP
+
+OFFSET_PROBE_V = 1e-3
+
+
+def measure_comp(
+    block: AnalogBlock,
+    annotated: Circuit,
+    deltas: Mapping[str, DeviceDelta],
+    tech: Technology,
+    placement: Placement,
+    warm: Warm,
+) -> Metrics:
+    """Clamped-latch static offset, regeneration delay estimate, power.
+
+    Protocol (the static equivalent of a ramped-input transient bisection,
+    which is what silicon characterisation does):
+
+    1. hold the clock in the evaluation phase and clamp both outputs at
+       ``clamp_v`` — the latch becomes a measurable differential pair;
+    2. the clamp-current imbalance at zero differential input, divided by
+       the measured differential transconductance, is the input-referred
+       offset;
+    3. regeneration delay = (C_out / gm_latch) * ln(swing / seed).
+    """
+    params = block.params
+    vcm = params["vcm"]
+    clamp = [
+        VoltageSource("vclampp", {"p": "outp", "n": "gnd"}, dc=params["clamp_v"]),
+        VoltageSource("vclampn", {"p": "outn", "n": "gnd"}, dc=params["clamp_v"]),
+    ]
+    bench = annotated.copy_with(extra=clamp)
+
+    def imbalance(vdiff: float, key: str) -> float:
+        result = solve_dc(
+            bench, tech, deltas=deltas, x0=warm.get("comp"),
+            source_values={"vvip": vcm + vdiff / 2, "vvin": vcm - vdiff / 2},
+        )
+        warm.setdefault("comp", result.x)
+        if key == "balanced":
+            warm["comp"] = result.x
+            warm["comp_op"] = result  # type: ignore[assignment]
+        return result.current("vclampp") - result.current("vclampn")
+
+    d0 = imbalance(0.0, "balanced")
+    dp = imbalance(+2 * OFFSET_PROBE_V, "plus")
+    dm = imbalance(-2 * OFFSET_PROBE_V, "minus")
+    gm_diff = (dp - dm) / (4 * OFFSET_PROBE_V)
+    if abs(gm_diff) < 1e-12:
+        offset_v = float("inf")
+    else:
+        offset_v = -d0 / gm_diff
+
+    op: DcResult = warm["comp_op"]  # type: ignore[assignment]
+    gm_latch = 0.5 * (
+        _device_gm(bench, "m3", op, tech, deltas)
+        + _device_gm(bench, "m4", op, tech, deltas)
+    ) + 0.5 * (
+        _device_gm(bench, "m5", op, tech, deltas)
+        + _device_gm(bench, "m6", op, tech, deltas)
+    )
+    c_outp = _node_capacitance(bench, "outp", tech, deltas)
+    c_outn = _node_capacitance(bench, "outn", tech, deltas)
+    c_out = 0.5 * (c_outp + c_outn)
+    tau = c_out / max(gm_latch, 1e-9)
+    delay_s = tau * math.log(params["regen_swing"] / params["seed_imbalance"])
+
+    c_internal = (_node_capacitance(bench, "p1", tech, deltas)
+                  + _node_capacitance(bench, "p2", tech, deltas))
+    c_switched = c_outp + c_outn + c_internal
+    vdd = params["vdd"]
+    power_dynamic = params["fclk"] * c_switched * vdd * vdd
+    power_static = supply_power(vdd, op.current("vvdd"))
+
+    values = {
+        "offset_mv": abs(offset_v) * 1e3,
+        "offset_signed_mv": offset_v * 1e3,
+        "delay_s": delay_s,
+        "power_w": power_dynamic + power_static,
+        "gm_latch_s": gm_latch,
+    }
+    values.update(_geometry_values(block, annotated, placement, tech))
+    return Metrics(kind="comp", primary="offset_mv", values=values)
+
+
+# --------------------------------------------------------------------- OTA
+
+AC_FREQS = logspace_frequencies(1e3, 1e10, points_per_decade=8)
+
+
+def measure_ota(
+    block: AnalogBlock,
+    annotated: Circuit,
+    deltas: Mapping[str, DeviceDelta],
+    tech: Technology,
+    placement: Placement,
+    warm: Warm,
+) -> Metrics:
+    """Unity-feedback offset plus open-loop AC at the closed-loop bias.
+
+    DC: the inverting input is driven by a unity-gain VCVS from the output
+    (a behavioural feedback wire), so ``v(outp) - vcm`` *is* the
+    input-referred offset.  AC: the original open-loop netlist is
+    linearized at that operating point and driven differentially.
+    """
+    params = block.params
+    vcm = params["vcm"]
+
+    feedback = Vcvs("vvin", {"p": "vin", "n": "gnd", "cp": "outp", "cn": "gnd"},
+                    gain=1.0)
+    closed = annotated.copy_with(replacements={"vvin": feedback})
+    op = solve_dc(closed, tech, deltas=deltas, x0=warm.get("ota"))
+    warm["ota"] = op.x
+    offset_v = op.voltage("outp") - vcm
+
+    vip = annotated.device("vvip")
+    vin = annotated.device("vvin")
+    import dataclasses
+    ac_bench = annotated.copy_with(replacements={
+        "vvip": dataclasses.replace(vip, ac=+0.5),
+        "vvin": dataclasses.replace(vin, ac=-0.5),
+    })
+    ac = solve_ac(ac_bench, tech, op.voltages, AC_FREQS, deltas=deltas)
+    h = ac.transfer("outp")
+
+    gain = dc_gain(h)
+    gbw = unity_gain_frequency(ac.freqs, h) or 0.0
+    pm = phase_margin(ac.freqs, h)
+
+    values = {
+        "offset_mv": abs(offset_v) * 1e3,
+        "offset_signed_mv": offset_v * 1e3,
+        "gain_db": float(db(gain)) if gain > 0 else 0.0,
+        "gbw_hz": gbw,
+        "pm_deg": pm if pm is not None else 0.0,
+        "power_w": supply_power(params["vdd"], op.current("vvdd")),
+    }
+    values.update(_geometry_values(block, annotated, placement, tech))
+    return Metrics(kind="ota", primary="offset_mv", values=values)
+
+
+SUITES = {
+    "cm": measure_cm,
+    "comp": measure_comp,
+    "ota": measure_ota,
+}

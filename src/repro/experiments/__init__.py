@@ -1,0 +1,54 @@
+"""Experiment harness: one entry point per paper figure + ablations."""
+
+from repro.experiments.ablations import (
+    ConvergenceAblation,
+    DummyAblation,
+    HierarchyAblation,
+    LinearityAblation,
+    run_convergence_ablation,
+    run_dummy_ablation,
+    run_hierarchy_ablation,
+    run_linearity_ablation,
+)
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CM_CONFIG,
+    COMP_CONFIG,
+    OTA_CONFIG,
+    ExperimentConfig,
+)
+from repro.experiments.fig3 import AlgoRow, Fig3Result, best_symmetric, run_fig3
+from repro.experiments.reporting import (
+    format_convergence,
+    format_dummies,
+    format_fig3,
+    format_hierarchy,
+    format_linearity,
+    format_table,
+)
+
+__all__ = [
+    "ALL_CONFIGS",
+    "AlgoRow",
+    "CM_CONFIG",
+    "COMP_CONFIG",
+    "ConvergenceAblation",
+    "DummyAblation",
+    "ExperimentConfig",
+    "Fig3Result",
+    "HierarchyAblation",
+    "LinearityAblation",
+    "OTA_CONFIG",
+    "best_symmetric",
+    "format_convergence",
+    "format_dummies",
+    "format_fig3",
+    "format_hierarchy",
+    "format_linearity",
+    "format_table",
+    "run_convergence_ablation",
+    "run_dummy_ablation",
+    "run_fig3",
+    "run_hierarchy_ablation",
+    "run_linearity_ablation",
+]

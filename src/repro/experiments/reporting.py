@@ -1,0 +1,106 @@
+"""Plain-text table rendering for experiment results.
+
+The paper presents Fig. 3 as a results grid; we render the same rows as
+aligned text tables so benchmark runs print the comparison directly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    ConvergenceAblation,
+    DummyAblation,
+    HierarchyAblation,
+    LinearityAblation,
+)
+from repro.experiments.fig3 import Fig3Result
+
+PRIMARY_LABEL = {
+    "cm": "mismatch [%]",
+    "comp": "offset [mV]",
+    "ota": "offset [mV]",
+}
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Align columns of a small text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def format_fig3(result: Fig3Result) -> str:
+    """Render one circuit's Fig. 3 comparison."""
+    kind = result.reference.kind
+    headers = [
+        "algorithm", PRIMARY_LABEL[kind], "FOM", "#sims to target", "#sims total",
+    ]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.algorithm,
+            f"{row.primary:.4f}",
+            f"{row.fom:.3f}",
+            "-" if row.sims_to_target is None else str(row.sims_to_target),
+            str(row.sims_total),
+        ])
+    claims = result.claims_hold()
+    status = "  ".join(f"{k}={'Y' if v else 'N'}" for k, v in claims.items())
+    return (
+        f"[{result.circuit}] target {PRIMARY_LABEL[kind]} = {result.target:.4f}\n"
+        + format_table(headers, rows)
+        + f"\nclaims: {status}"
+    )
+
+
+def format_hierarchy(ab: HierarchyAblation) -> str:
+    headers = ["variant", "best cost", "Q entries", "states", "#sims to target"]
+    rows = [
+        ["multi-level", f"{ab.multi_best:.4f}", str(ab.multi_table_entries),
+         str(ab.multi_states),
+         "-" if ab.multi_sims_to_target is None else str(ab.multi_sims_to_target)],
+        ["flat", f"{ab.flat_best:.4f}", str(ab.flat_table_entries),
+         str(ab.flat_states),
+         "-" if ab.flat_sims_to_target is None else str(ab.flat_sims_to_target)],
+    ]
+    return f"[{ab.circuit}] hierarchy ablation\n" + format_table(headers, rows)
+
+
+def format_convergence(ab: ConvergenceAblation, checkpoints=(25, 50, 100, 200, 400)) -> str:
+    headers = ["#sims"] + [str(c) for c in checkpoints] + ["final"]
+    rows = [
+        ["QL best"] + [f"{ab.ql_cost_at(c):.4f}" for c in checkpoints]
+        + [f"{ab.ql_best:.4f}"],
+        ["SA best"] + [f"{ab.sa_cost_at(c):.4f}" for c in checkpoints]
+        + [f"{ab.sa_best:.4f}"],
+    ]
+    return f"[{ab.circuit}] convergence traces\n" + format_table(headers, rows)
+
+
+def format_dummies(ab: DummyAblation) -> str:
+    headers = ["recipe", "mismatch/offset", "area [um^2]", "bbox overhead"]
+    rows = []
+    for recipe, vals in ab.rows.items():
+        rows.append([
+            recipe,
+            f"{vals['primary']:.4f}",
+            f"{vals['area_um2']:.0f}",
+            f"{vals['area_overhead'] * 100:.0f}%",
+        ])
+    return f"[{ab.circuit}] dummy ablation\n" + format_table(headers, rows)
+
+
+def format_linearity(ab: LinearityAblation) -> str:
+    headers = ["field", "best symmetric", "optimized", "sym/opt gain"]
+    rows = []
+    for kind, vals in ab.regimes.items():
+        rows.append([
+            kind, f"{vals['symmetric']:.5f}", f"{vals['optimized']:.5f}",
+            f"{vals['gain']:.1f}x",
+        ])
+    return f"[{ab.circuit}] linearity ablation\n" + format_table(headers, rows)

@@ -1,0 +1,85 @@
+"""Scaling study: how the approach behaves as circuits grow.
+
+The paper claims "our multi-level, multi-agent RL approach is scalable".
+This experiment grows the current mirror's unit count and records what
+actually scales: the simulations needed to reach the symmetric-quality
+target, and the Q-table footprint (the quantity the hierarchy was built
+to contain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hierarchy import MultiLevelPlacer
+from repro.core.policy import EpsilonSchedule
+from repro.eval.evaluator import PlacementEvaluator
+from repro.layout.env import PlacementEnv
+from repro.layout.generators import banded_placement
+from repro.netlist.library import current_mirror
+
+
+@dataclass
+class ScalingResult:
+    """Per-size measurements of the scaling sweep.
+
+    Attributes:
+        rows: total unit count → {"sims_to_target", "top_states",
+            "total_entries", "best", "target"}.
+    """
+
+    rows: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def sizes(self) -> list[int]:
+        return sorted(self.rows)
+
+
+def run_scaling(
+    units_per_device: tuple[int, ...] = (2, 4, 6),
+    max_steps: int = 350,
+    seed: int = 1,
+) -> ScalingResult:
+    """Sweep the CM size and optimize each instance with the QL placer."""
+    out = ScalingResult()
+    for upd in units_per_device:
+        block = current_mirror(units_per_device=upd)
+        evaluator = PlacementEvaluator(block)
+        target = min(
+            evaluator.cost(banded_placement(block, style))
+            for style in ("ysym", "common_centroid")
+        )
+        env = PlacementEnv(block, evaluator.cost)
+        epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * max_steps)))
+        placer = MultiLevelPlacer(env, epsilon=epsilon, seed=seed,
+                                  worse_tolerance=0.2,
+                                  sim_counter=lambda: evaluator.sim_count)
+        result = placer.optimize(max_steps=max_steps, target=target)
+        out.rows[block.circuit.total_units()] = {
+            "sims_to_target": (float("inf") if result.sims_to_target is None
+                               else result.sims_to_target),
+            "top_states": result.diagnostics["top_states"],
+            "total_entries": result.diagnostics["total_entries"],
+            "best": result.best_cost,
+            "target": target,
+        }
+    return out
+
+
+def format_scaling(result: ScalingResult) -> str:
+    """Text table of the scaling sweep."""
+    headers = ["#units", "target", "best", "#sims to target", "Q entries", "top states"]
+    rows = []
+    for size in result.sizes:
+        vals = result.rows[size]
+        tt = vals["sims_to_target"]
+        rows.append([
+            str(size),
+            f"{vals['target']:.3f}",
+            f"{vals['best']:.3f}",
+            "-" if tt == float("inf") else str(int(tt)),
+            str(int(vals["total_entries"])),
+            str(int(vals["top_states"])),
+        ])
+    from repro.experiments.reporting import format_table
+    return "[CM] scaling sweep\n" + format_table(headers, rows)

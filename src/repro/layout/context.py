@@ -1,0 +1,66 @@
+"""Derive variation-model unit contexts from a placement.
+
+This is the bridge between geometry and physics: for every placed unit we
+compute its physical position, its contiguous-diffusion runs (any occupied
+neighbour extends the diffusion — the standard abutted-row abstraction),
+and its distance to the canvas edge (the well-boundary proxy the WPE model
+uses).
+"""
+
+from __future__ import annotations
+
+from repro.layout.placement import Placement, UnitId
+from repro.tech import Technology
+from repro.variation import UnitContext
+
+
+def _run_length(placement: Placement, col: int, row: int, step: int) -> int:
+    """Contiguous occupied cells starting one step away in ±col direction."""
+    count = 0
+    c = col + step
+    while placement.canvas.in_bounds((c, row)) and placement.unit_at((c, row)) is not None:
+        count += 1
+        c += step
+    return count
+
+
+def unit_context(
+    placement: Placement, unit: UnitId, tech: Technology
+) -> UnitContext:
+    """Context of a single unit (position, diffusion runs, edge distance)."""
+    col, row = placement.cell_of(unit)
+    pitch = tech.grid_pitch
+    x = (col + 0.5) * pitch
+    y = (row + 0.5) * pitch
+    dist_to_edge = pitch * min(
+        col + 0.5,
+        placement.canvas.cols - col - 0.5,
+        row + 0.5,
+        placement.canvas.rows - row - 0.5,
+    )
+    return UnitContext(
+        x=x,
+        y=y,
+        run_left=_run_length(placement, col, row, -1),
+        run_right=_run_length(placement, col, row, +1),
+        dist_to_edge=dist_to_edge,
+    )
+
+
+def unit_contexts(
+    placement: Placement, tech: Technology
+) -> dict[UnitId, UnitContext]:
+    """Contexts for every placed unit."""
+    return {unit: unit_context(placement, unit, tech) for unit in placement.units}
+
+
+def device_contexts(
+    placement: Placement, device_name: str, tech: Technology
+) -> list[UnitContext]:
+    """Contexts of one device's units, in unit order."""
+    units = sorted(
+        (u for u in placement.units if u[0] == device_name), key=lambda u: u[1]
+    )
+    if not units:
+        raise KeyError(f"device {device_name!r} has no placed units")
+    return [unit_context(placement, u, tech) for u in units]

@@ -1,0 +1,165 @@
+"""The placement environment the RL agents interact with (paper Fig. 2).
+
+:class:`PlacementEnv` owns the placement, knows the group structure, and
+exposes exactly what the two agent levels need:
+
+* legal **unit actions** per group (bottom level) and legal **group
+  actions** (top level), both over the eight king-move directions;
+* hashable **state encodings**: per-group states are translation-invariant
+  (unit offsets from the group's bounding-box corner, tagged by device
+  index) so bottom-level learning transfers when the group is moved; the
+  top-level state is the tuple of quantized group centroids;
+* the **objective hook**: a callable ``placement -> cost`` (lower is
+  better), typically :meth:`repro.eval.PlacementEvaluator.cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.layout.generators import banded_placement
+from repro.layout.moves import (
+    DIRECTIONS,
+    apply_group_move,
+    apply_unit_move,
+    group_move_is_legal,
+    legal_group_moves,
+    legal_unit_moves,
+    unit_move_is_legal,
+)
+from repro.layout.placement import Placement, UnitId
+from repro.netlist.library import AnalogBlock
+
+Objective = Callable[[Placement], float]
+
+
+class PlacementEnv:
+    """Layout environment for one analog block.
+
+    Args:
+        block: the circuit block being placed.
+        objective: placement cost function (lower is better).
+        adjacency: group-connectivity rule, 4 or 8 (paper-style king
+            moves with loose clusters default to 8).
+    """
+
+    def __init__(self, block: AnalogBlock, objective: Objective, adjacency: int = 8):
+        if adjacency not in (4, 8):
+            raise ValueError(f"adjacency must be 4 or 8, got {adjacency}")
+        self.block = block
+        self.objective = objective
+        self.adjacency = adjacency
+        self.group_names = [g.name for g in block.groups]
+        self._group_units: dict[str, list[UnitId]] = {}
+        for group in block.groups:
+            units: list[UnitId] = []
+            for name in group.devices:
+                device = block.circuit.device(name)
+                units.extend((name, k) for k in range(device.n_units))
+            self._group_units[group.name] = units
+        self._device_index = {
+            name: i
+            for group in block.groups
+            for i, name in enumerate(group.devices)
+        }
+        self.placement = banded_placement(block, style="sequential")
+
+    # -------------------------------------------------------------- basics
+
+    def reset(self, style: str = "sequential") -> Placement:
+        """Re-seed the placement (returns the live object)."""
+        self.placement = banded_placement(self.block, style=style)
+        return self.placement
+
+    def group_units(self, group_name: str) -> list[UnitId]:
+        if group_name not in self._group_units:
+            raise KeyError(f"no group named {group_name!r}")
+        return list(self._group_units[group_name])
+
+    def cost(self) -> float:
+        """Objective value of the current placement."""
+        return self.objective(self.placement)
+
+    # -------------------------------------------------------------- states
+
+    def group_state(self, group_name: str) -> tuple:
+        """Translation-invariant state of one group's internal arrangement.
+
+        Sorted tuple of ``(device_index_within_group, dcol, drow)`` with
+        offsets measured from the group's bounding-box corner.
+        """
+        units = self._group_units[group_name]
+        cells = [self.placement.cell_of(u) for u in units]
+        c0 = min(c for c, __ in cells)
+        r0 = min(r for __, r in cells)
+        entries = [
+            (self._device_index[unit[0]], cell[0] - c0, cell[1] - r0)
+            for unit, cell in zip(units, cells)
+        ]
+        return tuple(sorted(entries))
+
+    def global_state(self) -> tuple:
+        """Top-level state: quantized centroid of every group, in order."""
+        out = []
+        for name in self.group_names:
+            units = self._group_units[name]
+            cells = [self.placement.cell_of(u) for u in units]
+            n = len(cells)
+            out.append((
+                round(sum(c for c, __ in cells) / n),
+                round(sum(r for __, r in cells) / n),
+            ))
+        return tuple(out)
+
+    # -------------------------------------------------------------- actions
+
+    def legal_unit_actions(self, group_name: str) -> list[tuple[int, int]]:
+        """Legal (unit_local_index, direction_index) pairs for a group."""
+        units = self._group_units[group_name]
+        actions = []
+        for local, unit in enumerate(units):
+            for k in legal_unit_moves(self.placement, unit, units, self.adjacency):
+                actions.append((local, k))
+        return actions
+
+    def legal_group_actions(self, group_name: str) -> list[int]:
+        """Legal direction indices for rigidly moving a whole group."""
+        return legal_group_moves(self.placement, self._group_units[group_name])
+
+    def step_unit(self, group_name: str, unit_local: int, direction_index: int) -> bool:
+        """Apply a unit move if legal; returns whether it was applied."""
+        units = self._group_units[group_name]
+        if not 0 <= unit_local < len(units):
+            raise IndexError(f"unit index {unit_local} out of range for {group_name}")
+        direction = DIRECTIONS[direction_index]
+        unit = units[unit_local]
+        if not unit_move_is_legal(self.placement, unit, direction, units, self.adjacency):
+            return False
+        apply_unit_move(self.placement, unit, direction)
+        return True
+
+    def step_group(self, group_name: str, direction_index: int) -> bool:
+        """Apply a rigid group translation if legal."""
+        units = self._group_units[group_name]
+        direction = DIRECTIONS[direction_index]
+        if not group_move_is_legal(self.placement, units, direction):
+            return False
+        apply_group_move(self.placement, units, direction)
+        return True
+
+    def undo_unit(self, group_name: str, unit_local: int, direction_index: int) -> None:
+        """Undo a unit move by applying the opposite direction."""
+        dc, dr = DIRECTIONS[direction_index]
+        unit = self._group_units[group_name][unit_local]
+        c, r = self.placement.cell_of(unit)
+        self.placement.move(unit, (c - dc, r - dr))
+
+    def undo_group(self, group_name: str, direction_index: int) -> None:
+        """Undo a rigid group translation."""
+        dc, dr = DIRECTIONS[direction_index]
+        units = self._group_units[group_name]
+        moves = {}
+        for unit in units:
+            c, r = self.placement.cell_of(unit)
+            moves[unit] = (c - dc, r - dr)
+        self.placement.move_many(moves)

@@ -1,0 +1,129 @@
+"""The action space: unit moves, group moves, and their legality.
+
+This is the paper's Fig. 2(b): each unit has eight candidate moves (the
+king-move neighbourhood); a move is *legal* when the target cell is in
+bounds and free and the unit's group stays connected afterwards ("during
+optimization, all units within a group remain connected").
+
+Group-level actions translate a whole group rigidly by one of the same
+eight directions; they are legal when every target cell is free (or being
+vacated by the group itself).
+"""
+
+from __future__ import annotations
+
+from repro.layout.placement import Cell, Placement, UnitId
+
+# The eight king moves, ordered E, NE, N, NW, W, SW, S, SE.
+DIRECTIONS: tuple[Cell, ...] = (
+    (1, 0), (1, -1), (0, -1), (-1, -1),
+    (-1, 0), (-1, 1), (0, 1), (1, 1),
+)
+
+
+def neighbours(cell: Cell, adjacency: int = 8) -> list[Cell]:
+    """Adjacent cells under 4- or 8-connectivity."""
+    if adjacency == 8:
+        dirs = DIRECTIONS
+    elif adjacency == 4:
+        dirs = ((1, 0), (0, -1), (-1, 0), (0, 1))
+    else:
+        raise ValueError(f"adjacency must be 4 or 8, got {adjacency}")
+    c, r = cell
+    return [(c + dc, r + dr) for dc, dr in dirs]
+
+
+def is_connected(cells: list[Cell], adjacency: int = 8) -> bool:
+    """True if the cells form one connected component."""
+    if not cells:
+        return True
+    cell_set = set(cells)
+    if len(cell_set) != len(cells):
+        raise ValueError("duplicate cells in connectivity check")
+    stack = [cells[0]]
+    seen = {cells[0]}
+    while stack:
+        current = stack.pop()
+        for nb in neighbours(current, adjacency):
+            if nb in cell_set and nb not in seen:
+                seen.add(nb)
+                stack.append(nb)
+    return len(seen) == len(cell_set)
+
+
+def unit_move_is_legal(
+    placement: Placement,
+    unit: UnitId,
+    direction: Cell,
+    group_units: list[UnitId],
+    adjacency: int = 8,
+) -> bool:
+    """Would moving ``unit`` one step in ``direction`` be legal?
+
+    Legal = target in bounds, target free, and the unit's group remains a
+    single connected cluster after the move.
+    """
+    c, r = placement.cell_of(unit)
+    target = (c + direction[0], r + direction[1])
+    if not placement.is_free(target):
+        return False
+    cells_after = [
+        target if u == unit else placement.cell_of(u) for u in group_units
+    ]
+    return is_connected(cells_after, adjacency)
+
+
+def legal_unit_moves(
+    placement: Placement,
+    unit: UnitId,
+    group_units: list[UnitId],
+    adjacency: int = 8,
+) -> list[int]:
+    """Indices into :data:`DIRECTIONS` that are legal for ``unit``."""
+    return [
+        k for k, direction in enumerate(DIRECTIONS)
+        if unit_move_is_legal(placement, unit, direction, group_units, adjacency)
+    ]
+
+
+def apply_unit_move(placement: Placement, unit: UnitId, direction: Cell) -> None:
+    """Apply a unit move (caller must have checked legality)."""
+    c, r = placement.cell_of(unit)
+    placement.move(unit, (c + direction[0], r + direction[1]))
+
+
+def group_move_is_legal(
+    placement: Placement, group_units: list[UnitId], direction: Cell
+) -> bool:
+    """Would rigidly translating the whole group be legal?"""
+    moved = set(group_units)
+    for unit in group_units:
+        c, r = placement.cell_of(unit)
+        target = (c + direction[0], r + direction[1])
+        if not placement.canvas.in_bounds(target):
+            return False
+        holder = placement.unit_at(target)
+        if holder is not None and holder not in moved:
+            return False
+    return True
+
+
+def legal_group_moves(
+    placement: Placement, group_units: list[UnitId]
+) -> list[int]:
+    """Indices into :data:`DIRECTIONS` legal as rigid group translations."""
+    return [
+        k for k, direction in enumerate(DIRECTIONS)
+        if group_move_is_legal(placement, group_units, direction)
+    ]
+
+
+def apply_group_move(
+    placement: Placement, group_units: list[UnitId], direction: Cell
+) -> None:
+    """Rigidly translate a group (caller must have checked legality)."""
+    moves = {}
+    for unit in group_units:
+        c, r = placement.cell_of(unit)
+        moves[unit] = (c + direction[0], r + direction[1])
+    placement.move_many(moves)

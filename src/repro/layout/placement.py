@@ -1,0 +1,177 @@
+"""The placement data structure: unit devices on an occupancy grid.
+
+A placement assigns every *unit* (one finger of one MOSFET) to a grid cell
+on a fixed canvas.  It is the single mutable object in the optimization
+loop, so it is deliberately small and fast: two dictionaries kept in sync,
+with O(1) move/occupancy queries.
+
+Unit identifiers are ``(device_name, unit_index)`` tuples throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+UnitId = tuple[str, int]
+Cell = tuple[int, int]  # (col, row)
+
+
+@dataclass(frozen=True)
+class CanvasSpec:
+    """Placement canvas dimensions in grid cells."""
+
+    cols: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError(f"canvas must be at least 1x1, got {self.cols}x{self.rows}")
+
+    def in_bounds(self, cell: Cell) -> bool:
+        c, r = cell
+        return 0 <= c < self.cols and 0 <= r < self.rows
+
+    @property
+    def n_cells(self) -> int:
+        return self.cols * self.rows
+
+
+class Placement:
+    """Mutable unit → cell assignment on a canvas.
+
+    Invariants (enforced on every mutation):
+
+    * every unit sits on a distinct in-bounds cell;
+    * ``cells`` and ``occupancy`` are exact inverses.
+    """
+
+    def __init__(self, canvas: CanvasSpec):
+        self.canvas = canvas
+        self._cells: dict[UnitId, Cell] = {}
+        self._occupancy: dict[Cell, UnitId] = {}
+
+    # ------------------------------------------------------------- mutation
+
+    def place(self, unit: UnitId, cell: Cell) -> None:
+        """Put a new unit on an empty cell."""
+        if unit in self._cells:
+            raise ValueError(f"unit {unit} already placed; use move()")
+        self._check_free(cell)
+        self._cells[unit] = cell
+        self._occupancy[cell] = unit
+
+    def move(self, unit: UnitId, cell: Cell) -> None:
+        """Move an existing unit to an empty cell."""
+        if unit not in self._cells:
+            raise KeyError(f"unit {unit} is not placed")
+        if cell == self._cells[unit]:
+            return
+        self._check_free(cell)
+        del self._occupancy[self._cells[unit]]
+        self._cells[unit] = cell
+        self._occupancy[cell] = unit
+
+    def move_many(self, moves: dict[UnitId, Cell]) -> None:
+        """Move several units atomically (e.g. a rigid group translation).
+
+        All-or-nothing: if any target is out of bounds or would collide
+        with a unit outside the moved set, nothing changes.
+        """
+        for unit in moves:
+            if unit not in self._cells:
+                raise KeyError(f"unit {unit} is not placed")
+        targets = list(moves.values())
+        if len(set(targets)) != len(targets):
+            raise ValueError("two units moved onto the same cell")
+        moved = set(moves)
+        for cell in targets:
+            if not self.canvas.in_bounds(cell):
+                raise ValueError(f"cell {cell} out of bounds")
+            holder = self._occupancy.get(cell)
+            if holder is not None and holder not in moved:
+                raise ValueError(f"cell {cell} occupied by {holder}")
+        for unit in moves:
+            del self._occupancy[self._cells[unit]]
+        for unit, cell in moves.items():
+            self._cells[unit] = cell
+            self._occupancy[cell] = unit
+
+    def _check_free(self, cell: Cell) -> None:
+        if not self.canvas.in_bounds(cell):
+            raise ValueError(f"cell {cell} out of bounds for {self.canvas}")
+        if cell in self._occupancy:
+            raise ValueError(f"cell {cell} occupied by {self._occupancy[cell]}")
+
+    # -------------------------------------------------------------- queries
+
+    def cell_of(self, unit: UnitId) -> Cell:
+        if unit not in self._cells:
+            raise KeyError(f"unit {unit} is not placed")
+        return self._cells[unit]
+
+    def unit_at(self, cell: Cell) -> UnitId | None:
+        return self._occupancy.get(cell)
+
+    def is_free(self, cell: Cell) -> bool:
+        return self.canvas.in_bounds(cell) and cell not in self._occupancy
+
+    @property
+    def units(self) -> tuple[UnitId, ...]:
+        return tuple(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, unit: UnitId) -> bool:
+        return unit in self._cells
+
+    def device_cells(self, device_name: str) -> list[Cell]:
+        """Cells of all units of one device, in unit order."""
+        out = [
+            (unit, cell) for unit, cell in self._cells.items()
+            if unit[0] == device_name
+        ]
+        out.sort(key=lambda uc: uc[0][1])
+        return [cell for __, cell in out]
+
+    def device_centroid(self, device_name: str) -> tuple[float, float]:
+        """Mean cell position of a device's units (in cell coordinates)."""
+        cells = self.device_cells(device_name)
+        if not cells:
+            raise KeyError(f"device {device_name!r} has no placed units")
+        n = float(len(cells))
+        return (sum(c for c, __ in cells) / n, sum(r for __, r in cells) / n)
+
+    def bounding_box(self, units: list[UnitId] | None = None) -> tuple[int, int, int, int]:
+        """(col_min, row_min, col_max, row_max) of the chosen units (or all)."""
+        chosen = units if units is not None else list(self._cells)
+        if not chosen:
+            raise ValueError("bounding box of an empty placement")
+        cells = [self.cell_of(u) for u in chosen]
+        cs = [c for c, __ in cells]
+        rs = [r for __, r in cells]
+        return (min(cs), min(rs), max(cs), max(rs))
+
+    def area_cells(self) -> int:
+        """Bounding-box area of the whole placement, in cells."""
+        c0, r0, c1, r1 = self.bounding_box()
+        return (c1 - c0 + 1) * (r1 - r0 + 1)
+
+    # ----------------------------------------------------------------- misc
+
+    def copy(self) -> "Placement":
+        out = Placement(self.canvas)
+        out._cells = dict(self._cells)
+        out._occupancy = dict(self._occupancy)
+        return out
+
+    def as_dict(self) -> dict[UnitId, Cell]:
+        """Snapshot of the assignment (for hashing / serialization)."""
+        return dict(self._cells)
+
+    def signature(self) -> tuple:
+        """Hashable canonical form (sorted by unit id)."""
+        return tuple(sorted(self._cells.items()))
+
+    def __repr__(self) -> str:
+        return f"Placement({self.canvas.cols}x{self.canvas.rows}, units={len(self)})"

@@ -1,0 +1,42 @@
+"""ASCII rendering of placements — the library's Fig. 3 stand-in.
+
+The paper's Fig. 3 shows colored placement maps; in a terminal we print a
+letter grid instead, one letter per device (assigned in circuit order),
+``.`` for empty cells.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+
+_LABELS = string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def device_labels(circuit: Circuit) -> dict[str, str]:
+    """Stable one-character label per placeable device."""
+    labels = {}
+    for k, device in enumerate(circuit.placeable()):
+        labels[device.name] = _LABELS[k % len(_LABELS)]
+    return labels
+
+
+def render_placement(
+    placement: Placement, circuit: Circuit, legend: bool = True
+) -> str:
+    """Multi-line ASCII picture of the placement (row 0 on top)."""
+    labels = device_labels(circuit)
+    lines = []
+    for row in range(placement.canvas.rows):
+        cells = []
+        for col in range(placement.canvas.cols):
+            unit = placement.unit_at((col, row))
+            cells.append(labels.get(unit[0], "?") if unit else ".")
+        lines.append(" ".join(cells))
+    if legend:
+        lines.append("")
+        legend_items = [f"{lab}={name}" for name, lab in labels.items()]
+        lines.append("legend: " + "  ".join(legend_items))
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""SVG export of placements — publication-style layout pictures.
+
+Self-contained string generation (no drawing library): one rectangle per
+unit, one colour per device, dummies in grey, plus a legend column.  The
+output renders in any browser and embeds cleanly in notebooks and docs.
+"""
+
+from __future__ import annotations
+
+from repro.layout.dummies import DUMMY_DEVICE, is_dummy
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+
+# A colour-blind-friendly cycling palette (Okabe-Ito plus extras).
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9",
+    "#D55E00", "#F0E442", "#999933", "#882255", "#44AA99",
+    "#332288", "#AA4499",
+)
+DUMMY_FILL = "#cccccc"
+
+
+def device_colors(circuit: Circuit) -> dict[str, str]:
+    """Stable device → colour assignment in circuit order."""
+    return {
+        device.name: PALETTE[k % len(PALETTE)]
+        for k, device in enumerate(circuit.placeable())
+    }
+
+
+def placement_to_svg(
+    placement: Placement,
+    circuit: Circuit,
+    cell_px: int = 28,
+    legend: bool = True,
+) -> str:
+    """Render a placement as an SVG document string."""
+    if cell_px < 4:
+        raise ValueError(f"cell_px too small to render: {cell_px}")
+    colors = device_colors(circuit)
+    cols, rows = placement.canvas.cols, placement.canvas.rows
+    legend_width = 150 if legend else 0
+    width = cols * cell_px + legend_width + 20
+    height = max(rows * cell_px, 18 * (len(colors) + 1)) + 20
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    # Grid background.
+    for r in range(rows):
+        for c in range(cols):
+            parts.append(
+                f'<rect x="{10 + c * cell_px}" y="{10 + r * cell_px}" '
+                f'width="{cell_px}" height="{cell_px}" fill="none" '
+                f'stroke="#e0e0e0" stroke-width="1"/>'
+            )
+    # Units.
+    for unit in placement.units:
+        c, r = placement.cell_of(unit)
+        fill = DUMMY_FILL if is_dummy(unit) else colors.get(unit[0], "#000000")
+        title = DUMMY_DEVICE if is_dummy(unit) else f"{unit[0]}[{unit[1]}]"
+        parts.append(
+            f'<rect x="{10 + c * cell_px + 1}" y="{10 + r * cell_px + 1}" '
+            f'width="{cell_px - 2}" height="{cell_px - 2}" fill="{fill}" '
+            f'stroke="#333333" stroke-width="1"><title>{title}</title></rect>'
+        )
+    # Legend.
+    if legend:
+        x0 = cols * cell_px + 24
+        y = 20
+        for name, fill in colors.items():
+            parts.append(
+                f'<rect x="{x0}" y="{y - 10}" width="12" height="12" fill="{fill}"/>'
+            )
+            parts.append(
+                f'<text x="{x0 + 18}" y="{y}" font-family="monospace" '
+                f'font-size="12">{name}</text>'
+            )
+            y += 18
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_placement_svg(
+    placement: Placement, circuit: Circuit, path: str, **kwargs
+) -> None:
+    """Write :func:`placement_to_svg` output to a file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(placement_to_svg(placement, circuit, **kwargs))

@@ -1,0 +1,64 @@
+"""Analog netlist substrate.
+
+Circuits are flat netlists of devices connected by named nets.  MOSFETs are
+the placeable devices; each is split into *units* (fingers) that the placer
+positions individually — the paper's environment moves unit devices, with
+all units of a group staying connected.
+
+The package also provides the *grouping* layer the paper's hierarchy needs
+(primitives such as differential pairs and current mirrors become placement
+groups / RL agents) and a library of the three evaluation circuits plus
+extras.
+"""
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import (
+    Capacitor,
+    CurrentSource,
+    Device,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+    Vcvs,
+)
+from repro.netlist.library import (
+    AnalogBlock,
+    comparator,
+    current_mirror,
+    five_transistor_ota,
+    folded_cascode_ota,
+    two_stage_ota,
+)
+from repro.netlist.spice import SpiceFormatError, from_spice, to_spice
+from repro.netlist.nets import GROUND_NETS, is_ground, is_supply
+from repro.netlist.primitives import Group, GroupKind, MatchedPair, detect_groups
+from repro.netlist.sfg import signal_flow_levels, signal_flow_order
+
+__all__ = [
+    "AnalogBlock",
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "Device",
+    "GROUND_NETS",
+    "Group",
+    "GroupKind",
+    "MatchedPair",
+    "Mosfet",
+    "Resistor",
+    "SpiceFormatError",
+    "Vcvs",
+    "VoltageSource",
+    "comparator",
+    "current_mirror",
+    "detect_groups",
+    "five_transistor_ota",
+    "folded_cascode_ota",
+    "from_spice",
+    "is_ground",
+    "is_supply",
+    "signal_flow_levels",
+    "signal_flow_order",
+    "to_spice",
+    "two_stage_ota",
+]

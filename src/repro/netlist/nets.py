@@ -1,0 +1,30 @@
+"""Net naming conventions and small net predicates.
+
+Nets are plain strings in this library — a deliberate choice: every netlist
+format the analog world uses (SPICE, Spectre, CDL) treats nets as names, and
+keeping them as strings makes circuits trivially serialisable and hashable.
+The conventions here are the only place net-name semantics live.
+"""
+
+from __future__ import annotations
+
+# Names accepted as the global ground node (SPICE's node 0 plus the usual aliases).
+GROUND_NETS = frozenset({"0", "gnd", "vss", "gnd!", "vss!"})
+
+# Names treated as positive supply rails.
+SUPPLY_NETS = frozenset({"vdd", "vdd!", "vcc", "avdd"})
+
+
+def is_ground(net: str) -> bool:
+    """True if ``net`` names the global ground node."""
+    return net.lower() in GROUND_NETS
+
+
+def is_supply(net: str) -> bool:
+    """True if ``net`` names a positive supply rail."""
+    return net.lower() in SUPPLY_NETS
+
+
+def is_rail(net: str) -> bool:
+    """True for any supply/ground rail — nets routing estimation may skip."""
+    return is_ground(net) or is_supply(net)

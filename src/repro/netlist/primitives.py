@@ -1,0 +1,192 @@
+"""Analog primitives: grouping and matched pairs.
+
+The paper's hierarchy is built on the standard analog grouping strategy:
+sensitive transistors are grouped according to primitives — input pair,
+load pair, current mirror, etc. (its references [6][9]).  A
+:class:`Group` becomes one bottom-level RL agent; the set of groups is what
+the top-level agent moves.
+
+:func:`detect_groups` recovers primitive structure from a bare netlist for
+circuits built outside the library; the library circuits also ship explicit
+groups so experiments never depend on heuristics.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Mosfet
+from repro.netlist.nets import is_ground, is_rail, is_supply
+
+
+class GroupKind(enum.Enum):
+    """The primitive kinds the grouping layer distinguishes."""
+
+    DIFF_PAIR = "diff_pair"
+    CURRENT_MIRROR = "current_mirror"
+    LOAD_PAIR = "load_pair"
+    CASCODE_PAIR = "cascode_pair"
+    CROSS_COUPLED = "cross_coupled"
+    SINGLE = "single"
+
+
+@dataclass(frozen=True)
+class Group:
+    """A placement group: devices that move together under one agent.
+
+    Attributes:
+        name: unique group name.
+        kind: primitive kind (affects nothing algorithmic — metadata that
+            the reports and the symmetric generators use).
+        devices: member device names, in a stable order.
+    """
+
+    name: str
+    kind: GroupKind
+    devices: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("group name cannot be empty")
+        object.__setattr__(self, "devices", tuple(self.devices))
+        if not self.devices:
+            raise ValueError(f"group {self.name!r} has no devices")
+        if len(set(self.devices)) != len(self.devices):
+            raise ValueError(f"group {self.name!r} lists a device twice")
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """Two devices whose parameter difference degrades performance.
+
+    Attributes:
+        a: first device name.
+        b: second device name.
+        weight: relative importance in aggregate mismatch summaries.
+    """
+
+    a: str
+    b: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"a matched pair needs two distinct devices, got {self.a}")
+        if self.weight <= 0:
+            raise ValueError(f"pair weight must be positive, got {self.weight}")
+
+    def names(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+
+def _same_size(a: Mosfet, b: Mosfet) -> bool:
+    return (
+        a.polarity == b.polarity
+        and abs(a.width - b.width) < 1e-12
+        and abs(a.length - b.length) < 1e-12
+    )
+
+
+def _is_diode_connected(m: Mosfet) -> bool:
+    return m.net("d") == m.net("g")
+
+
+def detect_groups(circuit: Circuit) -> tuple[list[Group], list[MatchedPair]]:
+    """Heuristic primitive detection over a bare netlist.
+
+    Recognised primitives, in priority order (each device joins one group):
+
+    1. **cross-coupled pair** — gate of A is drain of B and vice versa;
+    2. **differential pair** — same size, shared non-rail source, distinct
+       gates and drains;
+    3. **current mirror** — shared gate and shared rail source, containing
+       a diode-connected reference;
+    4. **load pair** — same size, shared gate and shared source, no diode
+       device (gate driven elsewhere);
+    5. **single** — everything left, one group per device.
+
+    Returns:
+        ``(groups, matched_pairs)``; pairs are generated for every matched
+        combination inside each multi-device group.
+    """
+    mosfets = list(circuit.mosfets())
+    claimed: set[str] = set()
+    groups: list[Group] = []
+    pairs: list[MatchedPair] = []
+
+    def claim(names: list[str], kind: GroupKind, tag: str) -> None:
+        groups.append(Group(name=f"{tag}{len(groups)}", kind=kind, devices=tuple(names)))
+        claimed.update(names)
+
+    # 1. cross-coupled pairs
+    for a, b in itertools.combinations(mosfets, 2):
+        if a.name in claimed or b.name in claimed:
+            continue
+        if not _same_size(a, b):
+            continue
+        if a.net("g") == b.net("d") and b.net("g") == a.net("d") and a.net("g") != b.net("g"):
+            claim([a.name, b.name], GroupKind.CROSS_COUPLED, "xc")
+            pairs.append(MatchedPair(a.name, b.name))
+
+    # 2. differential pairs
+    for a, b in itertools.combinations(mosfets, 2):
+        if a.name in claimed or b.name in claimed:
+            continue
+        if not _same_size(a, b):
+            continue
+        shared_source = a.net("s") == b.net("s") and not is_rail(a.net("s"))
+        if shared_source and a.net("g") != b.net("g") and a.net("d") != b.net("d"):
+            claim([a.name, b.name], GroupKind.DIFF_PAIR, "dp")
+            pairs.append(MatchedPair(a.name, b.name, weight=2.0))
+
+    # 3. current mirrors (shared gate, shared rail source, diode present)
+    by_gate_source: dict[tuple[str, str, int], list[Mosfet]] = {}
+    for m in mosfets:
+        if m.name in claimed:
+            continue
+        source = m.net("s")
+        if not (is_ground(source) or is_supply(source)):
+            continue
+        by_gate_source.setdefault((m.net("g"), source, m.polarity), []).append(m)
+    for members in by_gate_source.values():
+        if len(members) < 2:
+            continue
+        if not any(_is_diode_connected(m) for m in members):
+            # Shared gate/source but externally biased: a load pair/bank.
+            if all(_same_size(members[0], m) for m in members[1:]):
+                claim([m.name for m in members], GroupKind.LOAD_PAIR, "lp")
+                for a, b in itertools.combinations(members, 2):
+                    pairs.append(MatchedPair(a.name, b.name))
+            continue
+        claim([m.name for m in members], GroupKind.CURRENT_MIRROR, "cm")
+        for a, b in itertools.combinations(members, 2):
+            pairs.append(MatchedPair(a.name, b.name))
+
+    # 4. leftovers
+    for m in mosfets:
+        if m.name not in claimed:
+            claim([m.name], GroupKind.SINGLE, "sg")
+
+    return groups, pairs
+
+
+def validate_groups(circuit: Circuit, groups: list[Group]) -> None:
+    """Raise unless ``groups`` exactly partition the placeable devices."""
+    placeable = {d.name for d in circuit.placeable()}
+    seen: set[str] = set()
+    for group in groups:
+        for name in group.devices:
+            if name not in placeable:
+                raise ValueError(
+                    f"group {group.name!r} references non-placeable or unknown "
+                    f"device {name!r}"
+                )
+            if name in seen:
+                raise ValueError(f"device {name!r} appears in two groups")
+            seen.add(name)
+    missing = placeable - seen
+    if missing:
+        raise ValueError(f"devices not covered by any group: {sorted(missing)}")

@@ -1,0 +1,212 @@
+"""SPICE-format netlist export and import.
+
+The simulator's device model *is* the SPICE level-1 square law, so
+circuits translate losslessly into decks other tools can read, and simple
+level-1 decks translate back.  Conventions:
+
+* element names are prefixed with their SPICE type letter on export
+  (``Mosfet("mref")`` → ``mmref``) and the prefix is stripped on import,
+  making the round trip exact even for devices whose names start with the
+  "wrong" letter (e.g. the comparator's ``p1pre`` PMOS);
+* MOSFETs are written finger-style: ``w=<unit width> l=<length>
+  m=<n_units>``;
+* models ``nmos40`` / ``pmos40`` are emitted from a
+  :class:`~repro.tech.Technology` when one is supplied.
+
+Supported elements: M (4-terminal MOSFET), R, C, V, I, E (VCVS).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import (
+    Capacitor,
+    CurrentSource,
+    Device,
+    Mosfet,
+    Resistor,
+    Vcvs,
+    VoltageSource,
+)
+from repro.tech import Technology
+
+NMOS_MODEL = "nmos40"
+PMOS_MODEL = "pmos40"
+
+
+class SpiceFormatError(ValueError):
+    """A deck line could not be parsed."""
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _model_card(name: str, flavour: str, params) -> str:
+    return (
+        f".model {name} {flavour} (level=1 vto={_fmt(params.vth0)} "
+        f"kp={_fmt(params.kp)} lambda={_fmt(params.lam)} "
+        f"gamma={_fmt(params.gamma)} phi={_fmt(params.phi)})"
+    )
+
+
+def to_spice(circuit: Circuit, tech: Technology | None = None) -> str:
+    """Render a circuit as a SPICE deck (one element per line)."""
+    lines = [f"* {circuit.name}"]
+    if tech is not None:
+        lines.append(_model_card(NMOS_MODEL, "nmos", tech.nmos))
+        lines.append(_model_card(PMOS_MODEL, "pmos", tech.pmos))
+    for device in circuit:
+        lines.append(_element_line(device))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _element_line(device: Device) -> str:
+    if isinstance(device, Mosfet):
+        model = NMOS_MODEL if device.is_nmos else PMOS_MODEL
+        return (
+            f"m{device.name} {device.net('d')} {device.net('g')} "
+            f"{device.net('s')} {device.net('b')} {model} "
+            f"w={_fmt(device.unit_width)} l={_fmt(device.length)} "
+            f"m={device.n_units}"
+        )
+    if isinstance(device, Resistor):
+        return f"r{device.name} {device.net('a')} {device.net('b')} {_fmt(device.value)}"
+    if isinstance(device, Capacitor):
+        return f"c{device.name} {device.net('a')} {device.net('b')} {_fmt(device.value)}"
+    if isinstance(device, VoltageSource):
+        return (
+            f"v{device.name} {device.net('p')} {device.net('n')} "
+            f"dc {_fmt(device.dc)} ac {_fmt(device.ac)}"
+        )
+    if isinstance(device, CurrentSource):
+        return (
+            f"i{device.name} {device.net('p')} {device.net('n')} "
+            f"dc {_fmt(device.dc)} ac {_fmt(device.ac)}"
+        )
+    if isinstance(device, Vcvs):
+        return (
+            f"e{device.name} {device.net('p')} {device.net('n')} "
+            f"{device.net('cp')} {device.net('cn')} {_fmt(device.gain)}"
+        )
+    raise SpiceFormatError(f"no SPICE card for device type {type(device).__name__}")
+
+
+def _logical_lines(text: str):
+    """Yield comment-stripped lines with ``+`` continuations joined."""
+    pending: str | None = None
+    for raw in text.splitlines():
+        line = raw.split(";")[0].rstrip()
+        if not line or line.lstrip().startswith("*"):
+            continue
+        if line.startswith("+"):
+            if pending is None:
+                raise SpiceFormatError(f"continuation with no previous line: {raw!r}")
+            pending += " " + line[1:].strip()
+            continue
+        if pending is not None:
+            yield pending
+        pending = line.strip()
+    if pending is not None:
+        yield pending
+
+
+def _parse_kv(tokens: list[str]) -> dict[str, float]:
+    out = {}
+    for token in tokens:
+        if "=" not in token:
+            raise SpiceFormatError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        out[key.lower()] = float(value)
+    return out
+
+
+def _parse_source_values(tokens: list[str]) -> tuple[float, float]:
+    """Parse ``[dc <v>] [ac <v>]`` or a bare dc value."""
+    dc, ac = 0.0, 0.0
+    k = 0
+    if len(tokens) == 1 and tokens[0].lower() not in ("dc", "ac"):
+        return float(tokens[0]), 0.0
+    while k < len(tokens):
+        kind = tokens[k].lower()
+        if kind not in ("dc", "ac") or k + 1 >= len(tokens):
+            raise SpiceFormatError(f"bad source spec: {' '.join(tokens)}")
+        value = float(tokens[k + 1])
+        if kind == "dc":
+            dc = value
+        else:
+            ac = value
+        k += 2
+    return dc, ac
+
+
+def from_spice(text: str, name: str = "imported") -> Circuit:
+    """Parse a (level-1 subset) SPICE deck back into a :class:`Circuit`.
+
+    ``.model`` cards are read only for MOSFET polarity; analysis cards and
+    ``.end`` are ignored.
+
+    Raises:
+        SpiceFormatError: on malformed or unsupported element lines.
+    """
+    circuit = Circuit(name)
+    model_polarity: dict[str, int] = {}
+    element_lines: list[str] = []
+
+    for line in _logical_lines(text):
+        lowered = line.lower()
+        if lowered.startswith(".model"):
+            tokens = lowered.split()
+            if len(tokens) < 3:
+                raise SpiceFormatError(f"bad .model card: {line!r}")
+            model_polarity[tokens[1]] = -1 if tokens[2].startswith("pmos") else +1
+            continue
+        if lowered.startswith("."):
+            continue  # .end / analysis cards
+        element_lines.append(line)
+
+    for line in element_lines:
+        tokens = line.split()
+        head = tokens[0].lower()
+        kind, dev_name = head[0], head[1:]
+        if not dev_name:
+            raise SpiceFormatError(f"element with empty name: {line!r}")
+        if kind == "m":
+            if len(tokens) < 6:
+                raise SpiceFormatError(f"bad mosfet card: {line!r}")
+            d, g, s, b, model = tokens[1:6]
+            params = _parse_kv(tokens[6:])
+            polarity = model_polarity.get(model.lower())
+            if polarity is None:
+                polarity = -1 if "pmos" in model.lower() else +1
+            n_units = int(params.get("m", 1))
+            unit_w = params.get("w", 1e-6)
+            circuit.add(Mosfet(
+                dev_name, {"d": d, "g": g, "s": s, "b": b},
+                polarity=polarity, width=unit_w * n_units,
+                length=params.get("l", 0.15e-6), n_units=n_units,
+            ))
+        elif kind == "r":
+            circuit.add(Resistor(dev_name, {"a": tokens[1], "b": tokens[2]},
+                                 value=float(tokens[3])))
+        elif kind == "c":
+            circuit.add(Capacitor(dev_name, {"a": tokens[1], "b": tokens[2]},
+                                  value=float(tokens[3])))
+        elif kind == "v":
+            dc, ac = _parse_source_values(tokens[3:])
+            circuit.add(VoltageSource(dev_name, {"p": tokens[1], "n": tokens[2]},
+                                      dc=dc, ac=ac))
+        elif kind == "i":
+            dc, ac = _parse_source_values(tokens[3:])
+            circuit.add(CurrentSource(dev_name, {"p": tokens[1], "n": tokens[2]},
+                                      dc=dc, ac=ac))
+        elif kind == "e":
+            if len(tokens) != 6:
+                raise SpiceFormatError(f"bad vcvs card: {line!r}")
+            circuit.add(Vcvs(dev_name, {"p": tokens[1], "n": tokens[2],
+                                        "cp": tokens[3], "cn": tokens[4]},
+                             gain=float(tokens[5])))
+        else:
+            raise SpiceFormatError(f"unsupported element type {kind!r}: {line!r}")
+    return circuit

@@ -1,0 +1,67 @@
+"""Wirelength estimation from placement geometry.
+
+Net pins are taken at the centroids of the placeable devices attached to
+the net (each MOSFET's units are already strapped together, so the
+centroid is the natural pin abstraction).  Supply/ground rails are skipped
+— they are distributed grids in a real layout, not routed point-to-point —
+and nets touching fewer than two placeable devices contribute nothing.
+"""
+
+from __future__ import annotations
+
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import is_rail
+from repro.tech import Technology
+
+
+def signal_nets(circuit: Circuit) -> list[str]:
+    """Nets that the router would actually route between placeable devices."""
+    out = []
+    for net in circuit.nets():
+        if is_rail(net):
+            continue
+        placeable_pins = sum(
+            1 for device, __ in circuit.net_devices(net) if device.is_placeable
+        )
+        if placeable_pins >= 2:
+            out.append(net)
+    return out
+
+
+def net_pin_positions(
+    circuit: Circuit, placement: Placement, net: str, tech: Technology
+) -> list[tuple[float, float]]:
+    """Physical pin positions [m] of a net's placeable-device pins.
+
+    One pin per (device, port) attachment, at the device's unit centroid.
+    """
+    positions = []
+    pitch = tech.grid_pitch
+    for device, __ in circuit.net_devices(net):
+        if not device.is_placeable:
+            continue
+        cc, cr = placement.device_centroid(device.name)
+        positions.append(((cc + 0.5) * pitch, (cr + 0.5) * pitch))
+    return positions
+
+
+def net_hpwl(
+    circuit: Circuit, placement: Placement, net: str, tech: Technology
+) -> float:
+    """Half-perimeter wirelength of one net [m] (0 for degenerate nets)."""
+    pins = net_pin_positions(circuit, placement, net, tech)
+    if len(pins) < 2:
+        return 0.0
+    xs = [x for x, __ in pins]
+    ys = [y for __, y in pins]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_wirelength(
+    circuit: Circuit, placement: Placement, tech: Technology
+) -> float:
+    """Sum of HPWL over all signal nets [m]."""
+    return sum(
+        net_hpwl(circuit, placement, net, tech) for net in signal_nets(circuit)
+    )

@@ -1,0 +1,52 @@
+"""Parasitic annotation: wirelength → lumped R/C in the simulated netlist.
+
+Each signal net receives a lumped capacitance to ground proportional to
+its estimated wirelength (plus a floor for via/contact landing pads).
+This reproduces the paper's protocol — routing effects are *included* in
+every simulation but not *optimized* — and gives the FOM metrics
+(bandwidth, delay, power) their placement dependence beyond pure LDEs.
+
+Series resistance is deliberately left out of the lumped model: inserting
+it would split nets and change the netlist topology between placements,
+breaking warm starts.  The shape-level effect of resistive routing on the
+paper's metrics is second-order next to the capacitive loading.
+"""
+
+from __future__ import annotations
+
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Capacitor
+from repro.route.estimator import net_hpwl, signal_nets
+from repro.tech import Technology
+
+# Fixed per-net floor: contacts and landing pads exist even for abutted
+# connections.
+C_FLOOR = 0.05e-15
+
+
+def parasitic_caps(
+    circuit: Circuit, placement: Placement, tech: Technology
+) -> dict[str, float]:
+    """Estimated parasitic capacitance per signal net [F]."""
+    out = {}
+    for net in signal_nets(circuit):
+        length = net_hpwl(circuit, placement, net, tech)
+        out[net] = C_FLOOR + tech.wire_cap_per_m * length
+    return out
+
+
+def annotate_parasitics(
+    circuit: Circuit, placement: Placement, tech: Technology
+) -> Circuit:
+    """A new circuit with parasitic capacitors appended.
+
+    Added capacitors are named ``cpar_<net>`` so they never collide with
+    designer-named elements (device names are lowercase alnum only and the
+    library reserves no ``cpar_`` prefix).
+    """
+    extra = [
+        Capacitor(f"cpar_{net}", {"a": net, "b": "gnd"}, value=cap)
+        for net, cap in parasitic_caps(circuit, placement, tech).items()
+    ]
+    return circuit.copy_with(extra=extra)

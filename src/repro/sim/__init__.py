@@ -1,0 +1,57 @@
+"""SPICE-class circuit simulation substrate.
+
+A compact but real analog simulator: modified nodal analysis with a
+smoothed square-law MOSFET model, damped-Newton DC with gmin/source
+stepping, small-signal AC, and backward-Euler transient.  It stands in for
+the Spectre/Calibre flow the paper used — the metrics the placement loop
+optimizes (offset, mismatch, gain, bandwidth, phase margin, delay, power)
+are all first-order functions of device parameter deltas and parasitics,
+which this engine models faithfully.
+"""
+
+from repro.sim.ac import AcResult, logspace_frequencies, solve_ac
+from repro.sim.dc import ConvergenceError, DcResult, dc_sweep, solve_dc
+from repro.sim.measures import (
+    bandwidth_3db,
+    db,
+    dc_gain,
+    gain_margin_db,
+    phase_margin,
+    supply_power,
+    unity_gain_frequency,
+)
+from repro.sim.mna import MnaSystem
+from repro.sim.mosfet import MosfetCaps, OpPoint, device_caps, terminal_currents
+from repro.sim.noise import NoiseResult, solve_noise
+from repro.sim.transient import (
+    TransientResult,
+    solve_transient,
+    step_waveform,
+)
+
+__all__ = [
+    "AcResult",
+    "ConvergenceError",
+    "DcResult",
+    "MnaSystem",
+    "MosfetCaps",
+    "NoiseResult",
+    "OpPoint",
+    "TransientResult",
+    "bandwidth_3db",
+    "db",
+    "dc_gain",
+    "dc_sweep",
+    "device_caps",
+    "gain_margin_db",
+    "logspace_frequencies",
+    "phase_margin",
+    "solve_ac",
+    "solve_dc",
+    "solve_noise",
+    "solve_transient",
+    "step_waveform",
+    "supply_power",
+    "terminal_currents",
+    "unity_gain_frequency",
+]

@@ -1,0 +1,88 @@
+"""Small-signal AC analysis.
+
+Linearizes every MOSFET at a supplied DC operating point and solves the
+complex MNA system over a frequency grid.  The operating point is passed
+as a plain net-name → voltage mapping, so it may come from a *different
+circuit variant* than the one being AC-analysed — the standard trick for
+open-loop AC at a closed-loop bias point (see
+:mod:`repro.eval.measure_ota`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import is_ground
+from repro.sim.mna import MnaSystem
+from repro.tech import Technology
+from repro.variation import DeviceDelta
+
+
+@dataclass
+class AcResult:
+    """Frequency response of every node.
+
+    Attributes:
+        freqs: analysis frequencies [Hz].
+        node_voltages: complex response by net name, arrays aligned with
+            ``freqs``.
+    """
+
+    freqs: np.ndarray
+    node_voltages: dict[str, np.ndarray]
+
+    def transfer(self, net: str) -> np.ndarray:
+        """Complex response of one net (the AC drive has unit magnitude)."""
+        if net not in self.node_voltages:
+            raise KeyError(f"no net named {net!r} in AC result")
+        return self.node_voltages[net]
+
+    def differential(self, net_p: str, net_n: str) -> np.ndarray:
+        """Complex differential response ``v(net_p) - v(net_n)``."""
+        return self.transfer(net_p) - self.transfer(net_n)
+
+
+def logspace_frequencies(f_start: float, f_stop: float, points_per_decade: int = 10) -> np.ndarray:
+    """Logarithmic frequency grid, SPICE ``dec`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    decades = math.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(math.log10(f_start), math.log10(f_stop), n)
+
+
+def solve_ac(
+    circuit: Circuit,
+    tech: Technology,
+    op_voltages: Mapping[str, float],
+    freqs: np.ndarray,
+    deltas: Mapping[str, DeviceDelta] | None = None,
+) -> AcResult:
+    """Solve the linearized system at each frequency.
+
+    Args:
+        circuit: the AC testbench netlist (AC magnitudes set on sources).
+        tech: technology for device models.
+        op_voltages: DC bias voltages by net name; must cover every net a
+            MOSFET terminal touches.
+        freqs: frequency grid [Hz].
+        deltas: variation-resolved device parameter shifts (must match the
+            ones used for the operating point).
+    """
+    system = MnaSystem(circuit, tech, deltas)
+    nets = [n for n in circuit.nets() if not is_ground(n)]
+    out = {net: np.zeros(len(freqs), dtype=complex) for net in nets}
+    for k, f in enumerate(np.asarray(freqs, dtype=float)):
+        A, b = system.assemble_ac(op_voltages, omega=2.0 * math.pi * f)
+        x = np.linalg.solve(A, b)
+        for net in nets:
+            out[net][k] = x[system.node_index[net]]
+    for g in circuit.nets():
+        if is_ground(g):
+            out[g] = np.zeros(len(freqs), dtype=complex)
+    return AcResult(freqs=np.asarray(freqs, dtype=float), node_voltages=out)

@@ -1,0 +1,207 @@
+"""Newton–Raphson DC operating-point and DC-sweep analyses.
+
+Solution strategy, in escalation order:
+
+1. damped Newton from the supplied (or zero) initial guess;
+2. **gmin stepping** — solve with a large gmin, then relax it decade by
+   decade, warm-starting each stage;
+3. **source stepping** — ramp all independent sources from 0 to 100 %.
+
+Each stage is standard SPICE practice; together they converge every
+circuit in the library including the clamped comparator latch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.sim.mna import MnaSystem
+from repro.tech import Technology
+from repro.variation import DeviceDelta
+
+
+class ConvergenceError(RuntimeError):
+    """DC analysis failed to converge after all homotopy fallbacks."""
+
+
+@dataclass
+class DcResult:
+    """Converged DC solution.
+
+    Attributes:
+        voltages: node voltage by net name (ground nets at 0.0).
+        branch_currents: current through each voltage-defined element
+            (positive = flowing p → n through the element).
+        iterations: total Newton iterations spent (all stages).
+        x: raw solution vector (for warm starts).
+    """
+
+    voltages: dict[str, float]
+    branch_currents: dict[str, float]
+    iterations: int
+    x: np.ndarray
+
+    def voltage(self, net: str) -> float:
+        if net not in self.voltages:
+            raise KeyError(f"no net named {net!r} in DC result")
+        return self.voltages[net]
+
+    def current(self, source_name: str) -> float:
+        if source_name not in self.branch_currents:
+            raise KeyError(f"no voltage-defined element named {source_name!r}")
+        return self.branch_currents[source_name]
+
+
+MAX_STEP_V = 0.5
+ABSTOL_V = 1e-9
+ABSTOL_I = 1e-12
+
+
+def _newton(
+    system: MnaSystem,
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    source_values: Mapping[str, float] | None,
+    max_iter: int,
+) -> tuple[np.ndarray, int, bool]:
+    """One damped-Newton run; returns (x, iterations, converged)."""
+    x = x0.copy()
+    for it in range(1, max_iter + 1):
+        J, F = system.assemble_dc(
+            x, gmin=gmin, source_scale=source_scale, source_values=source_values
+        )
+        try:
+            dx = np.linalg.solve(J, -F)
+        except np.linalg.LinAlgError:
+            return x, it, False
+        if not np.all(np.isfinite(dx)):
+            return x, it, False
+        # Damp: cap the largest node-voltage move per iteration.
+        v_step = np.max(np.abs(dx[: system.n_nodes])) if system.n_nodes else 0.0
+        if v_step > MAX_STEP_V:
+            dx *= MAX_STEP_V / v_step
+        x += dx
+        if system.n_nodes:
+            dv = float(np.max(np.abs(dx[: system.n_nodes])))
+            vmax = float(np.max(np.abs(x[: system.n_nodes])))
+            residual = float(np.max(np.abs(F[: system.n_nodes])))
+        else:
+            dv = vmax = residual = 0.0
+        if dv < ABSTOL_V * (1.0 + vmax) and residual < 1e-9:
+            return x, it, True
+    return x, max_iter, False
+
+
+def solve_dc(
+    circuit: Circuit,
+    tech: Technology,
+    deltas: Mapping[str, DeviceDelta] | None = None,
+    x0: np.ndarray | None = None,
+    source_values: Mapping[str, float] | None = None,
+    gmin: float = 1e-12,
+    max_iter: int = 150,
+) -> DcResult:
+    """Find the DC operating point of ``circuit``.
+
+    Args:
+        circuit: netlist including its sources.
+        tech: technology for device models.
+        deltas: variation-resolved per-device parameter shifts.
+        x0: warm-start vector from a previous solve of the *same* system
+            layout (same circuit shape); dramatically speeds up sweeps.
+        source_values: per-source dc overrides (name → value).
+        gmin: final stabilising conductance.
+        max_iter: Newton budget per homotopy stage.
+
+    Raises:
+        ConvergenceError: if no strategy converges.
+    """
+    system = MnaSystem(circuit, tech, deltas)
+    guess = x0.copy() if x0 is not None else np.zeros(system.size)
+    total_iters = 0
+
+    # Stage 1: plain damped Newton.
+    x, iters, ok = _newton(system, guess, gmin, 1.0, source_values, max_iter)
+    total_iters += iters
+    if ok:
+        return _package(system, x, total_iters)
+
+    # Stage 2: gmin stepping.
+    x = guess.copy()
+    converged_chain = True
+    for exp in range(3, 13):
+        stage_gmin = 10.0 ** (-exp)
+        if stage_gmin < gmin:
+            stage_gmin = gmin
+        x, iters, ok = _newton(system, x, stage_gmin, 1.0, source_values, max_iter)
+        total_iters += iters
+        if not ok:
+            converged_chain = False
+            break
+        if stage_gmin <= gmin:
+            break
+    if converged_chain:
+        x, iters, ok = _newton(system, x, gmin, 1.0, source_values, max_iter)
+        total_iters += iters
+        if ok:
+            return _package(system, x, total_iters)
+
+    # Stage 3: source stepping.
+    x = np.zeros(system.size)
+    ok = True
+    for scale in np.linspace(0.1, 1.0, 10):
+        x, iters, ok = _newton(system, x, gmin, float(scale), source_values, max_iter)
+        total_iters += iters
+        if not ok:
+            break
+    if ok:
+        return _package(system, x, total_iters)
+
+    raise ConvergenceError(
+        f"DC analysis of {circuit.name!r} failed after {total_iters} iterations"
+    )
+
+
+def _package(system: MnaSystem, x: np.ndarray, iterations: int) -> DcResult:
+    voltages = {net: system.voltage(x, net) for net in system.circuit.nets()}
+    branch_currents = {
+        name: float(x[row]) for name, row in system.branch_index.items()
+    }
+    return DcResult(
+        voltages=voltages,
+        branch_currents=branch_currents,
+        iterations=iterations,
+        x=x,
+    )
+
+
+def dc_sweep(
+    circuit: Circuit,
+    tech: Technology,
+    source_name: str,
+    values: np.ndarray,
+    deltas: Mapping[str, DeviceDelta] | None = None,
+) -> list[DcResult]:
+    """Sweep one source's DC value, warm-starting each point.
+
+    Args:
+        source_name: a voltage or current source in the circuit.
+        values: sequence of source values to visit, in order.
+    """
+    if source_name not in circuit:
+        raise KeyError(f"no source named {source_name!r}")
+    results: list[DcResult] = []
+    x0: np.ndarray | None = None
+    for value in values:
+        result = solve_dc(
+            circuit, tech, deltas=deltas, x0=x0,
+            source_values={source_name: float(value)},
+        )
+        results.append(result)
+        x0 = result.x
+    return results

@@ -1,0 +1,20 @@
+"""Synthetic process technology substrate.
+
+The paper's experiments use TSMC 40 nm, which is proprietary.  This package
+provides a synthetic 40 nm-class technology (:func:`generic_tech_40`) with
+the pieces the rest of the library needs: placement-grid geometry, nominal
+MOSFET model parameters, and wiring parasitic coefficients.  The placement
+algorithms themselves are technology-agnostic (paper, Section IV); only the
+relative magnitudes matter for reproducing the paper's comparisons.
+"""
+
+from repro.tech.mosfet_params import MosfetParams, nominal_nmos_40, nominal_pmos_40
+from repro.tech.technology import Technology, generic_tech_40
+
+__all__ = [
+    "MosfetParams",
+    "Technology",
+    "generic_tech_40",
+    "nominal_nmos_40",
+    "nominal_pmos_40",
+]

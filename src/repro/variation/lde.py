@@ -1,0 +1,122 @@
+"""Neighbourhood-dependent layout effects: STI/LOD stress and WPE.
+
+These are the effects that make analog placement *non-separable*: a unit's
+parameters depend not only on where it sits but on what sits next to it.
+They are the reason "put dummies around everything" is a common (area-
+doubling) mitigation, and they are inherently non-linear in position — a
+symmetric placement does not cancel them.
+
+The models are deliberately first-order versions of the published forms:
+
+* **LOD / STI stress** — shallow-trench-isolation compresses the channel
+  from each diffusion edge; the stress felt falls off with the length of
+  contiguous diffusion (abutted neighbours) on each side.  Compressive
+  stress degrades NMOS mobility and improves PMOS mobility.
+* **WPE (well proximity effect)** — ions scattering off the well-edge
+  photoresist raise the doping near the well boundary, shifting V_th up
+  for devices close to the edge, decaying roughly exponentially.
+
+A :class:`UnitContext` captures exactly the neighbourhood facts these
+models need; the layout package produces contexts from a placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UnitContext:
+    """The placement-derived facts one unit exposes to variation models.
+
+    Attributes:
+        x: unit-centre x position [m].
+        y: unit-centre y position [m].
+        run_left: contiguous occupied cells immediately left of the unit
+            (its shared-diffusion run); 0 means STI directly abuts.
+        run_right: contiguous occupied cells immediately to the right.
+        dist_to_edge: distance to the nearest canvas/well boundary [m].
+    """
+
+    x: float
+    y: float
+    run_left: int = 0
+    run_right: int = 0
+    dist_to_edge: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.run_left < 0 or self.run_right < 0:
+            raise ValueError("diffusion runs cannot be negative")
+        if self.dist_to_edge < 0:
+            raise ValueError("dist_to_edge cannot be negative")
+
+
+@dataclass(frozen=True)
+class LodStressModel:
+    """First-order LOD/STI stress model.
+
+    The relative mobility (beta) shift of a unit is::
+
+        dbeta_rel = -polarity_sign * k_stress * (f(run_left) + f(run_right)) / 2
+        f(run)    = 1 / (1 + run)
+
+    so a unit with STI hard against both diffusion edges (run 0 both sides)
+    feels the full stress, while one in the middle of a long abutted row
+    feels almost none.  ``polarity_sign`` is +1 for NMOS (compressive
+    stress hurts) and -1 for PMOS (it helps), matching silicon behaviour.
+
+    Attributes:
+        k_beta: full-stress relative beta shift magnitude (e.g. 0.02 = 2 %).
+        k_vth: full-stress threshold shift magnitude [V] (same spatial form;
+            stress also moves V_th, typically a few mV).
+    """
+
+    k_beta: float = 0.02
+    k_vth: float = 0.002
+
+    def _stress(self, ctx: UnitContext) -> float:
+        left = 1.0 / (1.0 + ctx.run_left)
+        right = 1.0 / (1.0 + ctx.run_right)
+        return 0.5 * (left + right)
+
+    def dbeta_rel(self, ctx: UnitContext, polarity: int) -> float:
+        """Relative beta shift for a unit of the given polarity."""
+        if polarity not in (+1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {polarity}")
+        return -float(polarity) * self.k_beta * self._stress(ctx)
+
+    def dvth(self, ctx: UnitContext, polarity: int) -> float:
+        """Threshold shift [V] for a unit of the given polarity."""
+        if polarity not in (+1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {polarity}")
+        return self.k_vth * self._stress(ctx)
+
+
+@dataclass(frozen=True)
+class WellProximityModel:
+    """Exponential-decay well proximity effect.
+
+    ``dvth = k_vth * exp(-dist_to_edge / decay_length)``
+
+    The canvas boundary stands in for the well edge: the placement region
+    for each circuit is its own well island in this substrate, so distance
+    to the region edge is exactly distance to the well edge.
+
+    Attributes:
+        k_vth: threshold shift at the well edge [V].
+        decay_length: 1/e decay distance [m].
+    """
+
+    k_vth: float = 0.004
+    decay_length: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.decay_length <= 0:
+            raise ValueError("decay_length must be positive")
+
+    def dvth(self, ctx: UnitContext) -> float:
+        """Threshold shift [V] for a unit at ``ctx``'s edge distance."""
+        if math.isinf(ctx.dist_to_edge):
+            return 0.0
+        return self.k_vth * math.exp(-ctx.dist_to_edge / self.decay_length)

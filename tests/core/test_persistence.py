@@ -1,0 +1,84 @@
+"""Tests for Q-table save/load round trips."""
+
+import pytest
+
+from repro.core import MultiLevelPlacer, QTable
+from repro.core.persistence import (
+    load_placer_tables,
+    qtable_from_dict,
+    qtable_to_dict,
+    save_placer_tables,
+)
+from repro.layout import PlacementEnv
+from repro.netlist import current_mirror, five_transistor_ota
+
+
+def area_objective(placement):
+    return float(placement.area_cells())
+
+
+class TestQTableRoundTrip:
+    def test_empty_table(self):
+        table = QTable()
+        assert qtable_from_dict(qtable_to_dict(table)).n_entries == 0
+
+    def test_tuple_states_and_actions(self):
+        table = QTable()
+        table.set(((0, 1, 2), (1, 0, 0)), (3, 7), 1.5)
+        table.set("string_state", ("unit", 2, 4), -0.25)
+        restored = qtable_from_dict(qtable_to_dict(table))
+        assert restored.get(((0, 1, 2), (1, 0, 0)), (3, 7)) == 1.5
+        assert restored.get("string_state", ("unit", 2, 4)) == -0.25
+        assert restored.n_entries == table.n_entries
+
+    def test_nested_structures(self):
+        table = QTable()
+        state = (("a", 0, 1), ("b", 2, 3), ("c", 4, 5))
+        table.set(state, (0, 0), 0.125)
+        restored = qtable_from_dict(qtable_to_dict(table))
+        assert restored.state_value(state) == 0.125
+
+
+class TestPlacerRoundTrip:
+    def test_save_load_preserves_learning(self, tmp_path):
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=1)
+        placer.optimize(max_steps=60)
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)
+
+        env2 = PlacementEnv(five_transistor_ota(), area_objective)
+        fresh = MultiLevelPlacer(env2, seed=1)
+        load_placer_tables(fresh, path)
+
+        assert (fresh.top_agent.table.n_entries
+                == placer.top_agent.table.n_entries)
+        for name, agent in placer.bottom_agents.items():
+            twin = fresh.bottom_agents[name]
+            assert twin.table.n_entries == agent.table.n_entries
+            assert twin.steps == agent.steps
+
+    def test_resumed_placer_still_optimizes(self, tmp_path):
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=1)
+        placer.optimize(max_steps=40)
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)
+
+        env2 = PlacementEnv(five_transistor_ota(), area_objective)
+        resumed = MultiLevelPlacer(env2, seed=2)
+        load_placer_tables(resumed, path)
+        result = resumed.optimize(max_steps=40)
+        assert result.best_cost <= result.initial_cost
+
+    def test_group_mismatch_rejected(self, tmp_path):
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=1)
+        placer.optimize(max_steps=20)
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)
+
+        other_env = PlacementEnv(current_mirror(), area_objective)
+        other = MultiLevelPlacer(other_env, seed=1)
+        with pytest.raises(ValueError, match="groups"):
+            load_placer_tables(other, path)

@@ -1,0 +1,66 @@
+"""Tests for epsilon scheduling and action selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import EpsilonSchedule, epsilon_greedy
+
+
+class TestEpsilonSchedule:
+    def test_starts_at_start(self):
+        sched = EpsilonSchedule(start=0.9, end=0.1, decay_steps=100)
+        assert sched.value(0) == pytest.approx(0.9)
+
+    def test_ends_at_end(self):
+        sched = EpsilonSchedule(start=0.9, end=0.1, decay_steps=100)
+        assert sched.value(100) == pytest.approx(0.1)
+        assert sched.value(10_000) == pytest.approx(0.1)
+
+    def test_monotone_decay(self):
+        sched = EpsilonSchedule(start=0.9, end=0.1, decay_steps=50)
+        values = [sched.value(k) for k in range(60)]
+        assert all(values[i + 1] <= values[i] for i in range(len(values) - 1))
+
+    def test_midpoint(self):
+        sched = EpsilonSchedule(start=1.0, end=0.0, decay_steps=10)
+        assert sched.value(5) == pytest.approx(0.5)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="end"):
+            EpsilonSchedule(start=0.1, end=0.9)
+        with pytest.raises(ValueError, match="decay_steps"):
+            EpsilonSchedule(decay_steps=0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            EpsilonSchedule().value(-1)
+
+
+class TestEpsilonGreedy:
+    def test_no_actions_rejected(self):
+        with pytest.raises(ValueError, match="legal actions"):
+            epsilon_greedy({}, [], 0.5, np.random.default_rng(0))
+
+    def test_greedy_picks_best(self):
+        rng = np.random.default_rng(0)
+        q = {"a": 1.0, "b": 5.0, "c": -2.0}
+        for __ in range(20):
+            assert epsilon_greedy(q, ["a", "b", "c"], 0.0, rng) == "b"
+
+    def test_unknown_actions_default_zero(self):
+        rng = np.random.default_rng(0)
+        q = {"a": -1.0}
+        # "b" is unseen (0.0) and beats a's -1.
+        for __ in range(20):
+            assert epsilon_greedy(q, ["a", "b"], 0.0, rng) == "b"
+
+    def test_full_exploration_uniform(self):
+        rng = np.random.default_rng(0)
+        q = {"a": 100.0}
+        picks = [epsilon_greedy(q, ["a", "b"], 1.0, rng) for __ in range(400)]
+        assert 100 < picks.count("b") < 300
+
+    def test_ties_broken_randomly(self):
+        rng = np.random.default_rng(0)
+        picks = {epsilon_greedy({}, ["a", "b", "c"], 0.0, rng) for __ in range(100)}
+        assert picks == {"a", "b", "c"}

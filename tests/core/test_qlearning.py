@@ -1,0 +1,89 @@
+"""Tests for the Q-table and the Bellman update against hand calculations."""
+
+import numpy as np
+import pytest
+
+from repro.core import EpsilonSchedule, QAgent, QTable
+
+
+class TestQTable:
+    def test_default_zero(self):
+        table = QTable()
+        assert table.get("s", "a") == 0.0
+        assert table.state_value("s") == 0.0
+
+    def test_set_get(self):
+        table = QTable()
+        table.set("s", "a", 2.5)
+        assert table.get("s", "a") == 2.5
+
+    def test_state_value_is_max(self):
+        table = QTable()
+        table.set("s", "a", 1.0)
+        table.set("s", "b", 3.0)
+        table.set("s", "c", -2.0)
+        assert table.state_value("s") == 3.0
+
+    def test_sizes(self):
+        table = QTable()
+        table.set("s1", "a", 1.0)
+        table.set("s1", "b", 1.0)
+        table.set("s2", "a", 1.0)
+        assert table.n_states == 2
+        assert table.n_entries == 3
+
+
+class TestBellmanUpdate:
+    def test_hand_computed_update(self):
+        # Q <- (1-a) Q + a [r + g V(s')], paper Eq. (1).
+        agent = QAgent(alpha=0.5, gamma=0.9, rng=np.random.default_rng(0))
+        agent.table.set("s1", "x", 2.0)
+        agent.table.set("s2", "y", 4.0)  # V(s2) = 4
+        new = agent.learn("s1", "x", reward=1.0, next_state="s2")
+        expected = 0.5 * 2.0 + 0.5 * (1.0 + 0.9 * 4.0)
+        assert new == pytest.approx(expected)
+        assert agent.table.get("s1", "x") == pytest.approx(expected)
+
+    def test_unseen_next_state_bootstraps_zero(self):
+        agent = QAgent(alpha=1.0, gamma=0.9)
+        new = agent.learn("s", "a", reward=2.0, next_state="never_seen")
+        assert new == pytest.approx(2.0)
+
+    def test_repeated_updates_converge_to_fixed_point(self):
+        # Constant reward r, self-loop: Q* = r / (1 - gamma).
+        agent = QAgent(alpha=0.5, gamma=0.5)
+        for __ in range(200):
+            agent.learn("s", "a", reward=1.0, next_state="s")
+        assert agent.table.get("s", "a") == pytest.approx(2.0, rel=1e-6)
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            QAgent(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            QAgent(alpha=1.5)
+        with pytest.raises(ValueError, match="gamma"):
+            QAgent(gamma=1.0)
+
+
+class TestSelection:
+    def test_select_advances_own_counter(self):
+        agent = QAgent(epsilon=EpsilonSchedule(1.0, 0.0, 10))
+        for __ in range(5):
+            agent.select("s", ["a"])
+        assert agent.steps == 5
+
+    def test_global_step_overrides_schedule_position(self):
+        agent = QAgent(epsilon=EpsilonSchedule(1.0, 0.0, 10),
+                       rng=np.random.default_rng(1))
+        agent.table.set("s", "best", 10.0)
+        # At global step >= 10 epsilon is 0: always greedy.
+        picks = {agent.select("s", ["best", "other"], step=10) for __ in range(50)}
+        assert picks == {"best"}
+
+    def test_deterministic_given_seed(self):
+        a = QAgent(rng=np.random.default_rng(42))
+        b = QAgent(rng=np.random.default_rng(42))
+        actions = ["x", "y", "z"]
+        seq_a = [a.select("s", actions) for __ in range(20)]
+        seq_b = [b.select("s", actions) for __ in range(20)]
+        assert seq_a == seq_b

@@ -1,0 +1,66 @@
+"""Failure injection: the evaluator and placers survive non-convergence."""
+
+import pytest
+
+from repro.core import MultiLevelPlacer
+from repro.eval import FAILURE_PRIMARY, PlacementEvaluator
+from repro.eval.suites import SUITES
+from repro.layout import PlacementEnv, banded_placement
+from repro.netlist import current_mirror
+from repro.sim.dc import ConvergenceError
+
+
+@pytest.fixture
+def failing_evaluator(monkeypatch):
+    """An evaluator whose first suite call blows up, then recovers."""
+    block = current_mirror()
+    evaluator = PlacementEvaluator(block)
+    real_suite = SUITES["cm"]
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ConvergenceError("injected failure")
+        return real_suite(*args, **kwargs)
+
+    monkeypatch.setattr(evaluator, "_suite", flaky)
+    return evaluator
+
+
+class TestFailureHandling:
+    def test_failure_returns_penalty_metrics(self, failing_evaluator):
+        placement = banded_placement(failing_evaluator.block, "ysym")
+        metrics = failing_evaluator.evaluate(placement)
+        assert metrics.primary_value == FAILURE_PRIMARY
+        assert metrics["sim_failed"] == 1.0
+        assert failing_evaluator.sim_failures == 1
+
+    def test_failure_counts_a_simulation(self, failing_evaluator):
+        placement = banded_placement(failing_evaluator.block, "ysym")
+        failing_evaluator.evaluate(placement)
+        assert failing_evaluator.sim_count == 1
+
+    def test_failure_is_cached(self, failing_evaluator):
+        placement = banded_placement(failing_evaluator.block, "ysym")
+        failing_evaluator.evaluate(placement)
+        again = failing_evaluator.evaluate(placement)
+        assert again.primary_value == FAILURE_PRIMARY
+        assert failing_evaluator.cache_hits == 1
+
+    def test_next_placement_recovers(self, failing_evaluator):
+        block = failing_evaluator.block
+        failing_evaluator.evaluate(banded_placement(block, "ysym"))
+        good = failing_evaluator.evaluate(
+            banded_placement(block, "common_centroid"))
+        assert good.primary_value < FAILURE_PRIMARY
+        assert "power_w" in good
+
+    def test_placer_survives_flaky_simulator(self, failing_evaluator):
+        env = PlacementEnv(failing_evaluator.block, failing_evaluator.cost)
+        placer = MultiLevelPlacer(
+            env, seed=0, sim_counter=lambda: failing_evaluator.sim_count)
+        result = placer.optimize(max_steps=40)
+        # The injected failure hit the initial cost; the run still
+        # finishes and finds real placements afterwards.
+        assert result.best_cost < FAILURE_PRIMARY

@@ -1,0 +1,84 @@
+"""Tests for the Metrics container and FOM computation."""
+
+import pytest
+
+from repro.eval import Metrics, RATIO_CLAMP, compute_fom
+from repro.eval.fom import MetricSpec
+
+
+def cm_metrics(mismatch=1.0, area=32.0):
+    return Metrics(kind="cm", primary="mismatch_pct",
+                   values={"mismatch_pct": mismatch, "area_um2": area})
+
+
+class TestMetrics:
+    def test_lookup(self):
+        m = cm_metrics(2.5)
+        assert m["mismatch_pct"] == 2.5
+        assert "area_um2" in m
+        assert m.primary_value == 2.5
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError, match="metric"):
+            cm_metrics()["power_w"]
+
+    def test_primary_must_exist(self):
+        with pytest.raises(ValueError, match="primary"):
+            Metrics(kind="cm", primary="offset_mv", values={"mismatch_pct": 1.0})
+
+    def test_summary_contains_values(self):
+        s = cm_metrics(1.25).summary()
+        assert "mismatch_pct=1.25" in s
+        assert "[cm]" in s
+
+
+class TestFom:
+    def test_reference_scores_one(self):
+        ref = cm_metrics(2.0, 30.0)
+        assert compute_fom(ref, ref) == pytest.approx(1.0)
+
+    def test_better_mismatch_raises_fom(self):
+        ref = cm_metrics(2.0, 30.0)
+        better = cm_metrics(1.0, 30.0)
+        assert compute_fom(better, ref) > 1.0
+
+    def test_worse_area_lowers_fom(self):
+        ref = cm_metrics(2.0, 30.0)
+        bigger = cm_metrics(2.0, 60.0)
+        assert compute_fom(bigger, ref) < 1.0
+
+    def test_mismatch_weighted_heavier_than_area(self):
+        ref = cm_metrics(2.0, 30.0)
+        better_mm = compute_fom(cm_metrics(1.0, 30.0), ref)
+        better_area = compute_fom(cm_metrics(2.0, 15.0), ref)
+        assert better_mm > better_area
+
+    def test_ratio_clamped(self):
+        ref = cm_metrics(2.0, 30.0)
+        perfect = cm_metrics(1e-12, 30.0)
+        fom = compute_fom(perfect, ref)
+        # Even a near-zero mismatch cannot push its component past the clamp.
+        assert fom <= RATIO_CLAMP
+
+    def test_kind_mismatch_rejected(self):
+        ota = Metrics(kind="ota", primary="offset_mv", values={
+            "offset_mv": 1.0, "gain_db": 90.0, "gbw_hz": 1e8, "pm_deg": 80.0,
+            "power_w": 1e-4, "area_um2": 80.0,
+        })
+        with pytest.raises(ValueError, match="compare"):
+            compute_fom(ota, cm_metrics())
+
+    def test_higher_is_better_orientation(self):
+        ref = Metrics(kind="ota", primary="offset_mv", values={
+            "offset_mv": 1.0, "gain_db": 90.0, "gbw_hz": 1e8, "pm_deg": 80.0,
+            "power_w": 1e-4, "area_um2": 80.0,
+        })
+        more_gain = Metrics(kind="ota", primary="offset_mv", values={
+            "offset_mv": 1.0, "gain_db": 99.0, "gbw_hz": 1e8, "pm_deg": 80.0,
+            "power_w": 1e-4, "area_um2": 80.0,
+        })
+        assert compute_fom(more_gain, ref) > 1.0
+
+    def test_bad_spec_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            MetricSpec("x", higher_is_better=True, weight=0.0)

@@ -1,0 +1,71 @@
+"""Tests for the full-simulation Monte-Carlo runner."""
+
+import numpy as np
+import pytest
+
+from repro.eval import monte_carlo
+from repro.layout import banded_placement
+from repro.netlist import current_mirror
+
+N_RUNS = 40
+
+
+@pytest.fixture(scope="module")
+def block():
+    return current_mirror()
+
+
+@pytest.fixture(scope="module")
+def cc_result(block):
+    placement = banded_placement(block, "common_centroid")
+    return monte_carlo(block, placement, n_runs=N_RUNS, seed=1)
+
+
+class TestMonteCarlo:
+    def test_sample_count(self, cc_result):
+        assert len(cc_result.samples) + cc_result.failures == N_RUNS
+
+    def test_statistics_accessors(self, cc_result):
+        assert cc_result.std > 0
+        assert cc_result.worst >= abs(cc_result.mean)
+        assert cc_result.quantile(0.9) >= cc_result.quantile(0.1)
+
+    def test_deterministic_given_seed(self, block):
+        placement = banded_placement(block, "common_centroid")
+        a = monte_carlo(block, placement, n_runs=10, seed=7)
+        b = monte_carlo(block, placement, n_runs=10, seed=7)
+        assert np.allclose(a.samples, b.samples)
+
+    def test_seed_changes_samples(self, block):
+        placement = banded_placement(block, "common_centroid")
+        a = monte_carlo(block, placement, n_runs=10, seed=1)
+        b = monte_carlo(block, placement, n_runs=10, seed=2)
+        assert not np.allclose(a.samples, b.samples)
+
+    def test_explicit_metric_key(self, block):
+        placement = banded_placement(block, "common_centroid")
+        result = monte_carlo(block, placement, n_runs=5, seed=0,
+                             metric="power_w")
+        assert result.metric == "power_w"
+        assert np.all(result.samples > 0)
+
+    def test_n_runs_validated(self, block):
+        placement = banded_placement(block, "common_centroid")
+        with pytest.raises(ValueError, match="n_runs"):
+            monte_carlo(block, placement, n_runs=0)
+
+    def test_random_floor_independent_of_placement(self):
+        """Placement shifts the MC mean (systematic), not the std
+        (random) — the paper's division of labour.  Uses the comparator's
+        *signed* offset; the CM's unsigned worst-output metric would wash
+        the systematic mean into the random spread."""
+        from repro.netlist import comparator
+        comp = comparator()
+        cc = monte_carlo(comp, banded_placement(comp, "common_centroid"),
+                         n_runs=30, seed=3)
+        seq = monte_carlo(comp, banded_placement(comp, "sequential"),
+                          n_runs=30, seed=3)
+        assert cc.metric == "offset_signed_mv"
+        assert seq.std == pytest.approx(cc.std, rel=0.5)
+        # The sequential layout's systematic offset shows in the mean.
+        assert abs(seq.mean) > abs(cc.mean)

@@ -1,0 +1,62 @@
+"""Tests for worst-case multi-corner evaluation."""
+
+import pytest
+
+from repro.eval import PlacementEvaluator
+from repro.eval.robust import WorstCaseEvaluator
+from repro.layout import banded_placement
+from repro.netlist import current_mirror
+
+
+@pytest.fixture(scope="module")
+def block():
+    return current_mirror()
+
+
+@pytest.fixture(scope="module")
+def robust(block):
+    return WorstCaseEvaluator(block, corner_names=("tt", "fs", "sf"))
+
+
+class TestWorstCase:
+    def test_cost_is_max_over_corners(self, block, robust):
+        placement = banded_placement(block, "ysym")
+        per_corner = [
+            ev.cost(placement) for ev in robust.evaluators.values()
+        ]
+        assert robust.cost(placement) == pytest.approx(max(per_corner))
+
+    def test_cost_upper_bounds_typical(self, block, robust):
+        placement = banded_placement(block, "ysym")
+        tt_only = PlacementEvaluator(block)
+        assert robust.cost(placement) >= tt_only.cost(placement) - 1e-12
+
+    def test_evaluate_per_corner(self, block, robust):
+        placement = banded_placement(block, "ysym")
+        metrics = robust.evaluate(placement)
+        assert set(metrics) == {"tt", "fs", "sf"}
+
+    def test_worst_primary_names_a_corner(self, block, robust):
+        placement = banded_placement(block, "ysym")
+        worst_corner, value = robust.worst_primary(placement)
+        assert worst_corner in ("tt", "fs", "sf")
+        assert value > 0
+
+    def test_sim_count_sums_members(self, block):
+        robust = WorstCaseEvaluator(block, corner_names=("tt", "ss"))
+        placement = banded_placement(block, "ysym")
+        robust.cost(placement)
+        assert robust.sim_count == 2  # one per corner
+
+    def test_needs_corners(self, block):
+        with pytest.raises(ValueError, match="corner"):
+            WorstCaseEvaluator(block, corner_names=())
+
+    def test_placer_compatible(self, block, robust):
+        from repro.core import MultiLevelPlacer
+        from repro.layout import PlacementEnv
+        env = PlacementEnv(block, robust.cost)
+        placer = MultiLevelPlacer(env, seed=1,
+                                  sim_counter=lambda: robust.sim_count)
+        result = placer.optimize(max_steps=40)
+        assert result.best_cost <= result.initial_cost

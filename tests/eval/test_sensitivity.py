@@ -1,0 +1,53 @@
+"""Tests for per-device sensitivity analysis."""
+
+import pytest
+
+from repro.eval import PlacementEvaluator, primary_sensitivities, rank_sensitivities
+from repro.layout import banded_placement
+from repro.netlist import comparator, current_mirror
+
+
+class TestSensitivities:
+    @pytest.fixture(scope="class")
+    def cm_sens(self):
+        block = current_mirror()
+        evaluator = PlacementEvaluator(block)
+        placement = banded_placement(block, "common_centroid")
+        return primary_sensitivities(evaluator, placement)
+
+    def test_every_device_reported(self, cm_sens):
+        block = current_mirror()
+        assert set(cm_sens) == {m.name for m in block.circuit.mosfets()}
+
+    def test_mirror_devices_dominate(self, cm_sens):
+        # In a current mirror every transistor is matching-critical; the
+        # NMOS bank's sensitivities must be substantial (mismatch % per V).
+        ranked = rank_sensitivities(cm_sens)
+        top_names = {name for name, __ in ranked[:3]}
+        assert top_names & {"mref", "mo1", "mo2", "pref", "po1"}
+
+    def test_mirror_pair_sensitivities_oppose(self, cm_sens):
+        # Raising the reference's Vth lowers its current sink capability;
+        # raising an output's Vth acts the other way: opposite signs.
+        assert cm_sens["mref"] * cm_sens["mo2"] < 0
+
+    def test_comparator_input_pair_antisymmetric(self):
+        block = comparator()
+        evaluator = PlacementEvaluator(block)
+        placement = banded_placement(block, "common_centroid")
+        sens = primary_sensitivities(evaluator, placement)
+        # The two inputs steer the offset in opposite directions with
+        # near-equal strength.
+        assert sens["m1"] * sens["m2"] < 0
+        assert abs(sens["m1"]) == pytest.approx(abs(sens["m2"]), rel=0.2)
+
+    def test_delta_v_validated(self):
+        block = current_mirror()
+        evaluator = PlacementEvaluator(block)
+        placement = banded_placement(block, "common_centroid")
+        with pytest.raises(ValueError, match="delta_v"):
+            primary_sensitivities(evaluator, placement, delta_v=0.0)
+
+    def test_rank_order(self):
+        ranked = rank_sensitivities({"a": -3.0, "b": 1.0, "c": 2.0})
+        assert [name for name, __ in ranked] == ["a", "c", "b"]

@@ -1,0 +1,69 @@
+"""Tests for table formatting and the median-run selection helper."""
+
+import pytest
+
+from repro.core.optimizer import PlacerResult
+from repro.experiments import format_table
+from repro.experiments.fig3 import _median_run
+from repro.layout import CanvasSpec, Placement
+
+
+def make_result(best_cost, sims=10):
+    placement = Placement(CanvasSpec(2, 2))
+    placement.place(("m", 0), (0, 0))
+    return PlacerResult(
+        best_placement=placement,
+        best_cost=best_cost,
+        initial_cost=10.0,
+        sims_used=sims,
+        steps=sims,
+        reached_target=False,
+        sims_to_target=None,
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["xxx", "y"], ["z", "wwww"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # Every line pads to the same total width (columns aligned).
+        assert len({len(line) for line in lines}) == 1
+
+    def test_rule_row_dashes(self):
+        text = format_table(["col"], [["v"]])
+        assert "---" in text.splitlines()[1]
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestMedianRun:
+    def test_odd_count_picks_middle(self):
+        runs = [make_result(3.0), make_result(1.0), make_result(2.0)]
+        assert _median_run(runs).best_cost == 2.0
+
+    def test_even_count_picks_upper_middle(self):
+        runs = [make_result(c) for c in (4.0, 1.0, 3.0, 2.0)]
+        assert _median_run(runs).best_cost == 3.0
+
+    def test_tie_broken_by_sims(self):
+        runs = [make_result(1.0, sims=50), make_result(1.0, sims=5),
+                make_result(1.0, sims=20)]
+        assert _median_run(runs).sims_used == 20
+
+    def test_single_run(self):
+        only = make_result(7.0)
+        assert _median_run([only]) is only
+
+
+class TestImprovementProperty:
+    def test_improvement_fraction(self):
+        result = make_result(best_cost=2.5)
+        assert result.improvement == pytest.approx(0.75)
+
+    def test_zero_initial_guarded(self):
+        result = make_result(best_cost=0.0)
+        result.initial_cost = 0.0
+        assert result.improvement == 0.0

@@ -1,0 +1,35 @@
+"""Tests for the scaling sweep (small budgets)."""
+
+import pytest
+
+from repro.experiments.scaling import format_scaling, run_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scaling(units_per_device=(2, 4), max_steps=150, seed=1)
+
+
+class TestScaling:
+    def test_sizes_recorded(self, result):
+        assert result.sizes == [10, 20]  # 5 devices x units_per_device
+
+    def test_rows_complete(self, result):
+        for size in result.sizes:
+            row = result.rows[size]
+            assert {"sims_to_target", "top_states", "total_entries",
+                    "best", "target"} <= set(row)
+
+    def test_targets_reached(self, result):
+        for size in result.sizes:
+            assert result.rows[size]["sims_to_target"] != float("inf"), size
+
+    def test_best_beats_target(self, result):
+        for size in result.sizes:
+            row = result.rows[size]
+            assert row["best"] <= row["target"], size
+
+    def test_format(self, result):
+        text = format_scaling(result)
+        assert "#units" in text
+        assert "10" in text and "20" in text

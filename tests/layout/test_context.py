@@ -1,0 +1,88 @@
+"""Tests for the placement → UnitContext bridge."""
+
+import pytest
+
+from repro.layout import CanvasSpec, Placement, device_contexts, unit_context, unit_contexts
+from repro.tech import generic_tech_40
+
+TECH = generic_tech_40()
+PITCH = TECH.grid_pitch
+
+
+@pytest.fixture
+def row_placement():
+    p = Placement(CanvasSpec(6, 4))
+    for k in range(3):
+        p.place(("m", k), (k + 1, 2))  # cells (1,2) (2,2) (3,2)
+    return p
+
+
+class TestPositions:
+    def test_cell_centre_positions(self, row_placement):
+        ctx = unit_context(row_placement, ("m", 0), TECH)
+        assert ctx.x == pytest.approx(1.5 * PITCH)
+        assert ctx.y == pytest.approx(2.5 * PITCH)
+
+    def test_contexts_for_all(self, row_placement):
+        ctxs = unit_contexts(row_placement, TECH)
+        assert len(ctxs) == 3
+
+
+class TestDiffusionRuns:
+    def test_middle_unit_has_runs_both_sides(self, row_placement):
+        ctx = unit_context(row_placement, ("m", 1), TECH)
+        assert ctx.run_left == 1
+        assert ctx.run_right == 1
+
+    def test_end_units(self, row_placement):
+        left = unit_context(row_placement, ("m", 0), TECH)
+        assert left.run_left == 0
+        assert left.run_right == 2
+        right = unit_context(row_placement, ("m", 2), TECH)
+        assert right.run_left == 2
+        assert right.run_right == 0
+
+    def test_runs_cross_device_boundaries(self):
+        # Abutted units of *different* devices still share diffusion.
+        p = Placement(CanvasSpec(4, 1))
+        p.place(("a", 0), (0, 0))
+        p.place(("b", 0), (1, 0))
+        ctx = unit_context(p, ("b", 0), TECH)
+        assert ctx.run_left == 1
+
+    def test_run_stops_at_gap(self):
+        p = Placement(CanvasSpec(6, 1))
+        p.place(("a", 0), (0, 0))
+        p.place(("a", 1), (2, 0))  # gap at column 1
+        ctx = unit_context(p, ("a", 1), TECH)
+        assert ctx.run_left == 0
+
+
+class TestEdgeDistance:
+    def test_corner_cell(self):
+        p = Placement(CanvasSpec(6, 4))
+        p.place(("m", 0), (0, 0))
+        ctx = unit_context(p, ("m", 0), TECH)
+        assert ctx.dist_to_edge == pytest.approx(0.5 * PITCH)
+
+    def test_centre_cell(self):
+        p = Placement(CanvasSpec(7, 7))
+        p.place(("m", 0), (3, 3))
+        ctx = unit_context(p, ("m", 0), TECH)
+        assert ctx.dist_to_edge == pytest.approx(3.5 * PITCH)
+
+    def test_edge_distance_uses_nearest_side(self, row_placement):
+        ctx = unit_context(row_placement, ("m", 0), TECH)
+        # col 1 of 6, row 2 of 4: nearest side is bottom (1.5 cells) vs
+        # left (1.5 cells) — both 1.5.
+        assert ctx.dist_to_edge == pytest.approx(1.5 * PITCH)
+
+
+class TestDeviceContexts:
+    def test_ordered_by_unit(self, row_placement):
+        ctxs = device_contexts(row_placement, "m", TECH)
+        assert [c.x for c in ctxs] == sorted(c.x for c in ctxs)
+
+    def test_missing_device_rejected(self, row_placement):
+        with pytest.raises(KeyError, match="no placed units"):
+            device_contexts(row_placement, "ghost", TECH)

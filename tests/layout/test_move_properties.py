@@ -1,0 +1,77 @@
+"""Property tests: random legal-move walks preserve every invariant.
+
+The environment guarantees three invariants forever: all units stay
+placed (no loss), no two units overlap, and every group remains a single
+connected cluster.  Hypothesis drives long random action sequences and
+checks all three after every step.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import PlacementEnv, is_connected
+from repro.netlist import current_mirror, five_transistor_ota
+
+
+def check_invariants(env):
+    placement = env.placement
+    # 1. all units placed exactly once
+    assert len(placement) == env.block.circuit.total_units()
+    # 2. occupancy is bijective
+    seen_cells = set()
+    for unit in placement.units:
+        cell = placement.cell_of(unit)
+        assert cell not in seen_cells
+        seen_cells.add(cell)
+        assert placement.unit_at(cell) == unit
+    # 3. every group connected
+    for group in env.block.groups:
+        cells = []
+        for name in group.devices:
+            device = env.block.circuit.device(name)
+            cells.extend(placement.cell_of((name, k)) for k in range(device.n_units))
+        assert is_connected(cells, adjacency=env.adjacency), group.name
+
+
+@given(moves=st.lists(
+    st.tuples(
+        st.booleans(),                        # unit move or group move
+        st.integers(min_value=0, max_value=5),  # group pick (mod len)
+        st.integers(min_value=0, max_value=30),  # action pick (mod len)
+    ),
+    min_size=1, max_size=60,
+))
+@settings(max_examples=30, deadline=None)
+def test_random_walks_preserve_invariants(moves):
+    env = PlacementEnv(five_transistor_ota(), lambda p: 0.0)
+    for unit_move, group_pick, action_pick in moves:
+        group = env.group_names[group_pick % len(env.group_names)]
+        if unit_move:
+            legal = env.legal_unit_actions(group)
+            if legal:
+                local, direction = legal[action_pick % len(legal)]
+                assert env.step_unit(group, local, direction)
+        else:
+            legal = env.legal_group_actions(group)
+            if legal:
+                assert env.step_group(group, legal[action_pick % len(legal)])
+        check_invariants(env)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_undo_restores_signature(seed):
+    import numpy as np
+    env = PlacementEnv(current_mirror(), lambda p: 0.0)
+    rng = np.random.default_rng(seed)
+    for __ in range(10):
+        signature = env.placement.signature()
+        group = env.group_names[int(rng.integers(len(env.group_names)))]
+        legal = env.legal_unit_actions(group)
+        if not legal:
+            continue
+        local, direction = legal[int(rng.integers(len(legal)))]
+        assert env.step_unit(group, local, direction)
+        env.undo_unit(group, local, direction)
+        assert env.placement.signature() == signature
+        # Re-apply to actually walk somewhere before the next round.
+        assert env.step_unit(group, local, direction)

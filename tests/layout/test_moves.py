@@ -1,0 +1,139 @@
+"""Tests for the move set and legality rules, including the paper's
+Fig. 2(b) scenario (5 of 8 moves legal)."""
+
+import pytest
+
+from repro.layout import (
+    CanvasSpec,
+    DIRECTIONS,
+    Placement,
+    apply_group_move,
+    apply_unit_move,
+    group_move_is_legal,
+    is_connected,
+    legal_group_moves,
+    legal_unit_moves,
+    neighbours,
+    unit_move_is_legal,
+)
+
+
+class TestConnectivity:
+    def test_single_cell_connected(self):
+        assert is_connected([(0, 0)])
+
+    def test_empty_connected(self):
+        assert is_connected([])
+
+    def test_row_connected(self):
+        assert is_connected([(0, 0), (1, 0), (2, 0)])
+
+    def test_gap_disconnected(self):
+        assert not is_connected([(0, 0), (2, 0)])
+
+    def test_diagonal_connected_under_8(self):
+        assert is_connected([(0, 0), (1, 1)], adjacency=8)
+
+    def test_diagonal_disconnected_under_4(self):
+        assert not is_connected([(0, 0), (1, 1)], adjacency=4)
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            is_connected([(0, 0), (0, 0)])
+
+    def test_bad_adjacency_rejected(self):
+        with pytest.raises(ValueError, match="adjacency"):
+            neighbours((0, 0), adjacency=6)
+
+    def test_neighbour_counts(self):
+        assert len(neighbours((0, 0), 8)) == 8
+        assert len(neighbours((0, 0), 4)) == 4
+
+
+class TestUnitMoves:
+    def test_all_moves_legal_in_open_space(self):
+        p = Placement(CanvasSpec(5, 5))
+        p.place(("m", 0), (2, 2))
+        assert len(legal_unit_moves(p, ("m", 0), [("m", 0)])) == 8
+
+    def test_corner_unit_limited(self):
+        p = Placement(CanvasSpec(5, 5))
+        p.place(("m", 0), (0, 0))
+        legal = legal_unit_moves(p, ("m", 0), [("m", 0)])
+        assert len(legal) == 3  # E, S, SE
+
+    def test_occupied_target_illegal(self):
+        p = Placement(CanvasSpec(5, 5))
+        p.place(("m", 0), (2, 2))
+        p.place(("x", 0), (3, 2))
+        assert not unit_move_is_legal(p, ("m", 0), (1, 0), [("m", 0)])
+
+    def test_connectivity_preserving_moves_only(self):
+        # Two units side by side: moving one two-cells-away equivalent
+        # (e.g. west from the east unit) must keep contact.
+        p = Placement(CanvasSpec(5, 5))
+        a, b = ("m", 0), ("m", 1)
+        p.place(a, (1, 1))
+        p.place(b, (2, 1))
+        # Moving b east keeps 8-contact? (3,1) vs (1,1): gap -> illegal.
+        assert not unit_move_is_legal(p, b, (1, 0), [a, b], adjacency=8)
+        # Moving b north-west to (1,0) touches a diagonally: legal under 8.
+        assert unit_move_is_legal(p, b, (-1, -1), [a, b], adjacency=8)
+        # ... but illegal under 4-adjacency? (1,0) is orthogonally adjacent
+        # to (1,1), so still legal.
+        assert unit_move_is_legal(p, b, (-1, -1), [a, b], adjacency=4)
+
+    def test_fig2b_five_of_eight_moves(self):
+        """Reconstruct the Fig. 2(b) situation: a unit at the corner of an
+        L-shaped group has exactly 5 legal moves out of 8 — two targets are
+        occupied by its own group, one would disconnect the group."""
+        p = Placement(CanvasSpec(5, 5))
+        group = [("g1", 0), ("g1", 1), ("g1", 2)]
+        p.place(group[0], (1, 2))  # W neighbour
+        p.place(group[1], (2, 2))  # the mover (corner of the L)
+        p.place(group[2], (2, 3))  # S neighbour
+        legal = legal_unit_moves(p, group[1], group, adjacency=8)
+        # W and S occupied by the group; NE would disconnect the mover.
+        assert len(legal) == 5
+        directions = {DIRECTIONS[k] for k in legal}
+        assert (1, -1) not in directions  # NE disconnects
+        assert (-1, 0) not in directions  # W occupied
+
+    def test_apply_unit_move(self):
+        p = Placement(CanvasSpec(5, 5))
+        p.place(("m", 0), (2, 2))
+        apply_unit_move(p, ("m", 0), (1, 0))
+        assert p.cell_of(("m", 0)) == (3, 2)
+
+
+class TestGroupMoves:
+    def setup_method(self):
+        self.p = Placement(CanvasSpec(4, 4))
+        self.group = [("g", 0), ("g", 1)]
+        self.p.place(self.group[0], (0, 0))
+        self.p.place(self.group[1], (1, 0))
+
+    def test_internal_overlap_allowed(self):
+        # Moving east: g0 moves onto g1's old cell — legal (vacated).
+        assert group_move_is_legal(self.p, self.group, (1, 0))
+
+    def test_boundary_blocks(self):
+        assert not group_move_is_legal(self.p, self.group, (0, -1))
+
+    def test_external_collision_blocks(self):
+        self.p.place(("x", 0), (2, 0))
+        assert not group_move_is_legal(self.p, self.group, (1, 0))
+
+    def test_legal_group_moves_list(self):
+        legal = legal_group_moves(self.p, self.group)
+        # Top row, left corner: E, S, SE, SW (SW: g0->(-1,1)? no, out).
+        # g0 at (0,0), g1 at (1,0): W/NW/N/NE/SW out of bounds or blocked.
+        directions = [DIRECTIONS[k] for k in legal]
+        assert (0, 1) in directions   # S
+        assert (1, 0) in directions   # E
+        assert (-1, 0) not in directions
+
+    def test_apply_group_move(self):
+        apply_group_move(self.p, self.group, (1, 1))
+        assert self.p.cell_of(("g", 0)) == (1, 1)
+        assert self.p.cell_of(("g", 1)) == (2, 1)

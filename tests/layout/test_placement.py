@@ -1,0 +1,151 @@
+"""Unit + property tests for the Placement container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout import CanvasSpec, Placement
+
+
+@pytest.fixture
+def placement():
+    p = Placement(CanvasSpec(4, 3))
+    p.place(("m1", 0), (0, 0))
+    p.place(("m1", 1), (1, 0))
+    p.place(("m2", 0), (2, 1))
+    return p
+
+
+class TestCanvas:
+    def test_bounds(self):
+        canvas = CanvasSpec(4, 3)
+        assert canvas.in_bounds((0, 0))
+        assert canvas.in_bounds((3, 2))
+        assert not canvas.in_bounds((4, 0))
+        assert not canvas.in_bounds((0, -1))
+
+    def test_n_cells(self):
+        assert CanvasSpec(4, 3).n_cells == 12
+
+    def test_bad_canvas_rejected(self):
+        with pytest.raises(ValueError, match="canvas"):
+            CanvasSpec(0, 3)
+
+
+class TestPlaceMove:
+    def test_place_and_query(self, placement):
+        assert placement.cell_of(("m1", 0)) == (0, 0)
+        assert placement.unit_at((0, 0)) == ("m1", 0)
+        assert placement.unit_at((3, 2)) is None
+        assert len(placement) == 3
+        assert ("m1", 0) in placement
+
+    def test_double_place_rejected(self, placement):
+        with pytest.raises(ValueError, match="already placed"):
+            placement.place(("m1", 0), (3, 2))
+
+    def test_collision_rejected(self, placement):
+        with pytest.raises(ValueError, match="occupied"):
+            placement.place(("m3", 0), (0, 0))
+
+    def test_out_of_bounds_rejected(self, placement):
+        with pytest.raises(ValueError, match="bounds"):
+            placement.place(("m3", 0), (9, 9))
+
+    def test_move(self, placement):
+        placement.move(("m1", 0), (3, 2))
+        assert placement.cell_of(("m1", 0)) == (3, 2)
+        assert placement.unit_at((0, 0)) is None
+
+    def test_move_to_same_cell_is_noop(self, placement):
+        placement.move(("m1", 0), (0, 0))
+        assert placement.cell_of(("m1", 0)) == (0, 0)
+
+    def test_move_unplaced_rejected(self, placement):
+        with pytest.raises(KeyError, match="not placed"):
+            placement.move(("ghost", 0), (3, 2))
+
+    def test_move_collision_rejected(self, placement):
+        with pytest.raises(ValueError, match="occupied"):
+            placement.move(("m1", 0), (1, 0))
+
+
+class TestMoveMany:
+    def test_rigid_shift(self, placement):
+        placement.move_many({("m1", 0): (0, 1), ("m1", 1): (1, 1)})
+        assert placement.cell_of(("m1", 0)) == (0, 1)
+        assert placement.cell_of(("m1", 1)) == (1, 1)
+
+    def test_swap_within_set(self, placement):
+        placement.move_many({("m1", 0): (1, 0), ("m1", 1): (0, 0)})
+        assert placement.cell_of(("m1", 0)) == (1, 0)
+        assert placement.cell_of(("m1", 1)) == (0, 0)
+
+    def test_atomic_on_collision(self, placement):
+        before = placement.as_dict()
+        with pytest.raises(ValueError, match="occupied"):
+            placement.move_many({("m1", 0): (2, 1), ("m1", 1): (3, 1)})
+        assert placement.as_dict() == before
+
+    def test_atomic_on_out_of_bounds(self, placement):
+        before = placement.as_dict()
+        with pytest.raises(ValueError, match="bounds"):
+            placement.move_many({("m1", 0): (0, 1), ("m1", 1): (-1, 1)})
+        assert placement.as_dict() == before
+
+    def test_duplicate_target_rejected(self, placement):
+        with pytest.raises(ValueError, match="same cell"):
+            placement.move_many({("m1", 0): (0, 1), ("m1", 1): (0, 1)})
+
+
+class TestGeometry:
+    def test_device_cells_ordered(self, placement):
+        assert placement.device_cells("m1") == [(0, 0), (1, 0)]
+
+    def test_device_centroid(self, placement):
+        assert placement.device_centroid("m1") == (0.5, 0.0)
+
+    def test_missing_device_centroid(self, placement):
+        with pytest.raises(KeyError, match="no placed units"):
+            placement.device_centroid("ghost")
+
+    def test_bounding_box_all(self, placement):
+        assert placement.bounding_box() == (0, 0, 2, 1)
+
+    def test_bounding_box_subset(self, placement):
+        assert placement.bounding_box([("m1", 0), ("m1", 1)]) == (0, 0, 1, 0)
+
+    def test_area_cells(self, placement):
+        assert placement.area_cells() == 6  # 3 cols x 2 rows
+
+    def test_empty_bbox_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Placement(CanvasSpec(2, 2)).bounding_box()
+
+
+class TestCopyAndSignature:
+    def test_copy_is_independent(self, placement):
+        dup = placement.copy()
+        dup.move(("m1", 0), (3, 2))
+        assert placement.cell_of(("m1", 0)) == (0, 0)
+
+    def test_signature_equal_for_equal_assignments(self, placement):
+        assert placement.signature() == placement.copy().signature()
+
+    def test_signature_changes_on_move(self, placement):
+        sig = placement.signature()
+        placement.move(("m1", 0), (3, 2))
+        assert placement.signature() != sig
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5)),
+    min_size=1, max_size=20, unique=True,
+))
+def test_occupancy_inverse_invariant(cells):
+    """Property: after arbitrary placements, cells and occupancy agree."""
+    p = Placement(CanvasSpec(6, 6))
+    for k, cell in enumerate(cells):
+        p.place(("m", k), cell)
+    for unit in p.units:
+        assert p.unit_at(p.cell_of(unit)) == unit
+    assert len(p.units) == len(cells)

@@ -1,0 +1,34 @@
+"""Tests for ASCII placement rendering."""
+
+from repro.layout import banded_placement, device_labels, render_placement
+from repro.netlist import five_transistor_ota
+
+
+class TestRender:
+    def test_renders_all_units(self):
+        block = five_transistor_ota()
+        placement = banded_placement(block, "sequential")
+        art = render_placement(placement, block.circuit, legend=False)
+        filled = sum(1 for ch in art if ch not in ". \n")
+        assert filled == block.circuit.total_units()
+
+    def test_grid_dimensions(self):
+        block = five_transistor_ota()
+        placement = banded_placement(block, "sequential")
+        art = render_placement(placement, block.circuit, legend=False)
+        rows = art.splitlines()
+        assert len(rows) == placement.canvas.rows
+        assert all(len(r.split()) == placement.canvas.cols for r in rows)
+
+    def test_legend_lists_devices(self):
+        block = five_transistor_ota()
+        placement = banded_placement(block, "sequential")
+        art = render_placement(placement, block.circuit, legend=True)
+        assert "legend:" in art
+        for device in block.circuit.placeable():
+            assert device.name in art
+
+    def test_labels_unique_per_device(self):
+        block = five_transistor_ota()
+        labels = device_labels(block.circuit)
+        assert len(set(labels.values())) == len(labels)

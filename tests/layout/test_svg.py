@@ -1,0 +1,69 @@
+"""Tests for SVG placement rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.layout import banded_placement
+from repro.layout.dummies import with_dummy_halo
+from repro.layout.svg import (
+    DUMMY_FILL,
+    device_colors,
+    placement_to_svg,
+    save_placement_svg,
+)
+from repro.netlist import five_transistor_ota
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def block():
+    return five_transistor_ota()
+
+
+@pytest.fixture
+def placement(block):
+    return banded_placement(block, "common_centroid")
+
+
+class TestSvg:
+    def test_valid_xml(self, block, placement):
+        svg = placement_to_svg(placement, block.circuit)
+        root = ET.fromstring(svg)
+        assert root.tag == f"{NS}svg"
+
+    def test_one_rect_per_unit_plus_grid(self, block, placement):
+        svg = placement_to_svg(placement, block.circuit, legend=False)
+        root = ET.fromstring(svg)
+        rects = root.findall(f"{NS}rect")
+        grid = placement.canvas.n_cells
+        # background + grid + units
+        assert len(rects) == 1 + grid + len(placement)
+
+    def test_legend_lists_devices(self, block, placement):
+        svg = placement_to_svg(placement, block.circuit, legend=True)
+        for device in block.circuit.placeable():
+            assert f">{device.name}<" in svg
+
+    def test_colors_unique_per_device(self, block):
+        colors = device_colors(block.circuit)
+        assert len(set(colors.values())) == len(colors)
+
+    def test_dummies_rendered_grey(self, block, placement):
+        haloed = with_dummy_halo(placement)
+        svg = placement_to_svg(haloed, block.circuit)
+        assert DUMMY_FILL in svg
+
+    def test_titles_identify_units(self, block, placement):
+        svg = placement_to_svg(placement, block.circuit)
+        assert "<title>m1[0]</title>" in svg
+
+    def test_cell_px_validation(self, block, placement):
+        with pytest.raises(ValueError, match="cell_px"):
+            placement_to_svg(placement, block.circuit, cell_px=2)
+
+    def test_save_to_file(self, block, placement, tmp_path):
+        path = tmp_path / "layout.svg"
+        save_placement_svg(placement, block.circuit, str(path))
+        assert path.read_text().startswith("<svg")

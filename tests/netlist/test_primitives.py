@@ -1,0 +1,148 @@
+"""Unit tests for grouping, matched pairs, and primitive detection."""
+
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    Group,
+    GroupKind,
+    MatchedPair,
+    Mosfet,
+    VoltageSource,
+    comparator,
+    current_mirror,
+    detect_groups,
+    five_transistor_ota,
+)
+from repro.netlist.primitives import validate_groups
+
+
+class TestGroup:
+    def test_basic(self):
+        g = Group("g0", GroupKind.DIFF_PAIR, ("a", "b"))
+        assert g.devices == ("a", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Group("", GroupKind.SINGLE, ("a",))
+
+    def test_empty_devices_rejected(self):
+        with pytest.raises(ValueError, match="devices"):
+            Group("g", GroupKind.SINGLE, ())
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            Group("g", GroupKind.SINGLE, ("a", "a"))
+
+
+class TestMatchedPair:
+    def test_names(self):
+        assert MatchedPair("a", "b").names() == ("a", "b")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            MatchedPair("a", "a")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            MatchedPair("a", "b", weight=0.0)
+
+
+def _mos(name, d, g, s, polarity=+1, w=2e-6, l=0.2e-6):
+    bulk = "gnd" if polarity > 0 else "vdd"
+    return Mosfet(name, {"d": d, "g": g, "s": s, "b": bulk},
+                  polarity=polarity, width=w, length=l, n_units=2)
+
+
+class TestDetectGroups:
+    def test_diff_pair_detected(self):
+        ckt = Circuit("dp")
+        ckt.add(_mos("m1", "o1", "inp", "tail"))
+        ckt.add(_mos("m2", "o2", "inn", "tail"))
+        groups, pairs = detect_groups(ckt)
+        assert len(groups) == 1
+        assert groups[0].kind == GroupKind.DIFF_PAIR
+        assert {p.names() for p in pairs} == {("m1", "m2")}
+
+    def test_current_mirror_detected(self):
+        ckt = Circuit("cm")
+        ckt.add(_mos("mref", "bias", "bias", "gnd"))
+        ckt.add(_mos("mo1", "o1", "bias", "gnd"))
+        ckt.add(_mos("mo2", "o2", "bias", "gnd"))
+        groups, pairs = detect_groups(ckt)
+        assert len(groups) == 1
+        assert groups[0].kind == GroupKind.CURRENT_MIRROR
+        assert len(pairs) == 3  # all combinations
+
+    def test_cross_coupled_detected(self):
+        ckt = Circuit("xc")
+        ckt.add(_mos("m3", "outn", "outp", "gnd"))
+        ckt.add(_mos("m4", "outp", "outn", "gnd"))
+        groups, __ = detect_groups(ckt)
+        assert groups[0].kind == GroupKind.CROSS_COUPLED
+
+    def test_load_pair_detected(self):
+        # Shared external gate bias, source on rail, no diode device.
+        ckt = Circuit("lp")
+        ckt.add(_mos("mn1", "f1", "vb", "gnd"))
+        ckt.add(_mos("mn2", "f2", "vb", "gnd"))
+        groups, __ = detect_groups(ckt)
+        assert groups[0].kind == GroupKind.LOAD_PAIR
+
+    def test_unmatched_leftover_is_single(self):
+        ckt = Circuit("sg")
+        ckt.add(_mos("mtail", "tail", "vb", "gnd", w=8e-6))
+        groups, pairs = detect_groups(ckt)
+        assert groups[0].kind == GroupKind.SINGLE
+        assert pairs == []
+
+    def test_different_sizes_do_not_pair(self):
+        ckt = Circuit("dp2")
+        ckt.add(_mos("m1", "o1", "inp", "tail", w=2e-6))
+        ckt.add(_mos("m2", "o2", "inn", "tail", w=4e-6))
+        groups, __ = detect_groups(ckt)
+        assert all(g.kind == GroupKind.SINGLE for g in groups)
+
+    def test_detection_on_5t_ota_matches_library(self):
+        block = five_transistor_ota()
+        groups, pairs = detect_groups(block.circuit)
+        kinds = sorted(g.kind.value for g in groups)
+        assert kinds == ["current_mirror", "diff_pair", "single"]
+        assert {p.names() for p in pairs} == {("m1", "m2"), ("mp1", "mp2")}
+
+    def test_detection_on_comparator_finds_latch_pairs(self):
+        block = comparator()
+        groups, __ = detect_groups(block.circuit)
+        kinds = [g.kind for g in groups]
+        assert kinds.count(GroupKind.CROSS_COUPLED) == 2
+        assert GroupKind.DIFF_PAIR in kinds
+
+
+class TestValidateGroups:
+    def test_library_blocks_validate(self):
+        for block in (current_mirror(), comparator(), five_transistor_ota()):
+            validate_groups(block.circuit, list(block.groups))
+
+    def test_unknown_device_rejected(self):
+        block = five_transistor_ota()
+        bad = list(block.groups) + [Group("zz", GroupKind.SINGLE, ("ghost",))]
+        with pytest.raises(ValueError, match="non-placeable or unknown"):
+            validate_groups(block.circuit, bad)
+
+    def test_missing_device_rejected(self):
+        block = five_transistor_ota()
+        with pytest.raises(ValueError, match="not covered"):
+            validate_groups(block.circuit, list(block.groups)[:-1])
+
+    def test_double_membership_rejected(self):
+        block = five_transistor_ota()
+        bad = list(block.groups) + [Group("dup", GroupKind.SINGLE, ("m1",))]
+        with pytest.raises(ValueError, match="two groups"):
+            validate_groups(block.circuit, bad)
+
+    def test_testbench_element_in_group_rejected(self):
+        ckt = Circuit("c")
+        ckt.add(VoltageSource("v1", {"p": "a", "n": "gnd"}))
+        ckt.add(_mos("m1", "a", "a", "gnd"))
+        with pytest.raises(ValueError, match="non-placeable"):
+            validate_groups(ckt, [Group("g", GroupKind.SINGLE, ("m1", "v1"))])

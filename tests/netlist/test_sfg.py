@@ -1,0 +1,61 @@
+"""Tests for signal-flow-graph levelling and ordering."""
+
+import pytest
+
+from repro.netlist import (
+    comparator,
+    five_transistor_ota,
+    folded_cascode_ota,
+    signal_flow_levels,
+    signal_flow_order,
+)
+from repro.netlist.sfg import device_levels
+
+
+class TestDeviceLevels:
+    def test_5t_ota_levels(self):
+        block = five_transistor_ota()
+        levels = device_levels(block.circuit, block.input_nets)
+        # Input pair touches the inputs directly.
+        assert levels["m1"] == 0
+        assert levels["m2"] == 0
+        # Tail and loads are one device hop away.
+        assert levels["mtail"] == 1
+        assert levels["mp1"] == 1
+        assert levels["mp2"] == 1
+
+    def test_requires_input_nets(self):
+        block = five_transistor_ota()
+        with pytest.raises(ValueError, match="input net"):
+            device_levels(block.circuit, ())
+
+    def test_unknown_input_net_rejected(self):
+        block = five_transistor_ota()
+        with pytest.raises(ValueError, match="touches"):
+            device_levels(block.circuit, ("no_such_net",))
+
+    def test_folded_cascode_depth_increases_downstream(self):
+        block = folded_cascode_ota()
+        levels = device_levels(block.circuit, block.input_nets)
+        assert levels["m1"] == 0
+        assert levels["mc1"] == 1    # fold node neighbour
+        assert levels["mp1"] > levels["mc1"] or levels["mp1"] >= 1
+
+
+class TestGroupOrdering:
+    def test_input_pair_first_for_all_blocks(self):
+        for builder in (five_transistor_ota, folded_cascode_ota, comparator):
+            block = builder()
+            order = signal_flow_order(block.circuit, block.groups, block.input_nets)
+            assert order[0].name == "input_pair", block.name
+
+    def test_levels_cover_all_groups(self):
+        block = folded_cascode_ota()
+        levels = signal_flow_levels(block.circuit, block.groups, block.input_nets)
+        assert set(levels) == {g.name for g in block.groups}
+
+    def test_order_is_deterministic(self):
+        block = comparator()
+        a = signal_flow_order(block.circuit, block.groups, block.input_nets)
+        b = signal_flow_order(block.circuit, block.groups, block.input_nets)
+        assert [g.name for g in a] == [g.name for g in b]

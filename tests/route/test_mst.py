@@ -1,0 +1,63 @@
+"""Tests for MST wirelength estimation and its relation to HPWL."""
+
+import pytest
+
+from repro.layout import banded_placement
+from repro.netlist import comparator, current_mirror, five_transistor_ota
+from repro.route import net_hpwl, signal_nets
+from repro.route.mst import net_mst, rectilinear_mst_length, total_mst_wirelength
+from repro.tech import generic_tech_40
+
+TECH = generic_tech_40()
+
+
+class TestMstGeometry:
+    def test_empty_and_single_pin(self):
+        assert rectilinear_mst_length([]) == 0.0
+        assert rectilinear_mst_length([(0.0, 0.0)]) == 0.0
+
+    def test_two_pins_manhattan(self):
+        assert rectilinear_mst_length([(0, 0), (3, 4)]) == pytest.approx(7.0)
+
+    def test_three_collinear(self):
+        # MST chains them: 1 + 1, not 2 + 2.
+        assert rectilinear_mst_length([(0, 0), (1, 0), (2, 0)]) == pytest.approx(2.0)
+
+    def test_l_shape(self):
+        pins = [(0, 0), (2, 0), (2, 2)]
+        assert rectilinear_mst_length(pins) == pytest.approx(4.0)
+
+    def test_star_vs_hpwl_gap(self):
+        # Four corner pins: HPWL = 2+2 = 4, MST = 3 edges of length 2 = 6.
+        pins = [(0, 0), (2, 0), (0, 2), (2, 2)]
+        assert rectilinear_mst_length(pins) == pytest.approx(6.0)
+
+
+@pytest.mark.parametrize("builder", [current_mirror, comparator, five_transistor_ota])
+class TestMstVsHpwl:
+    def test_mst_at_least_hpwl_over_2(self, builder):
+        """Known bounds: HPWL/2 <= MST for every net (HPWL can exceed MST
+        only by its double-counted half-perimeter)."""
+        block = builder()
+        placement = banded_placement(block, "sequential")
+        for net in signal_nets(block.circuit):
+            hpwl = net_hpwl(block.circuit, placement, net, TECH)
+            mst = net_mst(block.circuit, placement, net, TECH)
+            assert mst >= 0.5 * hpwl - 1e-15, net
+
+    def test_mst_equals_manhattan_for_two_pin_nets(self, builder):
+        block = builder()
+        placement = banded_placement(block, "sequential")
+        for net in signal_nets(block.circuit):
+            pins = []
+            from repro.route import net_pin_positions
+            pins = net_pin_positions(block.circuit, placement, net, TECH)
+            if len(pins) == 2:
+                mst = net_mst(block.circuit, placement, net, TECH)
+                (x1, y1), (x2, y2) = pins
+                assert mst == pytest.approx(abs(x1 - x2) + abs(y1 - y2))
+
+    def test_total_positive(self, builder):
+        block = builder()
+        placement = banded_placement(block, "sequential")
+        assert total_mst_wirelength(block.circuit, placement, TECH) > 0

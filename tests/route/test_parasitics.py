@@ -1,0 +1,69 @@
+"""Tests for parasitic annotation."""
+
+import pytest
+
+from repro.layout import banded_placement
+from repro.netlist import five_transistor_ota
+from repro.netlist.devices import Capacitor
+from repro.route import annotate_parasitics, parasitic_caps, signal_nets
+from repro.route.parasitics import C_FLOOR
+from repro.sim import solve_dc
+from repro.tech import generic_tech_40
+
+TECH = generic_tech_40()
+
+
+class TestParasiticCaps:
+    def setup_method(self):
+        self.block = five_transistor_ota()
+        self.placement = banded_placement(self.block, "sequential")
+
+    def test_every_signal_net_capped(self):
+        caps = parasitic_caps(self.block.circuit, self.placement, TECH)
+        assert set(caps) == set(signal_nets(self.block.circuit))
+
+    def test_floor_applies(self):
+        caps = parasitic_caps(self.block.circuit, self.placement, TECH)
+        assert all(c >= C_FLOOR for c in caps.values())
+
+    def test_magnitude_is_femtofarad_scale(self):
+        caps = parasitic_caps(self.block.circuit, self.placement, TECH)
+        for net, c in caps.items():
+            assert 1e-17 < c < 1e-13, (net, c)
+
+    def test_caps_grow_with_wirelength(self):
+        caps_near = parasitic_caps(self.block.circuit, self.placement, TECH)
+        spread = self.placement.copy()
+        free = [
+            (c, r)
+            for r in range(spread.canvas.rows)
+            for c in range(spread.canvas.cols)
+            if spread.is_free((c, r))
+        ]
+        spread.move_many({("mtail", 0): free[-1], ("mtail", 1): free[-2]})
+        caps_far = parasitic_caps(self.block.circuit, spread, TECH)
+        assert caps_far["tail"] > caps_near["tail"]
+
+
+class TestAnnotate:
+    def setup_method(self):
+        self.block = five_transistor_ota()
+        self.placement = banded_placement(self.block, "sequential")
+
+    def test_adds_capacitors(self):
+        annotated = annotate_parasitics(self.block.circuit, self.placement, TECH)
+        added = [d for d in annotated if d.name.startswith("cpar_")]
+        assert len(added) == len(signal_nets(self.block.circuit))
+        assert all(isinstance(d, Capacitor) for d in added)
+
+    def test_original_untouched(self):
+        n_before = len(self.block.circuit)
+        annotate_parasitics(self.block.circuit, self.placement, TECH)
+        assert len(self.block.circuit) == n_before
+
+    def test_annotated_circuit_still_simulates(self):
+        annotated = annotate_parasitics(self.block.circuit, self.placement, TECH)
+        result = solve_dc(annotated, TECH)
+        # DC unchanged by capacitors.
+        bare = solve_dc(self.block.circuit, TECH)
+        assert result.voltage("outp") == pytest.approx(bare.voltage("outp"), abs=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for generic measurement extraction on synthetic transfer functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    bandwidth_3db,
+    db,
+    dc_gain,
+    gain_margin_db,
+    phase_margin,
+    supply_power,
+    unity_gain_frequency,
+)
+
+
+def single_pole(freqs, a0=1000.0, fp=1e4):
+    return a0 / (1.0 + 1j * freqs / fp)
+
+
+def two_pole(freqs, a0=1000.0, fp1=1e4, fp2=1e7):
+    return a0 / ((1.0 + 1j * freqs / fp1) * (1.0 + 1j * freqs / fp2))
+
+
+FREQS = np.logspace(1, 10, 400)
+
+
+class TestBasics:
+    def test_db(self):
+        assert db(10.0) == pytest.approx(20.0)
+        assert db(1.0) == pytest.approx(0.0)
+
+    def test_dc_gain(self):
+        h = single_pole(FREQS)
+        assert dc_gain(h) == pytest.approx(1000.0, rel=1e-3)
+
+    def test_dc_gain_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            dc_gain(np.array([]))
+
+    def test_supply_power_sign(self):
+        # Delivering supply: negative branch current, positive power.
+        assert supply_power(1.1, -1e-3) == pytest.approx(1.1e-3)
+
+
+class TestSinglePole:
+    def test_bandwidth(self):
+        h = single_pole(FREQS, a0=1000.0, fp=1e4)
+        assert bandwidth_3db(FREQS, h) == pytest.approx(1e4, rel=0.03)
+
+    def test_unity_gain_frequency(self):
+        # GBW product: f_unity ~ a0 * fp for a single pole.
+        h = single_pole(FREQS, a0=1000.0, fp=1e4)
+        assert unity_gain_frequency(FREQS, h) == pytest.approx(1e7, rel=0.03)
+
+    def test_phase_margin_near_90(self):
+        h = single_pole(FREQS, a0=1000.0, fp=1e4)
+        assert phase_margin(FREQS, h) == pytest.approx(90.0, abs=2.0)
+
+    def test_no_unity_crossing_returns_none(self):
+        h = single_pole(FREQS, a0=0.5, fp=1e4)  # gain never reaches 1
+        assert unity_gain_frequency(FREQS, h) is None
+        assert phase_margin(FREQS, h) is None
+
+
+class TestTwoPole:
+    def test_phase_margin_reduced_by_second_pole(self):
+        # Crossover lands at ~7.9 MHz (the second pole pulls it below
+        # a0*fp1 = 10 MHz); phase there is -90 - atan(0.79) ~ -128 deg.
+        h = two_pole(FREQS, a0=1000.0, fp1=1e4, fp2=1e7)
+        pm = phase_margin(FREQS, h)
+        assert pm == pytest.approx(52.0, abs=4.0)
+
+    def test_gain_margin_exists_for_two_pole_with_delay(self):
+        # A two-pole system never quite reaches -180, so no gain margin.
+        h = two_pole(FREQS)
+        assert gain_margin_db(FREQS, h) is None
+
+    def test_three_pole_gain_margin(self):
+        # Phase hits -180 at f = 1e6 where |H| = a0/200; with a0 = 100 the
+        # gain margin is +20*log10(2) = 6 dB.
+        h = 100.0 / ((1 + 1j * FREQS / 1e4)
+                     * (1 + 1j * FREQS / 1e6)
+                     * (1 + 1j * FREQS / 1e6))
+        gm = gain_margin_db(FREQS, h)
+        assert gm == pytest.approx(6.0, abs=1.0)
+
+
+class TestBandwidthEdgeCases:
+    def test_flat_response_has_no_bandwidth(self):
+        h = np.full(len(FREQS), 5.0 + 0j)
+        assert bandwidth_3db(FREQS, h) is None
+
+    def test_zero_dc_gain(self):
+        h = np.zeros(len(FREQS), dtype=complex)
+        assert bandwidth_3db(FREQS, h) is None

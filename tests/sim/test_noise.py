@@ -1,0 +1,114 @@
+"""Noise analysis tests against closed-form results."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netlist import Capacitor, Circuit, Resistor, VoltageSource, five_transistor_ota
+from repro.sim import solve_dc
+from repro.sim.noise import BOLTZMANN, ROOM_TEMPERATURE, solve_noise
+from repro.tech import generic_tech_40
+
+TECH = generic_tech_40()
+KT4 = 4.0 * BOLTZMANN * ROOM_TEMPERATURE
+
+
+def rc_network(r=10e3, c=1e-12):
+    ckt = Circuit("rc_noise")
+    ckt.add(VoltageSource("vs", {"p": "in", "n": "gnd"}, dc=0.0))
+    ckt.add(Resistor("r1", {"a": "in", "b": "out"}, value=r))
+    ckt.add(Capacitor("c1", {"a": "out", "b": "gnd"}, value=c))
+    return ckt
+
+
+class TestResistorThermalNoise:
+    def test_flat_band_psd_is_4ktr(self):
+        r = 10e3
+        ckt = rc_network(r=r, c=1e-15)  # pole far above the test band
+        op = solve_dc(ckt, TECH)
+        freqs = np.logspace(3, 5, 10)
+        result = solve_noise(ckt, TECH, op.voltages, freqs, "out")
+        expected = KT4 * r
+        assert result.output_psd[0] == pytest.approx(expected, rel=0.01)
+        assert result.output_psd[-1] == pytest.approx(expected, rel=0.02)
+
+    def test_ktc_integral(self):
+        """The classic: total noise of an RC filter is kT/C, independent
+        of R."""
+        c = 1e-12
+        for r in (1e3, 100e3):
+            ckt = rc_network(r=r, c=c)
+            op = solve_dc(ckt, TECH)
+            fp = 1.0 / (2 * math.pi * r * c)
+            freqs = np.logspace(math.log10(fp / 1e3), math.log10(fp * 1e3), 400)
+            result = solve_noise(ckt, TECH, op.voltages, freqs, "out")
+            ktc = BOLTZMANN * ROOM_TEMPERATURE / c
+            assert result.output_rms() ** 2 == pytest.approx(ktc, rel=0.05), r
+
+    def test_divider_parallel_resistance(self):
+        # Two resistors to a mid node: PSD = 4kT (R1 || R2).
+        ckt = Circuit("divider_noise")
+        ckt.add(VoltageSource("vs", {"p": "top", "n": "gnd"}, dc=1.0))
+        ckt.add(Resistor("r1", {"a": "top", "b": "mid"}, value=20e3))
+        ckt.add(Resistor("r2", {"a": "mid", "b": "gnd"}, value=20e3))
+        op = solve_dc(ckt, TECH)
+        result = solve_noise(ckt, TECH, op.voltages, np.array([1e4]), "mid")
+        assert result.output_psd[0] == pytest.approx(KT4 * 10e3, rel=0.01)
+
+
+class TestMosfetNoise:
+    @pytest.fixture(scope="class")
+    def ota(self):
+        block = five_transistor_ota()
+        op = solve_dc(block.circuit, TECH)
+        freqs = np.logspace(2, 8, 40)
+        return solve_noise(block.circuit, TECH, op.voltages, freqs, "outp")
+
+    def test_flicker_dominates_low_frequency(self, ota):
+        # PSD falls with frequency through the flicker corner.
+        assert ota.output_psd[0] > 5 * ota.output_psd[len(ota.freqs) // 2]
+
+    def test_contributions_sum_to_total(self, ota):
+        stacked = sum(ota.contributions.values())
+        assert np.allclose(stacked, ota.output_psd, rtol=1e-9)
+
+    def test_input_pair_among_dominant(self, ota):
+        # At mid-band the input pair and mirror dominate a 5T OTA.
+        mid = len(ota.freqs) // 2
+        ranked = sorted(ota.contributions,
+                        key=lambda n: ota.contributions[n][mid], reverse=True)
+        assert set(ranked[:3]) & {"m1", "m2", "mp1", "mp2"}
+
+    def test_input_referred(self, ota):
+        gain = np.full(len(ota.freqs), 100.0)
+        inp = ota.input_referred_psd(gain)
+        assert np.allclose(inp, ota.output_psd / 1e4)
+
+    def test_input_referred_shape_mismatch(self, ota):
+        with pytest.raises(ValueError, match="grid"):
+            ota.input_referred_psd(np.ones(3))
+
+    def test_dominant_contributor_name(self, ota):
+        assert ota.dominant_contributor() in ota.contributions
+
+
+class TestValidation:
+    def test_positive_frequencies_required(self):
+        ckt = rc_network()
+        op = solve_dc(ckt, TECH)
+        with pytest.raises(ValueError, match="positive"):
+            solve_noise(ckt, TECH, op.voltages, np.array([0.0, 1e3]), "out")
+
+    def test_bad_temperature(self):
+        ckt = rc_network()
+        op = solve_dc(ckt, TECH)
+        with pytest.raises(ValueError, match="temperature"):
+            solve_noise(ckt, TECH, op.voltages, np.array([1e3]), "out",
+                        temperature=0.0)
+
+    def test_unknown_output_net(self):
+        ckt = rc_network()
+        op = solve_dc(ckt, TECH)
+        with pytest.raises(KeyError, match="output net"):
+            solve_noise(ckt, TECH, op.voltages, np.array([1e3]), "nowhere")

@@ -1,0 +1,102 @@
+"""Unit tests for nominal MOSFET parameter sets."""
+
+import pytest
+
+from repro.tech import MosfetParams, nominal_nmos_40, nominal_pmos_40
+
+
+class TestNominalSets:
+    def test_nmos_polarity(self):
+        assert nominal_nmos_40().is_nmos
+        assert not nominal_nmos_40().is_pmos
+
+    def test_pmos_polarity(self):
+        assert nominal_pmos_40().is_pmos
+        assert not nominal_pmos_40().is_nmos
+
+    def test_nmos_stronger_than_pmos(self):
+        # Electron mobility exceeds hole mobility in any bulk CMOS node.
+        assert nominal_nmos_40().kp > nominal_pmos_40().kp
+
+    def test_thresholds_reasonable_for_40nm(self):
+        for params in (nominal_nmos_40(), nominal_pmos_40()):
+            assert 0.2 < params.vth0 < 0.7
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            nominal_nmos_40().vth0 = 0.5
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            polarity=+1,
+            vth0=0.45,
+            kp=4e-4,
+            lam=0.2,
+            l_ref=40e-9,
+            gamma=0.35,
+            phi=0.8,
+            cox_area=1.35e-2,
+            cj_area=1e-3,
+            subthreshold_slope=0.03,
+        )
+        kwargs.update(overrides)
+        return MosfetParams(**kwargs)
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ValueError, match="polarity"):
+            self._base(polarity=0)
+
+    def test_negative_vth_rejected(self):
+        with pytest.raises(ValueError, match="vth0"):
+            self._base(vth0=-0.4)
+
+    def test_nonpositive_kp_rejected(self):
+        with pytest.raises(ValueError, match="kp"):
+            self._base(kp=0.0)
+
+    def test_nonpositive_slope_rejected(self):
+        with pytest.raises(ValueError, match="subthreshold_slope"):
+            self._base(subthreshold_slope=0.0)
+
+
+class TestLamScaling:
+    def test_lam_at_reference_length(self):
+        p = nominal_nmos_40()
+        assert p.lam_at(p.l_ref) == pytest.approx(p.lam)
+
+    def test_longer_channel_modulates_less(self):
+        p = nominal_nmos_40()
+        assert p.lam_at(4 * p.l_ref) == pytest.approx(p.lam / 4)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            nominal_nmos_40().lam_at(0.0)
+
+
+class TestWithDeltas:
+    def test_identity_delta(self):
+        p = nominal_nmos_40()
+        q = p.with_deltas()
+        assert q == p
+
+    def test_vth_shift(self):
+        p = nominal_nmos_40()
+        q = p.with_deltas(dvth=0.010)
+        assert q.vth0 == pytest.approx(p.vth0 + 0.010)
+        assert q.kp == p.kp
+
+    def test_beta_shift_is_relative(self):
+        p = nominal_nmos_40()
+        q = p.with_deltas(dbeta_rel=0.05)
+        assert q.kp == pytest.approx(p.kp * 1.05)
+
+    def test_original_unchanged(self):
+        p = nominal_nmos_40()
+        p.with_deltas(dvth=0.1, dbeta_rel=0.1)
+        assert p == nominal_nmos_40()
+
+    def test_catastrophic_beta_rejected(self):
+        with pytest.raises(ValueError, match="dbeta_rel"):
+            nominal_nmos_40().with_deltas(dbeta_rel=-1.0)

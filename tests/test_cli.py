@@ -1,0 +1,82 @@
+"""CLI tests — every subcommand exercised through main()."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStyles:
+    def test_styles_cm(self, capsys):
+        assert main(["styles", "--circuit", "cm"]) == 0
+        out = capsys.readouterr().out
+        assert "common_centroid" in out
+        assert "mismatch_pct" in out
+
+    def test_styles_default_circuit(self, capsys):
+        assert main(["styles"]) == 0
+        assert "sequential" in capsys.readouterr().out
+
+
+class TestSpice:
+    def test_spice_deck_printed(self, capsys):
+        assert main(["spice", "--circuit", "ota5t"]) == 0
+        out = capsys.readouterr().out
+        assert ".model nmos40" in out
+        assert out.rstrip().endswith(".end")
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["spice", "--circuit", "dac"])
+
+
+class TestPlace:
+    def test_place_quick_run(self, capsys, tmp_path):
+        svg = tmp_path / "out.svg"
+        code = main(["place", "--circuit", "ota5t", "--steps", "60",
+                     "--seed", "1", "--svg", str(svg)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "target" in out
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+
+class TestAblation:
+    def test_linearity_via_cli(self, capsys):
+        code = main(["ablation", "linearity", "--circuit", "ota5t",
+                     "--steps", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nonlinear" in out
+
+    def test_hierarchy_via_cli(self, capsys):
+        code = main(["ablation", "hierarchy", "--circuit", "ota5t",
+                     "--steps", "80"])
+        assert code == 0
+        assert "multi-level" in capsys.readouterr().out
+
+    def test_requires_which(self):
+        with pytest.raises(SystemExit):
+            main(["ablation"])
+
+
+class TestFig3:
+    def test_fig3_scaled_down(self, capsys):
+        # 5 % of the committed budget: seconds, still exercises the whole
+        # three-way comparison path end to end.
+        code = main(["fig3", "--circuit", "cm", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q-learning" in out
+        assert "Symmetric (SOTA)" in out
+        assert "claims:" in out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            main(["fig3", "--circuit", "cm", "--scale", "0"])
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,94 @@
+"""Unit tests for the LOD/STI-stress and well-proximity models."""
+
+import math
+
+import pytest
+
+from repro.variation import LodStressModel, UnitContext, WellProximityModel
+
+
+class TestUnitContext:
+    def test_defaults(self):
+        ctx = UnitContext(x=1e-6, y=2e-6)
+        assert ctx.run_left == 0
+        assert ctx.run_right == 0
+        assert math.isinf(ctx.dist_to_edge)
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError, match="runs"):
+            UnitContext(x=0, y=0, run_left=-1)
+
+    def test_negative_edge_distance_rejected(self):
+        with pytest.raises(ValueError, match="dist_to_edge"):
+            UnitContext(x=0, y=0, dist_to_edge=-1.0)
+
+
+class TestLodStress:
+    def setup_method(self):
+        self.model = LodStressModel(k_beta=0.02, k_vth=0.002)
+
+    def test_isolated_unit_feels_full_stress(self):
+        ctx = UnitContext(x=0, y=0, run_left=0, run_right=0)
+        # NMOS: compressive stress degrades mobility.
+        assert self.model.dbeta_rel(ctx, +1) == pytest.approx(-0.02)
+        # PMOS: the same stress improves mobility.
+        assert self.model.dbeta_rel(ctx, -1) == pytest.approx(+0.02)
+
+    def test_abutment_relieves_stress(self):
+        isolated = UnitContext(x=0, y=0, run_left=0, run_right=0)
+        embedded = UnitContext(x=0, y=0, run_left=4, run_right=4)
+        assert abs(self.model.dbeta_rel(embedded, +1)) < abs(
+            self.model.dbeta_rel(isolated, +1)
+        )
+
+    def test_stress_monotone_in_run_length(self):
+        shifts = [
+            abs(self.model.dbeta_rel(UnitContext(x=0, y=0, run_left=n, run_right=n), +1))
+            for n in range(5)
+        ]
+        assert shifts == sorted(shifts, reverse=True)
+
+    def test_asymmetric_runs_average(self):
+        ctx = UnitContext(x=0, y=0, run_left=0, run_right=3)
+        expected = -0.02 * 0.5 * (1.0 + 0.25)
+        assert self.model.dbeta_rel(ctx, +1) == pytest.approx(expected)
+
+    def test_vth_shift_polarity_independent_sign(self):
+        ctx = UnitContext(x=0, y=0)
+        assert self.model.dvth(ctx, +1) == pytest.approx(self.model.dvth(ctx, -1))
+        assert self.model.dvth(ctx, +1) > 0
+
+    def test_bad_polarity_rejected(self):
+        ctx = UnitContext(x=0, y=0)
+        with pytest.raises(ValueError, match="polarity"):
+            self.model.dbeta_rel(ctx, 0)
+        with pytest.raises(ValueError, match="polarity"):
+            self.model.dvth(ctx, 2)
+
+
+class TestWellProximity:
+    def setup_method(self):
+        self.model = WellProximityModel(k_vth=0.004, decay_length=2e-6)
+
+    def test_full_shift_at_edge(self):
+        ctx = UnitContext(x=0, y=0, dist_to_edge=0.0)
+        assert self.model.dvth(ctx) == pytest.approx(0.004)
+
+    def test_exponential_decay(self):
+        at_decay = UnitContext(x=0, y=0, dist_to_edge=2e-6)
+        assert self.model.dvth(at_decay) == pytest.approx(0.004 / math.e)
+
+    def test_far_from_edge_vanishes(self):
+        ctx = UnitContext(x=0, y=0, dist_to_edge=math.inf)
+        assert self.model.dvth(ctx) == 0.0
+
+    def test_monotone_decay(self):
+        shifts = [
+            self.model.dvth(UnitContext(x=0, y=0, dist_to_edge=d * 1e-6))
+            for d in range(6)
+        ]
+        assert shifts == sorted(shifts, reverse=True)
+
+    def test_bad_decay_length_rejected(self):
+        with pytest.raises(ValueError, match="decay_length"):
+            WellProximityModel(decay_length=0.0)
