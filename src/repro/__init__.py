@@ -23,7 +23,8 @@ Quick start::
 Subpackages: :mod:`repro.core` (the RL framework + SA baseline),
 :mod:`repro.netlist`, :mod:`repro.tech`, :mod:`repro.variation`,
 :mod:`repro.sim`, :mod:`repro.layout`, :mod:`repro.route`,
-:mod:`repro.eval`, :mod:`repro.experiments`.
+:mod:`repro.eval`, :mod:`repro.experiments`, :mod:`repro.runtime`
+(the parallel execution backends behind ``--jobs``).
 """
 
 from repro.core import (
@@ -55,6 +56,14 @@ from repro.netlist import (
     to_spice,
     two_stage_ota,
 )
+from repro.runtime import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RunSpec,
+    SerialBackend,
+    map_runs,
+    resolve_backend,
+)
 from repro.tech import Technology, generic_tech_40
 from repro.variation import VariationModel, default_variation_model
 
@@ -64,6 +73,7 @@ __all__ = [
     "AnalogBlock",
     "Circuit",
     "EpsilonSchedule",
+    "ExecutionBackend",
     "FlatQPlacer",
     "Metrics",
     "MultiLevelPlacer",
@@ -71,9 +81,12 @@ __all__ = [
     "PlacementEnv",
     "PlacementEvaluator",
     "PlacerResult",
+    "ProcessPoolBackend",
     "QAgent",
     "RandomSearchPlacer",
     "RewardConfig",
+    "RunSpec",
+    "SerialBackend",
     "SimulatedAnnealingPlacer",
     "Technology",
     "VariationModel",
@@ -87,7 +100,9 @@ __all__ = [
     "from_spice",
     "generic_tech_40",
     "initial_placement",
+    "map_runs",
     "render_placement",
+    "resolve_backend",
     "to_spice",
     "two_stage_ota",
     "__version__",

@@ -14,8 +14,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.hierarchy import MultiLevelPlacer
-from repro.core.policy import EpsilonSchedule
 from repro.eval.evaluator import PlacementEvaluator
 from repro.experiments import (
     ALL_CONFIGS,
@@ -31,7 +29,6 @@ from repro.experiments import (
     run_linearity_ablation,
 )
 from repro.experiments.scaling import format_scaling, run_scaling
-from repro.layout.env import PlacementEnv
 from repro.layout.generators import banded_placement
 from repro.layout.render import render_placement
 from repro.layout.svg import save_placement_svg
@@ -43,6 +40,7 @@ from repro.netlist.library import (
     two_stage_ota,
 )
 from repro.netlist.spice import to_spice
+from repro.runtime import RunSpec, map_runs, resolve_backend
 from repro.tech import generic_tech_40
 
 CIRCUITS = {
@@ -52,6 +50,13 @@ CIRCUITS = {
     "ota5t": five_transistor_ota,
     "ota2s": two_stage_ota,
 }
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("jobs cannot be negative")
+    return jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,9 +70,14 @@ def _build_parser() -> argparse.ArgumentParser:
     styles.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
 
     fig3 = sub.add_parser("fig3", help="run the Fig. 3 comparison")
-    fig3.add_argument("--circuit", choices=sorted(ALL_CONFIGS), default="cm")
+    fig3.add_argument("circuit_pos", nargs="?", choices=sorted(ALL_CONFIGS),
+                      metavar="circuit", default=None,
+                      help="circuit to run (same as --circuit)")
+    fig3.add_argument("--circuit", choices=sorted(ALL_CONFIGS), default=None)
     fig3.add_argument("--scale", type=float, default=1.0,
                       help="step-budget multiplier")
+    fig3.add_argument("--jobs", type=_jobs_arg, default=1,
+                      help="worker processes for the per-seed fan-out")
 
     ablation = sub.add_parser("ablation", help="run an ablation experiment")
     ablation.add_argument("which", choices=[
@@ -76,6 +86,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
     ablation.add_argument("--steps", type=int, default=400)
     ablation.add_argument("--seed", type=int, default=1)
+    ablation.add_argument("--jobs", type=_jobs_arg, default=1,
+                          help="worker processes for independent runs")
 
     spice = sub.add_parser("spice", help="print a circuit's SPICE deck")
     spice.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
@@ -86,6 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
     place.add_argument("--seed", type=int, default=1)
     place.add_argument("--svg", metavar="PATH",
                        help="write the winning placement as SVG")
+    place.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes (the run executes on the "
+                            "shared runtime either way)")
     return parser
 
 
@@ -103,29 +118,39 @@ def _cmd_styles(args) -> int:
 
 
 def _cmd_fig3(args) -> int:
-    config = ALL_CONFIGS[args.circuit]
+    if (args.circuit_pos is not None and args.circuit is not None
+            and args.circuit_pos != args.circuit):
+        raise SystemExit(
+            f"fig3: conflicting circuits: positional {args.circuit_pos!r} "
+            f"vs --circuit {args.circuit!r}"
+        )
+    circuit = args.circuit_pos or args.circuit or "cm"
+    config = ALL_CONFIGS[circuit]
     if args.scale != 1.0:
         config = config.scaled(args.scale)
-    print(format_fig3(run_fig3(config)))
+    print(format_fig3(run_fig3(config.with_jobs(max(1, args.jobs)))))
     return 0
 
 
 def _cmd_ablation(args) -> int:
     block = CIRCUITS[args.circuit]()
+    backend = resolve_backend(args.jobs)
     if args.which == "hierarchy":
         print(format_hierarchy(run_hierarchy_ablation(
-            block, max_steps=args.steps, seed=args.seed)))
+            block, max_steps=args.steps, seed=args.seed, backend=backend)))
     elif args.which == "convergence":
         print(format_convergence(run_convergence_ablation(
-            block, max_steps=args.steps, seed=args.seed)))
+            block, max_steps=args.steps, seed=args.seed, backend=backend)))
     elif args.which == "linearity":
         print(format_linearity(run_linearity_ablation(
-            CIRCUITS[args.circuit], max_steps=args.steps, seed=args.seed)))
+            CIRCUITS[args.circuit], max_steps=args.steps, seed=args.seed,
+            backend=backend)))
     elif args.which == "dummies":
         print(format_dummies(run_dummy_ablation(
-            block, max_steps=args.steps, seed=args.seed)))
+            block, max_steps=args.steps, seed=args.seed, backend=backend)))
     else:
-        print(format_scaling(run_scaling(max_steps=args.steps, seed=args.seed)))
+        print(format_scaling(run_scaling(
+            max_steps=args.steps, seed=args.seed, backend=backend)))
     return 0
 
 
@@ -137,19 +162,13 @@ def _cmd_spice(args) -> int:
 
 def _cmd_place(args) -> int:
     block = CIRCUITS[args.circuit]()
-    evaluator = PlacementEvaluator(block)
-    target = min(
-        evaluator.cost(banded_placement(block, style))
-        for style in ("ysym", "common_centroid")
-    )
-    env = PlacementEnv(block, evaluator.cost)
-    epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * args.steps)))
-    placer = MultiLevelPlacer(env, epsilon=epsilon, seed=args.seed,
-                              sim_counter=lambda: evaluator.sim_count)
-    result = placer.optimize(max_steps=args.steps, target=target)
-    metrics = evaluator.evaluate(result.best_placement)
-    print(metrics.summary())
-    print(f"target (best symmetric): {target:.4f}  "
+    spec = RunSpec(key="place", builder=args.circuit, placer="ql",
+                   seed=args.seed, max_steps=args.steps,
+                   target_from_symmetric=True, share_target_evaluator=True)
+    outcome = map_runs([spec], resolve_backend(args.jobs))[0]
+    result = outcome.result
+    print(outcome.metrics.summary())
+    print(f"target (best symmetric): {outcome.target:.4f}  "
           f"reached after {result.sims_to_target} simulations "
           f"({result.sims_used} total)")
     print(render_placement(result.best_placement, block.circuit))

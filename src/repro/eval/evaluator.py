@@ -15,6 +15,7 @@ need:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Mapping
 
 from repro.eval.metrics import Metrics
@@ -43,7 +44,7 @@ class PlacementEvaluator:
             model scaled to the block's canvas.
         cost_area_weight: strength of the multiplicative area term in
             :meth:`cost` (0 disables it).
-        cache_size: maximum number of memoised placements (FIFO eviction).
+        cache_size: maximum number of memoised placements (LRU eviction).
         corner: optional global process corner applied on top of the
             local variation field (see :mod:`repro.variation.corners`).
     """
@@ -70,7 +71,7 @@ class PlacementEvaluator:
         self.sim_count = 0
         self.cache_hits = 0
         self.sim_failures = 0
-        self._cache: dict[tuple, Metrics] = {}
+        self._cache: OrderedDict[tuple, Metrics] = OrderedDict()
         self._cache_size = cache_size
         self._warm: Warm = {}
         if block.kind not in SUITES:
@@ -103,6 +104,7 @@ class PlacementEvaluator:
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            self._cache.move_to_end(key)
             return cached
         deltas = self.deltas_for(placement)
         annotated = annotate_parasitics(self.block.circuit, placement, self.tech)
@@ -123,7 +125,7 @@ class PlacementEvaluator:
             )
         self.sim_count += 1
         if len(self._cache) >= self._cache_size:
-            self._cache.pop(next(iter(self._cache)))
+            self._cache.popitem(last=False)
         self._cache[key] = metrics
         return metrics
 
@@ -149,6 +151,7 @@ class PlacementEvaluator:
         """Zero the simulation/cache counters (cache content is kept)."""
         self.sim_count = 0
         self.cache_hits = 0
+        self.sim_failures = 0
 
     def clear_cache(self) -> None:
         """Drop memoised results (counters are kept)."""

@@ -6,6 +6,13 @@ statistics include every circuit-level interaction, not just a single
 pair's ΔV_th.  Useful to quantify the paper's division of labour: layout
 optimization removes the systematic component; the random floor (set by
 device area) remains.
+
+Draws are mutually independent: each one gets its own counter-derived
+RNG stream (``SeedSequence(seed).spawn``-style) and a fresh simulator
+warm-start, so a draw's value depends only on ``(seed, draw index)`` —
+never on which worker ran it or in what order.  That is what lets the
+per-draw loop fan out over the execution runtime (:mod:`repro.runtime`)
+with bit-identical statistics on any backend.
 """
 
 from __future__ import annotations
@@ -24,13 +31,15 @@ from repro.tech import Technology, generic_tech_40
 from repro.variation import PelgromMismatch, VariationModel, default_variation_model
 
 
+
 @dataclass
 class McResult:
     """Monte-Carlo statistics of one metric.
 
     Attributes:
         metric: metric key sampled (the suite's primary by default).
-        samples: per-run values (failed runs are dropped and counted).
+        samples: per-run values in draw order (failed runs are dropped
+            and counted).
         failures: runs whose simulation did not converge.
     """
 
@@ -54,6 +63,70 @@ class McResult:
         return float(np.quantile(self.samples, q))
 
 
+@dataclass(frozen=True)
+class _McChunk:
+    """One picklable work item: a contiguous range of draw indices.
+
+    Carries plain data only (block, placement, variation model, tech) —
+    the suite, parasitic annotation and device contexts are rebuilt
+    inside the worker.
+    """
+
+    block: AnalogBlock
+    placement: Placement
+    variation: VariationModel
+    tech: Technology
+    metric: str | None
+    seed: int
+    indices: tuple[int, ...]
+
+
+def _draw_rng(seed: int, index: int) -> np.random.Generator:
+    """The independent RNG stream of draw ``index`` under ``seed``."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    )
+
+
+def _run_chunk(chunk: _McChunk) -> list[tuple[int, str | None, float]]:
+    """Worker: simulate one chunk of draws.
+
+    Returns ``(index, metric_key, value)`` per draw; a failed draw
+    yields ``(index, None, nan)``.  Module-level so process backends can
+    pickle it by reference.
+    """
+    block, placement, tech = chunk.block, chunk.placement, chunk.tech
+    suite = SUITES[block.kind]
+    annotated = annotate_parasitics(block.circuit, placement, tech)
+    contexts = {
+        m.name: device_contexts(placement, m.name, tech)
+        for m in block.circuit.mosfets()
+    }
+    out: list[tuple[int, str | None, float]] = []
+    for index in chunk.indices:
+        rng = _draw_rng(chunk.seed, index)
+        deltas = {
+            m.name: chunk.variation.sample_device(
+                contexts[m.name], m.polarity, m.unit_width, m.length, rng
+            )
+            for m in block.circuit.mosfets()
+        }
+        warm: Warm = {}
+        try:
+            result = suite(block, annotated, deltas, tech, placement, warm)
+        except ConvergenceError:
+            out.append((index, None, float("nan")))
+            continue
+        key = chunk.metric
+        if key is None:
+            key = (
+                "offset_signed_mv" if "offset_signed_mv" in result
+                else result.primary
+            )
+        out.append((index, key, result[key]))
+    return out
+
+
 def monte_carlo(
     block: AnalogBlock,
     placement: Placement,
@@ -62,6 +135,7 @@ def monte_carlo(
     tech: Technology | None = None,
     variation: VariationModel | None = None,
     metric: str | None = None,
+    backend=None,
 ) -> McResult:
     """Run the measurement suite under ``n_runs`` mismatch realizations.
 
@@ -76,6 +150,9 @@ def monte_carlo(
             mismatch is passed, Pelgrom defaults are added.
         metric: metric key to collect; defaults to the suite's primary
             (signed variant when available, e.g. ``offset_signed_mv``).
+        backend: execution backend for the draw fan-out (``None`` =
+            serial; see :mod:`repro.runtime`).  Statistics are identical
+            on every backend.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -87,36 +164,40 @@ def monte_carlo(
         import dataclasses
         variation = dataclasses.replace(variation, mismatch=PelgromMismatch())
 
-    suite = SUITES[block.kind]
-    annotated = annotate_parasitics(block.circuit, placement, tech)
-    contexts = {
-        m.name: device_contexts(placement, m.name, tech)
-        for m in block.circuit.mosfets()
-    }
-    rng = np.random.default_rng(seed)
-    warm: Warm = {}
+    if backend is None:
+        from repro.runtime import SerialBackend
+        backend = SerialBackend()
+
+    # Each draw depends only on (seed, index), so the chunk partitioning
+    # cannot influence results (tested) — size it to the backend: one
+    # chunk in-process (setup built once, like the historical loop),
+    # several per worker for load balancing under a pool.
+    jobs = getattr(backend, "jobs", 1)
+    n_chunks = 1 if jobs <= 1 else min(n_runs, jobs * 4)
+    bounds = np.linspace(0, n_runs, n_chunks + 1, dtype=int)
+    chunks = [
+        _McChunk(
+            block=block, placement=placement, variation=variation, tech=tech,
+            metric=metric, seed=seed,
+            indices=tuple(range(start, stop)),
+        )
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    draws = [draw for chunk_out in backend.map(_run_chunk, chunks)
+             for draw in chunk_out]
+    draws.sort(key=lambda d: d[0])  # merge by draw index, never worker order
+
     samples: list[float] = []
     failures = 0
     metric_key = metric
-
-    for __ in range(n_runs):
-        deltas = {
-            m.name: variation.sample_device(
-                contexts[m.name], m.polarity, m.unit_width, m.length, rng
-            )
-            for m in block.circuit.mosfets()
-        }
-        try:
-            result = suite(block, annotated, deltas, tech, placement, warm)
-        except ConvergenceError:
+    for __, key, value in draws:
+        if key is None:
             failures += 1
             continue
         if metric_key is None:
-            metric_key = (
-                "offset_signed_mv" if "offset_signed_mv" in result
-                else result.primary
-            )
-        samples.append(result[metric_key])
+            metric_key = key
+        samples.append(value)
 
     if not samples:
         raise RuntimeError(f"all {n_runs} Monte-Carlo runs failed to converge")

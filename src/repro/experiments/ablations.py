@@ -8,6 +8,11 @@
   symmetric layout is already near-optimal and objective-driven search
   buys little; under the non-linear field it buys a lot.  This is the
   premise of the whole paper.
+
+Each ablation's independent runs (the two Q-learning formulations, the
+QL-vs-SA pair, the two field regimes) fan out over the execution runtime
+(:mod:`repro.runtime`); results merge by run key, so any backend yields
+identical ablation tables.
 """
 
 from __future__ import annotations
@@ -15,16 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.annealing import SimulatedAnnealingPlacer
-from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
-from repro.core.policy import EpsilonSchedule
 from repro.eval.evaluator import PlacementEvaluator
 from repro.layout.dummies import dummy_area_overhead, with_dummy_halo
-from repro.layout.env import PlacementEnv
 from repro.layout.generators import banded_placement
 from repro.netlist.library import AnalogBlock
-from repro.tech import generic_tech_40
-from repro.variation import default_variation_model
+from repro.runtime import (
+    ExecutionBackend,
+    RunSpec,
+    map_runs,
+    outcomes_by_key,
+    symmetric_target,
+)
 
 
 @dataclass
@@ -43,28 +49,23 @@ class HierarchyAblation:
 
 
 def run_hierarchy_ablation(
-    block: AnalogBlock, max_steps: int = 400, seed: int = 1
+    block: AnalogBlock,
+    max_steps: int = 400,
+    seed: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> HierarchyAblation:
     """Compare the two Q-learning formulations on one circuit."""
-    epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * max_steps)))
+    target = symmetric_target(block, PlacementEvaluator(block))
 
-    ev_ref = PlacementEvaluator(block)
-    target = min(
-        ev_ref.cost(banded_placement(block, s))
-        for s in ("ysym", "common_centroid")
-    )
-
-    ev_m = PlacementEvaluator(block)
-    env_m = PlacementEnv(block, ev_m.cost)
-    multi = MultiLevelPlacer(env_m, epsilon=epsilon, seed=seed,
-                             sim_counter=lambda: ev_m.sim_count)
-    rm = multi.optimize(max_steps=max_steps, target=target)
-
-    ev_f = PlacementEvaluator(block)
-    env_f = PlacementEnv(block, ev_f.cost)
-    flat = FlatQPlacer(env_f, epsilon=epsilon, seed=seed,
-                       sim_counter=lambda: ev_f.sim_count)
-    rf = flat.optimize(max_steps=max_steps, target=target)
+    specs = [
+        RunSpec(key="multi", builder=block, placer="ql", seed=seed,
+                max_steps=max_steps, target=target, evaluate_best=False),
+        RunSpec(key="flat", builder=block, placer="flat", seed=seed,
+                max_steps=max_steps, target=target, evaluate_best=False),
+    ]
+    outcomes = outcomes_by_key(map_runs(specs, backend))
+    rm = outcomes["multi"].result
+    rf = outcomes["flat"].result
 
     return HierarchyAblation(
         circuit=block.name,
@@ -123,22 +124,21 @@ def _cost_at(history: list[tuple[int, float]], sims: int) -> float:
 
 
 def run_convergence_ablation(
-    block: AnalogBlock, max_steps: int = 600, seed: int = 1
+    block: AnalogBlock,
+    max_steps: int = 600,
+    seed: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> ConvergenceAblation:
     """Produce the QL-vs-SA convergence traces for one circuit."""
-    epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * max_steps)))
-
-    ev_q = PlacementEvaluator(block)
-    env_q = PlacementEnv(block, ev_q.cost)
-    ql = MultiLevelPlacer(env_q, epsilon=epsilon, seed=seed,
-                          sim_counter=lambda: ev_q.sim_count)
-    rq = ql.optimize(max_steps=max_steps)
-
-    ev_s = PlacementEvaluator(block)
-    env_s = PlacementEnv(block, ev_s.cost)
-    sa = SimulatedAnnealingPlacer(env_s, seed=seed,
-                                  sim_counter=lambda: ev_s.sim_count)
-    rs = sa.optimize(max_steps=max_steps)
+    specs = [
+        RunSpec(key="ql", builder=block, placer="ql", seed=seed,
+                max_steps=max_steps, evaluate_best=False),
+        RunSpec(key="sa", builder=block, placer="sa", seed=seed,
+                max_steps=max_steps, evaluate_best=False),
+    ]
+    outcomes = outcomes_by_key(map_runs(specs, backend))
+    rq = outcomes["ql"].result
+    rs = outcomes["sa"].result
 
     return ConvergenceAblation(
         circuit=block.name,
@@ -170,7 +170,10 @@ class DummyAblation:
 
 
 def run_dummy_ablation(
-    block: AnalogBlock, max_steps: int = 400, seed: int = 1
+    block: AnalogBlock,
+    max_steps: int = 400,
+    seed: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> DummyAblation:
     """Measure bare-symmetric vs symmetric+dummies vs Q-learning."""
     evaluator = PlacementEvaluator(block)
@@ -197,13 +200,9 @@ def run_dummy_ablation(
         "area_overhead": dummy_area_overhead(dummied),
     }
 
-    env = PlacementEnv(block, evaluator.cost)
-    epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * max_steps)))
-    placer = MultiLevelPlacer(env, epsilon=epsilon, seed=seed,
-                              sim_counter=lambda: evaluator.sim_count)
-    result = placer.optimize(max_steps=max_steps,
-                             target=evaluator.cost(bare))
-    ql_metrics = evaluator.evaluate(result.best_placement)
+    spec = RunSpec(key="ql", builder=block, placer="ql", seed=seed,
+                   max_steps=max_steps, target=evaluator.cost(bare))
+    ql_metrics = map_runs([spec], backend)[0].metrics
     out.rows["q-learning"] = {
         "primary": ql_metrics.primary_value,
         "area_um2": ql_metrics["area_um2"],
@@ -232,6 +231,7 @@ def run_linearity_ablation(
     block_builder: Callable[[], AnalogBlock],
     max_steps: int = 400,
     seed: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> LinearityAblation:
     """Run the linear-vs-nonlinear field comparison on one circuit.
 
@@ -241,27 +241,24 @@ def run_linearity_ablation(
     objective-driven search cannot improve much.  Under ``nonlinear``
     (field + LDEs) the symmetric cancellation breaks and unconventional
     placement wins big — the paper's premise.
+
+    Each regime's worker builds its own variation field and computes the
+    symmetric reference with the run's evaluator (sharing its cache),
+    exactly as the historical in-process loop did.
     """
-    tech = generic_tech_40()
     out = LinearityAblation(circuit=block_builder().name)
-    for kind in ("linear", "nonlinear"):
-        block = block_builder()
-        extent = max(block.canvas) * tech.grid_pitch
-        variation = default_variation_model(
-            canvas_extent=extent, kind=kind, with_lde=(kind == "nonlinear")
-        )
-        evaluator = PlacementEvaluator(block, tech=tech, variation=variation)
-        sym = min(
-            evaluator.cost(banded_placement(block, s))
-            for s in ("ysym", "common_centroid")
-        )
-        env = PlacementEnv(block, evaluator.cost)
-        epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * max_steps)))
-        placer = MultiLevelPlacer(env, epsilon=epsilon, seed=seed,
-                                  sim_counter=lambda: evaluator.sim_count)
-        result = placer.optimize(max_steps=max_steps, target=sym)
-        optimized = min(sym, result.best_cost)
-        out.regimes[kind] = {
+    specs = [
+        RunSpec(key=kind, builder=block_builder, placer="ql", seed=seed,
+                max_steps=max_steps, target_from_symmetric=True,
+                share_target_evaluator=True, variation_kind=kind,
+                variation_with_lde=(kind == "nonlinear"),
+                evaluate_best=False)
+        for kind in ("linear", "nonlinear")
+    ]
+    for outcome in map_runs(specs, backend):
+        sym = outcome.target
+        optimized = min(sym, outcome.result.best_cost)
+        out.regimes[outcome.key] = {
             "symmetric": sym,
             "optimized": optimized,
             "gain": sym / max(optimized, 1e-12),

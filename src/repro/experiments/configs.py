@@ -32,6 +32,9 @@ class ExperimentConfig:
             exploration decays.
         ql_worse_tolerance: initial move-acceptance tolerance for the
             Q-learning placer (fraction of current cost, annealed to 0).
+        jobs: worker processes for the per-seed fan-out (1 = serial;
+            see :mod:`repro.runtime`).  Results are identical at any
+            job count — only wall-clock changes.
     """
 
     name: str
@@ -40,6 +43,7 @@ class ExperimentConfig:
     seeds: tuple[int, ...]
     epsilon_decay_frac: float = 0.6
     ql_worse_tolerance: float = 0.5
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -48,12 +52,18 @@ class ExperimentConfig:
             raise ValueError("need at least one seed")
         if not 0.0 < self.epsilon_decay_frac <= 1.0:
             raise ValueError("epsilon_decay_frac must be in (0, 1]")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """A variant with the step budget scaled by ``factor``."""
         if factor <= 0:
             raise ValueError("factor must be positive")
         return replace(self, max_steps=max(1, int(self.max_steps * factor)))
+
+    def with_jobs(self, jobs: int) -> "ExperimentConfig":
+        """A variant fanning its independent runs over ``jobs`` workers."""
+        return replace(self, jobs=jobs)
 
 
 CM_CONFIG = ExperimentConfig(

@@ -12,22 +12,23 @@ For one circuit the protocol is exactly the paper's Section III:
 
 Each stochastic algorithm runs over several seeds; the run with the
 median best cost is reported so tables are stable without cherry-picking.
+Per-seed runs are independent and fan out over the execution runtime
+(:mod:`repro.runtime`) — serial by default, multi-process with
+``jobs > 1`` — with results merged by seed so the table is identical at
+any job count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.annealing import SimulatedAnnealingPlacer
-from repro.core.hierarchy import MultiLevelPlacer
-from repro.core.policy import EpsilonSchedule
 from repro.eval.evaluator import PlacementEvaluator
 from repro.eval.fom import compute_fom
 from repro.eval.metrics import Metrics
 from repro.experiments.configs import ExperimentConfig
-from repro.layout.env import PlacementEnv
 from repro.layout.generators import banded_placement
 from repro.layout.placement import Placement
+from repro.runtime import ExecutionBackend, RunSpec, map_runs, resolve_backend
 
 
 @dataclass
@@ -124,12 +125,44 @@ def best_symmetric(
     return style, placement, evaluator.evaluate(placement)
 
 
-def run_fig3(config: ExperimentConfig) -> Fig3Result:
-    """Run the full three-way comparison for one circuit."""
+#: Fig. 3 row name → runtime placer kind.
+ALGORITHMS = (("SA", "sa"), ("Q-learning", "ql"))
+
+
+def _algo_specs(config: ExperimentConfig, target: float) -> list[RunSpec]:
+    """One lightweight spec per (algorithm, seed) — the full fan-out."""
+    specs = []
+    for name, placer in ALGORITHMS:
+        for seed in config.seeds:
+            specs.append(RunSpec(
+                key=(name, seed),
+                builder=config.builder,
+                placer=placer,
+                seed=seed,
+                max_steps=config.max_steps,
+                target=target,
+                epsilon_decay_frac=config.epsilon_decay_frac,
+                ql_worse_tolerance=(
+                    config.ql_worse_tolerance if placer == "ql" else None
+                ),
+            ))
+    return specs
+
+
+def run_fig3(
+    config: ExperimentConfig,
+    backend: ExecutionBackend | None = None,
+) -> Fig3Result:
+    """Run the full three-way comparison for one circuit.
+
+    Args:
+        config: circuit, budgets and seeds (``config.jobs`` picks the
+            default backend).
+        backend: explicit execution backend; overrides ``config.jobs``.
+    """
     block = config.builder()
-    epsilon = EpsilonSchedule(
-        0.9, 0.05, max(1, int(config.epsilon_decay_frac * config.max_steps))
-    )
+    if backend is None:
+        backend = resolve_backend(config.jobs)
 
     # Reference: best symmetric layout (also defines the target).
     ref_eval = PlacementEvaluator(block)
@@ -147,22 +180,15 @@ def run_fig3(config: ExperimentConfig) -> Fig3Result:
         placement=sym_placement,
     ))
 
-    def run_algo(name: str, make_placer) -> None:
-        runs = []
-        evaluators = []
-        for seed in config.seeds:
-            evaluator = PlacementEvaluator(block)
-            env = PlacementEnv(block, evaluator.cost)
-            placer = make_placer(env, evaluator, seed)
-            runs.append(placer.optimize(max_steps=config.max_steps, target=target))
-            evaluators.append(evaluator)
+    # Both algorithms' per-seed runs fan out in one batch; outcomes come
+    # back in spec order, so each row merges by seed deterministically.
+    outcomes = map_runs(_algo_specs(config, target), backend)
+    by_key = {o.key: o for o in outcomes}
+    for name, __ in ALGORITHMS:
+        seed_outcomes = [by_key[(name, seed)] for seed in config.seeds]
+        runs = [o.result for o in seed_outcomes]
         chosen = _median_run(runs)
-        idx = runs.index(chosen)
-        metrics = evaluators[idx].evaluate(chosen.best_placement)
-        primary_runs = [
-            ev.evaluate(r.best_placement).primary_value
-            for ev, r in zip(evaluators, runs)
-        ]
+        metrics = seed_outcomes[runs.index(chosen)].metrics
         result.rows.append(AlgoRow(
             algorithm=name,
             primary=metrics.primary_value,
@@ -171,22 +197,7 @@ def run_fig3(config: ExperimentConfig) -> Fig3Result:
             sims_to_target=chosen.sims_to_target,
             metrics=metrics,
             placement=chosen.best_placement,
-            primary_runs=primary_runs,
+            primary_runs=[o.metrics.primary_value for o in seed_outcomes],
             tt_runs=[r.sims_to_target for r in runs],
         ))
-
-    run_algo(
-        "SA",
-        lambda env, ev, seed: SimulatedAnnealingPlacer(
-            env, seed=seed, sim_counter=lambda: ev.sim_count
-        ),
-    )
-    run_algo(
-        "Q-learning",
-        lambda env, ev, seed: MultiLevelPlacer(
-            env, epsilon=epsilon, seed=seed,
-            worse_tolerance=config.ql_worse_tolerance,
-            sim_counter=lambda: ev.sim_count,
-        ),
-    )
     return result

@@ -11,12 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.hierarchy import MultiLevelPlacer
-from repro.core.policy import EpsilonSchedule
-from repro.eval.evaluator import PlacementEvaluator
-from repro.layout.env import PlacementEnv
-from repro.layout.generators import banded_placement
 from repro.netlist.library import current_mirror
+from repro.runtime import ExecutionBackend, RunSpec, map_runs
 
 
 @dataclass
@@ -39,29 +35,34 @@ def run_scaling(
     units_per_device: tuple[int, ...] = (2, 4, 6),
     max_steps: int = 350,
     seed: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> ScalingResult:
-    """Sweep the CM size and optimize each instance with the QL placer."""
+    """Sweep the CM size and optimize each instance with the QL placer.
+
+    Each size is an independent run and fans out over the runtime; the
+    worker derives the symmetric target with the run's own evaluator
+    (sharing its cache and simulation counter, as the historical loop
+    did, so reported sim counts are unchanged).
+    """
     out = ScalingResult()
-    for upd in units_per_device:
-        block = current_mirror(units_per_device=upd)
-        evaluator = PlacementEvaluator(block)
-        target = min(
-            evaluator.cost(banded_placement(block, style))
-            for style in ("ysym", "common_centroid")
-        )
-        env = PlacementEnv(block, evaluator.cost)
-        epsilon = EpsilonSchedule(0.9, 0.05, max(1, int(0.6 * max_steps)))
-        placer = MultiLevelPlacer(env, epsilon=epsilon, seed=seed,
-                                  worse_tolerance=0.2,
-                                  sim_counter=lambda: evaluator.sim_count)
-        result = placer.optimize(max_steps=max_steps, target=target)
-        out.rows[block.circuit.total_units()] = {
+    blocks = [current_mirror(units_per_device=upd) for upd in units_per_device]
+    specs = [
+        RunSpec(key=upd, builder=block,
+                placer="ql", seed=seed, max_steps=max_steps,
+                target_from_symmetric=True, share_target_evaluator=True,
+                ql_worse_tolerance=0.2, evaluate_best=False)
+        for upd, block in zip(units_per_device, blocks)
+    ]
+    for block, outcome in zip(blocks, map_runs(specs, backend)):
+        result = outcome.result
+        size = block.circuit.total_units()
+        out.rows[size] = {
             "sims_to_target": (float("inf") if result.sims_to_target is None
                                else result.sims_to_target),
             "top_states": result.diagnostics["top_states"],
             "total_entries": result.diagnostics["total_entries"],
             "best": result.best_cost,
-            "target": target,
+            "target": outcome.target,
         }
     return out
 

@@ -1,0 +1,42 @@
+"""Parallel execution runtime — the seam every fan-out goes through.
+
+Drivers describe independent work as lightweight picklable specs and a
+backend decides where it runs: in-process (:class:`SerialBackend`) or
+across worker processes (:class:`ProcessPoolBackend`, the ``--jobs N``
+flag).  Backends preserve item order, so serial and parallel runs are
+result-identical.  Future scaling work (sharding circuits across
+machines, async evaluation, batched MNA) plugs in as new backends
+without touching the drivers.
+"""
+
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.runtime.spec import (
+    BUILDERS,
+    RunOutcome,
+    RunSpec,
+    build_block,
+    execute_run,
+    map_runs,
+    outcomes_by_key,
+    symmetric_target,
+)
+
+__all__ = [
+    "BUILDERS",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "RunOutcome",
+    "RunSpec",
+    "SerialBackend",
+    "build_block",
+    "execute_run",
+    "map_runs",
+    "outcomes_by_key",
+    "resolve_backend",
+    "symmetric_target",
+]

@@ -1,0 +1,128 @@
+"""Execution backends: where independent work items actually run.
+
+Every experiment driver in the repo fans out *independent* pieces of work
+— one optimizer run per seed, one Monte-Carlo chunk per draw range, one
+scaling instance per circuit size.  A backend is the single seam through
+which that fan-out happens:
+
+* :class:`SerialBackend` executes in-process, in order — exactly the
+  behavior of the original hand-rolled loops, with zero dependencies;
+* :class:`ProcessPoolBackend` executes on a :class:`concurrent.futures.
+  ProcessPoolExecutor`, one OS process per job (the ``--jobs N`` CLI
+  flag).
+
+The contract every backend honours — and the reason serial and parallel
+runs are result-identical — is **order preservation**: ``map(fn, items)``
+returns results in *item order*, never completion order.  Work shipped
+across the process boundary must be picklable, which is why callers send
+lightweight specs (see :mod:`repro.runtime.spec`) instead of live
+evaluators, environments, or closures.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can map a function over independent work items.
+
+    Implementations must return results **in item order** (never
+    completion order), one per item, and must propagate worker
+    exceptions to the caller.
+    """
+
+    #: Degree of parallelism the backend offers (1 = serial).  Callers
+    #: may use it to size work partitions.
+    jobs: int
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item; results aligned with ``items``."""
+        ...
+
+
+class SerialBackend:
+    """In-process, in-order execution — the zero-dependency default."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend:
+    """Fan work out over a pool of worker processes.
+
+    Args:
+        jobs: worker process count (defaults to the machine's CPU count).
+        mp_start_method: multiprocessing start method (``"fork"``,
+            ``"spawn"``, ``"forkserver"``); ``None`` uses the platform
+            default.
+
+    The pool is created per :meth:`map` call, so the backend object
+    itself holds no OS resources and is safe to keep on configs.
+    ``fn`` and every item must be picklable — module-level functions and
+    plain-data specs, not closures or live evaluators.
+    """
+
+    def __init__(self, jobs: int | None = None, mp_start_method: str | None = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.mp_start_method = mp_start_method
+
+    def _executor(self, n_items: int) -> ProcessPoolExecutor:
+        import multiprocessing
+
+        context = (
+            multiprocessing.get_context(self.mp_start_method)
+            if self.mp_start_method is not None
+            else None
+        )
+        workers = max(1, min(self.jobs, n_items))
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        # Mild chunking amortises pickling without starving workers.
+        chunksize = max(1, len(items) // (self.jobs * 4))
+        with self._executor(len(items)) as executor:
+            return list(executor.map(fn, items, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(jobs={self.jobs})"
+
+
+def resolve_backend(
+    jobs: int | ExecutionBackend | None,
+) -> ExecutionBackend:
+    """Turn a ``--jobs`` value (or an explicit backend) into a backend.
+
+    ``None``, ``0`` and ``1`` mean serial; ``N >= 2`` means a process
+    pool with ``N`` workers.  An :class:`ExecutionBackend` instance is
+    passed through untouched, so APIs can accept either form.
+    """
+    if jobs is None:
+        return SerialBackend()
+    if isinstance(jobs, int):
+        if jobs < 0:
+            raise ValueError(f"jobs cannot be negative, got {jobs}")
+        if jobs <= 1:
+            return SerialBackend()
+        return ProcessPoolBackend(jobs=jobs)
+    if isinstance(jobs, ExecutionBackend):
+        return jobs
+    raise TypeError(f"expected int, None or ExecutionBackend, got {type(jobs)!r}")

@@ -1,0 +1,252 @@
+"""Lightweight, picklable run specifications and the worker that runs them.
+
+The experiment drivers never ship live objects across the process
+boundary — a :class:`PlacementEvaluator` holds a memoisation cache, and
+the placers hold ``sim_counter=lambda: evaluator.sim_count`` closures,
+neither of which pickles.  Instead a driver describes each independent
+optimizer run as a :class:`RunSpec` (circuit builder, placer kind, seed,
+budgets) and :func:`map_runs` executes the specs on a backend;
+:func:`execute_run` — the module-level worker — reconstructs the
+evaluator, environment and placer *inside* the worker process.
+
+Because every spec carries everything the run depends on, and every
+reconstruction is deterministic, a spec produces bit-identical results
+on :class:`~repro.runtime.backend.SerialBackend` and
+:class:`~repro.runtime.backend.ProcessPoolBackend`.  Results come back
+in spec order (never completion order) and carry the spec's ``key`` so
+drivers merge them deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.core.annealing import SimulatedAnnealingPlacer
+from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
+from repro.core.optimizer import PlacerResult
+from repro.core.policy import EpsilonSchedule
+from repro.eval.evaluator import PlacementEvaluator
+from repro.eval.metrics import Metrics
+from repro.layout.env import PlacementEnv
+from repro.layout.generators import banded_placement
+from repro.netlist.library import (
+    AnalogBlock,
+    comparator,
+    current_mirror,
+    five_transistor_ota,
+    folded_cascode_ota,
+    two_stage_ota,
+)
+from repro.runtime.backend import ExecutionBackend, SerialBackend
+from repro.tech import generic_tech_40
+from repro.variation import default_variation_model
+
+#: Named circuit builders a spec may reference by key instead of shipping
+#: a callable.  Mirrors the CLI's circuit table.
+BUILDERS: dict[str, Callable[..., AnalogBlock]] = {
+    "cm": current_mirror,
+    "comp": comparator,
+    "ota": folded_cascode_ota,
+    "ota5t": five_transistor_ota,
+    "ota2s": two_stage_ota,
+}
+
+#: Placer kinds a spec may request.
+PLACERS = ("ql", "flat", "sa")
+
+#: Symmetric styles that define the SOTA reference target.
+SYMMETRIC_STYLES = ("ysym", "common_centroid")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one optimizer run depends on, as plain picklable data.
+
+    Attributes:
+        key: caller-chosen merge key (e.g. ``("SA", seed)``); results are
+            matched back to specs by this key, never by completion order.
+        builder: the circuit — a :data:`BUILDERS` name, a picklable
+            zero-/keyword-argument callable returning an
+            :class:`AnalogBlock`, or an already-built block (blocks are
+            plain data and pickle fine; live evaluators do not).
+        builder_kwargs: keyword arguments for the builder, as a tuple of
+            ``(name, value)`` pairs so the spec stays hashable.
+        placer: ``"ql"`` (multi-level Q-learning), ``"flat"`` (single-
+            table Q-learning) or ``"sa"`` (simulated annealing).
+        seed: RNG seed for the placer.
+        max_steps: optimizer step budget.
+        target: explicit target cost, or ``None``.
+        target_from_symmetric: compute the target inside the worker as
+            the best symmetric-style cost (overrides ``target``).
+        share_target_evaluator: when computing the target in-worker, use
+            the *run's* evaluator (so the reference simulations share its
+            cache and counters — the historical behavior of the scaling
+            and linearity drivers) instead of a fresh one.
+        epsilon_decay_frac: fraction of ``max_steps`` over which the
+            Q-learning exploration rate decays.
+        ql_worse_tolerance: ``worse_tolerance`` for the Q-learning
+            placers (``None`` = the placer's default; ignored for SA).
+        variation_kind: variation-field regime for the evaluator
+            (``"nonlinear"``, ``"linear"``, ``"none"``); ``None`` uses
+            the evaluator's calibrated default.
+        variation_with_lde: include LDE neighbourhood effects when
+            ``variation_kind`` is set.
+        evaluate_best: also evaluate the best placement's full metrics
+            inside the worker (one extra cached simulation).
+    """
+
+    key: Hashable
+    builder: str | Callable[..., AnalogBlock] | AnalogBlock
+    placer: str = "ql"
+    seed: int = 0
+    max_steps: int = 400
+    builder_kwargs: tuple[tuple[str, Any], ...] = ()
+    target: float | None = None
+    target_from_symmetric: bool = False
+    share_target_evaluator: bool = False
+    epsilon_decay_frac: float = 0.6
+    ql_worse_tolerance: float | None = None
+    variation_kind: str | None = None
+    variation_with_lde: bool = True
+    evaluate_best: bool = True
+
+    def __post_init__(self) -> None:
+        if self.placer not in PLACERS:
+            raise ValueError(f"unknown placer {self.placer!r}; expected {PLACERS}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if isinstance(self.builder, str) and self.builder not in BUILDERS:
+            raise ValueError(
+                f"unknown builder {self.builder!r}; have {sorted(BUILDERS)}"
+            )
+        if not 0.0 < self.epsilon_decay_frac <= 1.0:
+            raise ValueError("epsilon_decay_frac must be in (0, 1]")
+
+
+@dataclass
+class RunOutcome:
+    """What one executed :class:`RunSpec` produced.
+
+    Attributes:
+        key: the spec's merge key, echoed back.
+        result: the placer's :class:`PlacerResult`.
+        metrics: full metrics of the best placement (``None`` when the
+            spec set ``evaluate_best=False``).
+        target: the target cost the run chased (worker-computed when the
+            spec asked for ``target_from_symmetric``).
+    """
+
+    key: Hashable
+    result: PlacerResult
+    metrics: Metrics | None = None
+    target: float | None = None
+
+
+def build_block(spec: RunSpec) -> AnalogBlock:
+    """Materialise the spec's circuit block (inside the worker)."""
+    if isinstance(spec.builder, AnalogBlock):
+        return spec.builder
+    builder = BUILDERS[spec.builder] if isinstance(spec.builder, str) else spec.builder
+    return builder(**dict(spec.builder_kwargs))
+
+
+def _make_evaluator(spec: RunSpec, block: AnalogBlock) -> PlacementEvaluator:
+    if spec.variation_kind is None:
+        return PlacementEvaluator(block)
+    tech = generic_tech_40()
+    extent = max(block.canvas) * tech.grid_pitch
+    variation = default_variation_model(
+        canvas_extent=extent,
+        kind=spec.variation_kind,
+        with_lde=spec.variation_with_lde,
+    )
+    return PlacementEvaluator(block, tech=tech, variation=variation)
+
+
+def _make_placer(spec: RunSpec, env: PlacementEnv, evaluator: PlacementEvaluator):
+    # The sim_counter closure is created here, inside the worker, so it
+    # never crosses a process boundary.
+    counter = lambda: evaluator.sim_count  # noqa: E731
+    if spec.placer == "sa":
+        return SimulatedAnnealingPlacer(env, seed=spec.seed, sim_counter=counter)
+    epsilon = EpsilonSchedule(
+        0.9, 0.05, max(1, int(spec.epsilon_decay_frac * spec.max_steps))
+    )
+    kwargs: dict[str, Any] = dict(
+        epsilon=epsilon, seed=spec.seed, sim_counter=counter
+    )
+    if spec.ql_worse_tolerance is not None:
+        kwargs["worse_tolerance"] = spec.ql_worse_tolerance
+    cls = MultiLevelPlacer if spec.placer == "ql" else FlatQPlacer
+    return cls(env, **kwargs)
+
+
+def symmetric_target(
+    block: AnalogBlock, evaluator: PlacementEvaluator
+) -> float:
+    """Best symmetric-style cost — the SOTA reference target."""
+    return min(
+        evaluator.cost(banded_placement(block, style))
+        for style in SYMMETRIC_STYLES
+    )
+
+
+def execute_run(spec: RunSpec) -> RunOutcome:
+    """Worker entry point: reconstruct the run from its spec and do it.
+
+    Module-level (hence picklable by reference) so a
+    :class:`ProcessPoolBackend` can ship it; everything stateful — the
+    evaluator with its cache, the environment, the placer with its
+    ``sim_counter`` closure — is created here, inside the worker.
+    """
+    block = build_block(spec)
+    evaluator = _make_evaluator(spec, block)
+    target = spec.target
+    if spec.target_from_symmetric:
+        reference = (
+            evaluator
+            if spec.share_target_evaluator
+            else _make_evaluator(spec, block)
+        )
+        target = symmetric_target(block, reference)
+    env = PlacementEnv(block, evaluator.cost)
+    placer = _make_placer(spec, env, evaluator)
+    result = placer.optimize(max_steps=spec.max_steps, target=target)
+    metrics = evaluator.evaluate(result.best_placement) if spec.evaluate_best else None
+    return RunOutcome(key=spec.key, result=result, metrics=metrics, target=target)
+
+
+def map_runs(
+    specs: Sequence[RunSpec],
+    backend: ExecutionBackend | None = None,
+) -> list[RunOutcome]:
+    """Execute specs on a backend; outcomes aligned with ``specs``.
+
+    The deterministic-merge contract of the whole runtime: outcome ``i``
+    belongs to spec ``i`` regardless of which worker finished first, so
+    serial and parallel backends produce identical driver results.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    outcomes = backend.map(execute_run, list(specs))
+    if len(outcomes) != len(specs):
+        raise RuntimeError(
+            f"backend returned {len(outcomes)} outcomes for {len(specs)} specs"
+        )
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.key != spec.key:
+            raise RuntimeError(
+                f"backend broke ordering: expected key {spec.key!r}, "
+                f"got {outcome.key!r}"
+            )
+    return outcomes
+
+
+def outcomes_by_key(outcomes: Sequence[RunOutcome]) -> dict[Hashable, RunOutcome]:
+    """Index outcomes by their spec key (keys must be unique)."""
+    indexed: dict[Hashable, RunOutcome] = {}
+    for outcome in outcomes:
+        if outcome.key in indexed:
+            raise ValueError(f"duplicate run key {outcome.key!r}")
+        indexed[outcome.key] = outcome
+    return indexed

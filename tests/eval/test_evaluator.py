@@ -77,9 +77,25 @@ class TestDeterminismAndCache:
     def test_reset_counters(self):
         ev = PlacementEvaluator(current_mirror())
         ev.evaluate(banded_placement(ev.block, "sequential"))
+        ev.sim_failures = 3  # as if some runs had failed to converge
         ev.reset_counters()
         assert ev.sim_count == 0
         assert ev.cache_hits == 0
+        assert ev.sim_failures == 0
+
+    def test_lru_eviction_keeps_hot_entries(self):
+        ev = PlacementEvaluator(current_mirror(), cache_size=2)
+        hot = banded_placement(ev.block, "sequential")
+        cold = banded_placement(ev.block, "ysym")
+        ev.evaluate(hot)
+        ev.evaluate(cold)
+        ev.evaluate(hot)  # hit: must refresh recency, not leave FIFO order
+        assert ev.sim_count == 2
+        ev.evaluate(banded_placement(ev.block, "common_centroid"))  # evicts
+        ev.evaluate(hot)
+        assert ev.sim_count == 3  # hot survived; only `cold` was evicted
+        ev.evaluate(cold)
+        assert ev.sim_count == 4
 
     def test_clear_cache_forces_resim(self):
         ev = PlacementEvaluator(current_mirror())

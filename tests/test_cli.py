@@ -40,6 +40,28 @@ class TestPlace:
         assert svg.exists()
         assert svg.read_text().startswith("<svg")
 
+    def test_place_jobs_flag_accepted(self, capsys):
+        code = main(["place", "--circuit", "ota5t", "--steps", "30",
+                     "--seed", "1", "--jobs", "2"])
+        assert code == 0
+        assert "target" in capsys.readouterr().out
+
+
+class TestFig3:
+    def test_fig3_positional_circuit_with_jobs(self, capsys):
+        code = main(["fig3", "cm", "--scale", "0.1", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q-learning" in out
+        assert "claims:" in out
+
+    def test_fig3_flag_and_positional_agree(self, capsys):
+        assert main(["fig3", "--circuit", "cm", "--scale", "0.05"]) == 0
+        flagged = capsys.readouterr().out
+        assert main(["fig3", "cm", "--scale", "0.05"]) == 0
+        positional = capsys.readouterr().out
+        assert flagged == positional
+
 
 class TestAblation:
     def test_linearity_via_cli(self, capsys):
@@ -52,6 +74,12 @@ class TestAblation:
     def test_hierarchy_via_cli(self, capsys):
         code = main(["ablation", "hierarchy", "--circuit", "ota5t",
                      "--steps", "80"])
+        assert code == 0
+        assert "multi-level" in capsys.readouterr().out
+
+    def test_jobs_flag_fans_out(self, capsys):
+        code = main(["ablation", "hierarchy", "--circuit", "ota5t",
+                     "--steps", "40", "--jobs", "2"])
         assert code == 0
         assert "multi-level" in capsys.readouterr().out
 
