@@ -6,13 +6,15 @@ Commands:
 * ``fig3``     — run the paper's three-way comparison on one circuit;
 * ``ablation`` — run one of the ablation experiments;
 * ``spice``    — print a circuit's SPICE deck;
-* ``place``    — optimize one circuit and print/export the placement.
+* ``place``    — optimize one circuit and print/export the placement;
+* ``profile``  — per-stage timing breakdown of one evaluation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.eval.evaluator import PlacementEvaluator
 from repro.experiments import (
@@ -29,7 +31,8 @@ from repro.experiments import (
     run_linearity_ablation,
 )
 from repro.experiments.scaling import format_scaling, run_scaling
-from repro.layout.generators import banded_placement
+from repro.layout.context import device_contexts_all
+from repro.layout.generators import STYLES, banded_placement
 from repro.layout.render import render_placement
 from repro.layout.svg import save_placement_svg
 from repro.netlist.library import (
@@ -40,7 +43,9 @@ from repro.netlist.library import (
     two_stage_ota,
 )
 from repro.netlist.spice import to_spice
+from repro.route.parasitics import annotate_parasitics
 from repro.runtime import RunSpec, map_runs, resolve_backend
+from repro.sim import ENGINES, solve_ac, solve_dc, use_engine
 from repro.tech import generic_tech_40
 
 CIRCUITS = {
@@ -101,6 +106,19 @@ def _build_parser() -> argparse.ArgumentParser:
     place.add_argument("--jobs", type=_jobs_arg, default=1,
                        help="worker processes (the run executes on the "
                             "shared runtime either way)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-stage timing breakdown of one placement evaluation",
+    )
+    profile.add_argument("circuit", choices=sorted(CIRCUITS))
+    profile.add_argument("--engine", choices=ENGINES, default=None,
+                         help="simulation engine (default: process default, "
+                              "i.e. compiled)")
+    profile.add_argument("--style", choices=STYLES, default="ysym",
+                         help="placement style to evaluate")
+    profile.add_argument("--repeats", type=int, default=5,
+                         help="timing repeats per stage (best-of is shown)")
     return parser
 
 
@@ -178,6 +196,61 @@ def _cmd_place(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Per-stage wall-clock of the evaluation pipeline for one circuit.
+
+    Stages mirror :meth:`PlacementEvaluator.evaluate`: placement contexts →
+    parasitic annotation → DC operating point → AC sweep → the full
+    measurement suite.  The suite row *includes* its internal DC/AC
+    solves; the end-to-end row is one whole cache-miss evaluation.
+    """
+    if args.repeats < 1:
+        raise SystemExit("profile: --repeats must be >= 1")
+    block = CIRCUITS[args.circuit]()
+    tech = generic_tech_40()
+    evaluator = PlacementEvaluator(block, tech=tech, engine=args.engine)
+    placement = banded_placement(block, args.style)
+
+    def best_of(fn) -> float:
+        times = []
+        for __ in range(args.repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    with use_engine(args.engine):
+        deltas = evaluator.deltas_for(placement)
+        annotated = annotate_parasitics(block.circuit, placement, tech)
+        op = solve_dc(annotated, tech, deltas=deltas)
+        from repro.eval.suites import AC_FREQS
+
+        def full_evaluate():
+            evaluator.clear_cache()
+            evaluator.evaluate(placement)
+
+        stages = [
+            ("context", lambda: device_contexts_all(placement, tech)),
+            ("parasitics", lambda: annotate_parasitics(
+                block.circuit, placement, tech)),
+            ("dc", lambda: solve_dc(annotated, tech, deltas=deltas)),
+            ("ac", lambda: solve_ac(
+                annotated, tech, op.voltages, AC_FREQS, deltas=deltas)),
+            ("measures (full suite)", full_evaluate),
+        ]
+        engine_name = args.engine or "compiled (default)"
+        print(f"profile: {block.name} ({args.circuit}), style={args.style}, "
+              f"engine={engine_name}, best of {args.repeats}")
+        total = 0.0
+        for name, fn in stages:
+            elapsed = best_of(fn)
+            if name != "measures (full suite)":
+                total += elapsed
+            print(f"  {name:<24s} {elapsed * 1e3:9.3f} ms")
+        print(f"  {'stages (ctx+par+dc+ac)':<24s} {total * 1e3:9.3f} ms")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -187,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         "ablation": _cmd_ablation,
         "spice": _cmd_spice,
         "place": _cmd_place,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

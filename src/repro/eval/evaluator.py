@@ -20,11 +20,12 @@ from typing import Mapping
 
 from repro.eval.metrics import Metrics
 from repro.eval.suites import SUITES, Warm
-from repro.layout.context import device_contexts
+from repro.layout.context import device_contexts_all
 from repro.layout.placement import Placement
 from repro.netlist.library import AnalogBlock
 from repro.route.parasitics import annotate_parasitics
 from repro.sim.dc import ConvergenceError
+from repro.sim.engine import use_engine
 from repro.tech import Technology, generic_tech_40
 from repro.variation import DeviceDelta, VariationModel, default_variation_model
 
@@ -47,6 +48,10 @@ class PlacementEvaluator:
         cache_size: maximum number of memoised placements (LRU eviction).
         corner: optional global process corner applied on top of the
             local variation field (see :mod:`repro.variation.corners`).
+        engine: simulation-engine override for this evaluator's runs
+            (``"compiled"``/``"legacy"``); ``None`` follows the process
+            default.  One compiled topology per testbench variant is
+            cached and reused for the entire optimization run.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class PlacementEvaluator:
         cost_area_weight: float = 0.05,
         cache_size: int = 50_000,
         corner=None,
+        engine: str | None = None,
     ):
         if cost_area_weight < 0:
             raise ValueError("cost_area_weight cannot be negative")
@@ -68,6 +74,7 @@ class PlacementEvaluator:
         self.variation = variation
         self.cost_area_weight = cost_area_weight
         self.corner = corner
+        self.engine = engine
         self.sim_count = 0
         self.cache_hits = 0
         self.sim_failures = 0
@@ -82,10 +89,14 @@ class PlacementEvaluator:
 
     def deltas_for(self, placement: Placement) -> dict[str, DeviceDelta]:
         """Variation-resolved parameter delta of every placeable device."""
+        contexts = device_contexts_all(placement, self.tech)
         out = {}
         for device in self.block.circuit.mosfets():
-            contexts = device_contexts(placement, device.name, self.tech)
-            delta = self.variation.systematic_device(contexts, device.polarity)
+            if device.name not in contexts:
+                raise KeyError(f"device {device.name!r} has no placed units")
+            delta = self.variation.systematic_device(
+                contexts[device.name], device.polarity
+            )
             if self.corner is not None:
                 delta = delta + self.corner.delta_for(device.polarity)
             out[device.name] = delta
@@ -109,9 +120,11 @@ class PlacementEvaluator:
         deltas = self.deltas_for(placement)
         annotated = annotate_parasitics(self.block.circuit, placement, self.tech)
         try:
-            metrics = self._suite(
-                self.block, annotated, deltas, self.tech, placement, self._warm
-            )
+            with use_engine(self.engine):
+                metrics = self._suite(
+                    self.block, annotated, deltas, self.tech, placement,
+                    self._warm
+                )
         except ConvergenceError:
             self.sim_failures += 1
             primary = {"cm": "mismatch_pct", "comp": "offset_mv",

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.eval.suites import SUITES, Warm
-from repro.layout.context import device_contexts
+from repro.layout.context import device_contexts_all
 from repro.layout.placement import Placement
 from repro.netlist.library import AnalogBlock
 from repro.route.parasitics import annotate_parasitics
@@ -98,10 +98,12 @@ def _run_chunk(chunk: _McChunk) -> list[tuple[int, str | None, float]]:
     block, placement, tech = chunk.block, chunk.placement, chunk.tech
     suite = SUITES[block.kind]
     annotated = annotate_parasitics(block.circuit, placement, tech)
-    contexts = {
-        m.name: device_contexts(placement, m.name, tech)
-        for m in block.circuit.mosfets()
-    }
+    all_contexts = device_contexts_all(placement, tech)
+    contexts = {}
+    for m in block.circuit.mosfets():
+        if m.name not in all_contexts:
+            raise KeyError(f"device {m.name!r} has no placed units")
+        contexts[m.name] = all_contexts[m.name]
     out: list[tuple[int, str | None, float]] = []
     for index in chunk.indices:
         rng = _draw_rng(chunk.seed, index)

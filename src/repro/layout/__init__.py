@@ -7,7 +7,12 @@ baseline styles (paper Fig. 1), the placement → variation-context bridge,
 and the :class:`PlacementEnv` the RL agents drive.
 """
 
-from repro.layout.context import device_contexts, unit_context, unit_contexts
+from repro.layout.context import (
+    device_contexts,
+    device_contexts_all,
+    unit_context,
+    unit_contexts,
+)
 from repro.layout.dummies import (
     active_units,
     dummy_area_overhead,
@@ -45,6 +50,7 @@ __all__ = [
     "apply_unit_move",
     "banded_placement",
     "device_contexts",
+    "device_contexts_all",
     "device_labels",
     "dummy_area_overhead",
     "dummy_count",

@@ -5,9 +5,17 @@ compute its physical position, its contiguous-diffusion runs (any occupied
 neighbour extends the diffusion — the standard abutted-row abstraction),
 and its distance to the canvas edge (the well-boundary proxy the WPE model
 uses).
+
+The batch entry points (:func:`unit_contexts`,
+:func:`device_contexts_all`) rasterize the placement into one boolean
+occupancy grid and compute every position, diffusion run and edge
+distance array-wise — the evaluation loop touches each cell a constant
+number of times instead of re-scanning rows per unit.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.layout.placement import Placement, UnitId
 from repro.tech import Technology
@@ -47,20 +55,85 @@ def unit_context(
     )
 
 
+def _streaks(occ: np.ndarray) -> np.ndarray:
+    """Per-cell length of the contiguous occupied run ending at that cell.
+
+    Computed along axis 1 (columns) without Python-level scanning: the
+    running cumsum minus its value at the most recent gap.
+    """
+    cumulative = np.cumsum(occ, axis=1)
+    at_gaps = np.where(occ, 0, cumulative)
+    last_gap = np.maximum.accumulate(at_gaps, axis=1)
+    return cumulative - last_gap
+
+
 def unit_contexts(
     placement: Placement, tech: Technology
 ) -> dict[UnitId, UnitContext]:
-    """Contexts for every placed unit."""
-    return {unit: unit_context(placement, unit, tech) for unit in placement.units}
+    """Contexts for every placed unit (single vectorized grid pass)."""
+    assignment = placement.as_dict()
+    if not assignment:
+        return {}
+    units = list(assignment)
+    cells = np.array([assignment[u] for u in units], dtype=np.intp)
+    cols, rows = cells[:, 0], cells[:, 1]
+    n_cols = placement.canvas.cols
+    n_rows = placement.canvas.rows
+
+    occupancy = np.zeros((n_rows, n_cols), dtype=bool)
+    occupancy[rows, cols] = True
+    # left[r, c] = occupied run ending at c; right[r, c] = run starting at c.
+    left = _streaks(occupancy)
+    right = _streaks(occupancy[:, ::-1])[:, ::-1]
+    run_left = np.where(
+        cols > 0, left[rows, np.maximum(cols - 1, 0)], 0
+    )
+    run_right = np.where(
+        cols < n_cols - 1, right[rows, np.minimum(cols + 1, n_cols - 1)], 0
+    )
+
+    pitch = tech.grid_pitch
+    x = (cols + 0.5) * pitch
+    y = (rows + 0.5) * pitch
+    dist_to_edge = pitch * np.minimum.reduce(
+        (cols + 0.5, n_cols - cols - 0.5, rows + 0.5, n_rows - rows - 0.5)
+    )
+    return {
+        unit: UnitContext(
+            x=float(x[i]),
+            y=float(y[i]),
+            run_left=int(run_left[i]),
+            run_right=int(run_right[i]),
+            dist_to_edge=float(dist_to_edge[i]),
+        )
+        for i, unit in enumerate(units)
+    }
+
+
+def device_contexts_all(
+    placement: Placement, tech: Technology
+) -> dict[str, list[UnitContext]]:
+    """Contexts of every device's units, grouped by device, in unit order.
+
+    One grid pass serves the whole placement — callers that need several
+    devices (the evaluator, Monte-Carlo) should use this instead of
+    calling :func:`device_contexts` per device.
+    """
+    contexts = unit_contexts(placement, tech)
+    grouped: dict[str, list[tuple[int, UnitContext]]] = {}
+    for (name, index), ctx in contexts.items():
+        grouped.setdefault(name, []).append((index, ctx))
+    return {
+        name: [ctx for __, ctx in sorted(pairs, key=lambda p: p[0])]
+        for name, pairs in grouped.items()
+    }
 
 
 def device_contexts(
     placement: Placement, device_name: str, tech: Technology
 ) -> list[UnitContext]:
     """Contexts of one device's units, in unit order."""
-    units = sorted(
-        (u for u in placement.units if u[0] == device_name), key=lambda u: u[1]
-    )
-    if not units:
+    grouped = device_contexts_all(placement, tech)
+    if device_name not in grouped:
         raise KeyError(f"device {device_name!r} has no placed units")
-    return [unit_context(placement, u, tech) for u in units]
+    return grouped[device_name]

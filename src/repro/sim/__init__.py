@@ -10,7 +10,23 @@ which this engine models faithfully.
 """
 
 from repro.sim.ac import AcResult, logspace_frequencies, solve_ac
+from repro.sim.compiled import (
+    CompiledSystem,
+    CompiledTopology,
+    clear_topology_cache,
+    compiled_system,
+    compiled_topology,
+    structure_signature,
+    topology_cache_info,
+)
 from repro.sim.dc import ConvergenceError, DcResult, dc_sweep, solve_dc
+from repro.sim.engine import (
+    ENGINES,
+    get_engine,
+    make_system,
+    set_engine,
+    use_engine,
+)
 from repro.sim.measures import (
     bandwidth_3db,
     db,
@@ -21,7 +37,14 @@ from repro.sim.measures import (
     unity_gain_frequency,
 )
 from repro.sim.mna import MnaSystem
-from repro.sim.mosfet import MosfetCaps, OpPoint, device_caps, terminal_currents
+from repro.sim.mosfet import (
+    MosfetArrays,
+    MosfetCaps,
+    OpPoint,
+    device_caps,
+    terminal_currents,
+    terminal_currents_array,
+)
 from repro.sim.noise import NoiseResult, solve_noise
 from repro.sim.transient import (
     TransientResult,
@@ -31,27 +54,41 @@ from repro.sim.transient import (
 
 __all__ = [
     "AcResult",
+    "CompiledSystem",
+    "CompiledTopology",
     "ConvergenceError",
     "DcResult",
+    "ENGINES",
     "MnaSystem",
+    "MosfetArrays",
     "MosfetCaps",
     "NoiseResult",
     "OpPoint",
     "TransientResult",
     "bandwidth_3db",
+    "clear_topology_cache",
+    "compiled_system",
+    "compiled_topology",
     "db",
     "dc_gain",
     "dc_sweep",
     "device_caps",
     "gain_margin_db",
+    "get_engine",
     "logspace_frequencies",
+    "make_system",
     "phase_margin",
+    "set_engine",
     "solve_ac",
     "solve_dc",
     "solve_noise",
     "solve_transient",
     "step_waveform",
+    "structure_signature",
     "supply_power",
     "terminal_currents",
+    "terminal_currents_array",
+    "topology_cache_info",
     "unity_gain_frequency",
+    "use_engine",
 ]

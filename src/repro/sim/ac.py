@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.nets import is_ground
-from repro.sim.mna import MnaSystem
+from repro.sim.compiled import CompiledSystem
+from repro.sim.engine import make_system
 from repro.tech import Technology
 from repro.variation import DeviceDelta
 
@@ -62,8 +63,14 @@ def solve_ac(
     op_voltages: Mapping[str, float],
     freqs: np.ndarray,
     deltas: Mapping[str, DeviceDelta] | None = None,
+    engine: str | None = None,
 ) -> AcResult:
     """Solve the linearized system at each frequency.
+
+    On the compiled engine the frequency-independent ``G`` and ``C``
+    matrices are assembled once and every frequency point solves in a
+    single stacked ``np.linalg.solve`` batch; the legacy engine keeps the
+    original one-matrix-per-frequency reference loop.
 
     Args:
         circuit: the AC testbench netlist (AC magnitudes set on sources).
@@ -73,16 +80,23 @@ def solve_ac(
         freqs: frequency grid [Hz].
         deltas: variation-resolved device parameter shifts (must match the
             ones used for the operating point).
+        engine: assembler choice; ``None`` uses the process default.
     """
-    system = MnaSystem(circuit, tech, deltas)
+    freqs = np.asarray(freqs, dtype=float)
+    system = make_system(circuit, tech, deltas, engine=engine)
     nets = [n for n in circuit.nets() if not is_ground(n)]
-    out = {net: np.zeros(len(freqs), dtype=complex) for net in nets}
-    for k, f in enumerate(np.asarray(freqs, dtype=float)):
-        A, b = system.assemble_ac(op_voltages, omega=2.0 * math.pi * f)
-        x = np.linalg.solve(A, b)
-        for net in nets:
-            out[net][k] = x[system.node_index[net]]
+    if isinstance(system, CompiledSystem):
+        X = system.solve_ac_batch(op_voltages, 2.0 * math.pi * freqs)
+        out = {net: np.ascontiguousarray(X[:, system.node_index[net]])
+               for net in nets}
+    else:
+        out = {net: np.zeros(len(freqs), dtype=complex) for net in nets}
+        for k, f in enumerate(freqs):
+            A, b = system.assemble_ac(op_voltages, omega=2.0 * math.pi * f)
+            x = np.linalg.solve(A, b)
+            for net in nets:
+                out[net][k] = x[system.node_index[net]]
     for g in circuit.nets():
         if is_ground(g):
             out[g] = np.zeros(len(freqs), dtype=complex)
-    return AcResult(freqs=np.asarray(freqs, dtype=float), node_voltages=out)
+    return AcResult(freqs=freqs, node_voltages=out)

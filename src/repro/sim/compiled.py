@@ -1,0 +1,643 @@
+"""Compiled MNA engine: circuit *structure* separated from *values*.
+
+The legacy :class:`repro.sim.mna.MnaSystem` walks the device list in Python
+on every assembly — every Newton iteration, every frequency point.  For an
+optimization loop that simulates thousands of placements of the *same*
+circuit this repeats identical structural work (validation, node/branch
+numbering, stamp-location discovery) millions of times.
+
+This module splits that work in two:
+
+* :class:`CompiledTopology` — built **once per circuit shape** and cached
+  globally.  It holds node/branch numbering and precomputed scatter index
+  arrays (COO patterns flattened for ``np.add.at``) for every stamp the
+  circuit will ever make: the linear conductance pattern, source
+  injections, the capacitance pattern, and the per-MOSFET Jacobian
+  footprint.  Placements only change *values* (parasitic capacitances,
+  variation deltas, source levels), never structure, so one topology
+  serves an entire optimization run.
+* :class:`CompiledSystem` — a topology *bound* to one circuit instance,
+  technology and variation-delta set.  Binding gathers the numeric values
+  into flat arrays; after that, DC assembly is a constant-matrix copy plus
+  one vectorized MOSFET-bank evaluation and two ``np.add.at`` scatters —
+  no per-device Python dispatch — and AC analysis exposes the
+  frequency-independent ``(G, C, b)`` triple so all frequency points solve
+  as one stacked ``np.linalg.solve`` batch.
+
+Ground is handled with a *spill slot*: index arrays map ground to an extra
+row/column ``size`` of an extended matrix which is sliced away after
+scatter, so no stamp needs a conditional.
+
+``CompiledSystem`` implements the same interface as ``MnaSystem``
+(``assemble_dc`` / ``assemble_ac`` / ``capacitance_matrix`` / ``idx`` /
+``voltage`` / ``mosfet_params``), so the Newton, transient and noise
+drivers run unchanged on either engine; the legacy per-device loop is kept
+as the equivalence-tested reference backend (see
+:mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    Vcvs,
+    VoltageSource,
+)
+from repro.netlist.nets import is_ground
+from repro.sim.mna import GROUND
+from repro.sim.mosfet import (
+    MosfetArrays,
+    device_caps,
+    terminal_currents_array,
+)
+from repro.tech import MosfetParams, Technology
+from repro.variation import DeviceDelta
+
+# Slot 0 of the linear value vector is pinned to the constant 1.0 so that
+# source-row / branch-current entries (always ±1) share the same
+# sign * value[slot] scatter as resistor and VCVS entries.
+_ONE_SLOT = 0
+
+
+def structure_signature(circuit: Circuit) -> tuple:
+    """Hashable shape key of a circuit: device types, names and nets.
+
+    Element *values* (R, C, source levels, variation deltas) are
+    deliberately excluded — they are bound per solve, so all placements of
+    a block (whose parasitic annotation changes capacitor values only)
+    share one signature and therefore one compiled topology.  MOSFET
+    geometry *is* part of the shape: the topology pre-bakes per-device
+    parameter banks from it.
+    """
+    entries = []
+    for device in circuit:
+        entry: tuple = (type(device).__name__, device.name, device.nets)
+        if isinstance(device, Mosfet):
+            entry += (device.polarity, device.width, device.length)
+        entries.append(entry)
+    return (circuit.name, tuple(entries))
+
+
+class CompiledTopology:
+    """Structure-only compilation of one circuit shape.
+
+    Construction validates the circuit and computes every index array the
+    bound system needs; it performs no numeric work.  Instances are
+    immutable in practice and shared freely between bindings.
+    """
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.signature = structure_signature(circuit)
+
+        self.node_index: dict[str, int] = {}
+        for net in circuit.nets():
+            if not is_ground(net):
+                self.node_index[net] = len(self.node_index)
+        self.n_nodes = len(self.node_index)
+
+        self.branch_index: dict[str, int] = {}
+        for device in circuit:
+            if isinstance(device, (VoltageSource, Vcvs)):
+                self.branch_index[device.name] = self.n_nodes + len(self.branch_index)
+        self.size = self.n_nodes + len(self.branch_index)
+
+        spill = self.size          # ground lands here and is sliced away
+        stride = self.size + 1     # row stride of the extended matrix
+
+        def nidx(net: str) -> int:
+            return spill if is_ground(net) else self.node_index[net]
+
+        # Linear conductance pattern: entry value = sign * values[slot].
+        lin_flat: list[int] = []
+        lin_sign: list[float] = []
+        lin_slot: list[int] = []
+        self.resistor_slots: list[tuple[str, int]] = []
+        self.vcvs_slots: list[tuple[str, int]] = []
+        n_lin_slots = 1  # slot 0 = constant 1.0
+
+        def lin(row: int, col: int, sign: float, slot: int) -> None:
+            lin_flat.append(row * stride + col)
+            lin_sign.append(sign)
+            lin_slot.append(slot)
+
+        # Independent-source injections (one value slot per source).
+        self.source_names: list[str] = []
+        src_rows: list[int] = []
+        src_sign: list[float] = []
+        src_slot: list[int] = []
+        ac_rows: list[int] = []
+        ac_sign: list[float] = []
+        ac_slot: list[int] = []
+
+        # Capacitance pattern: one slot per capacitor, four per MOSFET.
+        cap_flat: list[int] = []
+        cap_sign: list[float] = []
+        cap_slot: list[int] = []
+        self.capacitor_slots: list[tuple[str, int]] = []
+        self.mos_cap_slots: list[tuple[str, int]] = []  # (name, base of 4)
+        n_cap_slots = 0
+
+        def cap_pair(i: int, j: int, slot: int) -> None:
+            # stamp(): both diagonals unconditionally, off-diagonals only
+            # when neither side is ground — the spill slot absorbs ground.
+            cap_flat.extend((i * stride + i, j * stride + j,
+                             i * stride + j, j * stride + i))
+            cap_sign.extend((+1.0, +1.0, -1.0, -1.0))
+            cap_slot.extend((slot, slot, slot, slot))
+
+        # MOSFET bank.
+        self.mos_names: list[str] = []
+        self.mos_widths: list[float] = []
+        self.mos_lengths: list[float] = []
+        self.mos_polarity: list[int] = []
+        self.mos_nets: list[str] = []  # non-ground nets MOS terminals touch
+        mos_d: list[int] = []
+        mos_g: list[int] = []
+        mos_s: list[int] = []
+        mos_b: list[int] = []
+
+        for device in circuit:
+            if isinstance(device, Resistor):
+                slot = n_lin_slots
+                n_lin_slots += 1
+                self.resistor_slots.append((device.name, slot))
+                a, b = nidx(device.net("a")), nidx(device.net("b"))
+                lin(a, a, +1.0, slot); lin(a, b, -1.0, slot)
+                lin(b, b, +1.0, slot); lin(b, a, -1.0, slot)
+            elif isinstance(device, Capacitor):
+                slot = n_cap_slots
+                n_cap_slots += 1
+                self.capacitor_slots.append((device.name, slot))
+                cap_pair(nidx(device.net("a")), nidx(device.net("b")), slot)
+            elif isinstance(device, CurrentSource):
+                slot = len(self.source_names)
+                self.source_names.append(device.name)
+                p, n = nidx(device.net("p")), nidx(device.net("n"))
+                src_rows.extend((p, n)); src_sign.extend((+1.0, -1.0))
+                src_slot.extend((slot, slot))
+                ac_rows.extend((p, n)); ac_sign.extend((-1.0, +1.0))
+                ac_slot.extend((slot, slot))
+            elif isinstance(device, VoltageSource):
+                slot = len(self.source_names)
+                self.source_names.append(device.name)
+                row = self.branch_index[device.name]
+                p, n = nidx(device.net("p")), nidx(device.net("n"))
+                lin(row, p, +1.0, _ONE_SLOT); lin(row, n, -1.0, _ONE_SLOT)
+                lin(p, row, +1.0, _ONE_SLOT); lin(n, row, -1.0, _ONE_SLOT)
+                src_rows.append(row); src_sign.append(-1.0); src_slot.append(slot)
+                ac_rows.append(row); ac_sign.append(+1.0); ac_slot.append(slot)
+            elif isinstance(device, Vcvs):
+                row = self.branch_index[device.name]
+                p, n = nidx(device.net("p")), nidx(device.net("n"))
+                cp, cn = nidx(device.net("cp")), nidx(device.net("cn"))
+                gslot = n_lin_slots
+                n_lin_slots += 1
+                self.vcvs_slots.append((device.name, gslot))
+                lin(row, p, +1.0, _ONE_SLOT); lin(row, n, -1.0, _ONE_SLOT)
+                lin(row, cp, -1.0, gslot); lin(row, cn, +1.0, gslot)
+                lin(p, row, +1.0, _ONE_SLOT); lin(n, row, -1.0, _ONE_SLOT)
+            elif isinstance(device, Mosfet):
+                self.mos_names.append(device.name)
+                self.mos_widths.append(device.width)
+                self.mos_lengths.append(device.length)
+                self.mos_polarity.append(device.polarity)
+                for term in ("d", "g", "s", "b"):
+                    net = device.net(term)
+                    if not is_ground(net) and net not in self.mos_nets:
+                        self.mos_nets.append(net)
+                mos_d.append(nidx(device.net("d")))
+                mos_g.append(nidx(device.net("g")))
+                mos_s.append(nidx(device.net("s")))
+                mos_b.append(nidx(device.net("b")))
+                slot = n_cap_slots
+                n_cap_slots += 4
+                self.mos_cap_slots.append((device.name, slot))
+                d, g, s, b = mos_d[-1], mos_g[-1], mos_s[-1], mos_b[-1]
+                cap_pair(g, s, slot)          # cgs
+                cap_pair(g, d, slot + 1)      # cgd
+                cap_pair(d, b, slot + 2)      # cdb
+                cap_pair(s, b, slot + 3)      # csb
+            else:
+                raise TypeError(
+                    f"no compiled stamp for device type {type(device).__name__}"
+                )
+
+        self.mos_index = {name: i for i, name in enumerate(self.mos_names)}
+        self.n_lin_slots = n_lin_slots
+        self.n_cap_slots = n_cap_slots
+        self.lin_flat = np.asarray(lin_flat, dtype=np.intp)
+        self.lin_sign = np.asarray(lin_sign)
+        self.lin_slot = np.asarray(lin_slot, dtype=np.intp)
+        self.src_rows = np.asarray(src_rows, dtype=np.intp)
+        self.src_sign = np.asarray(src_sign)
+        self.src_slot = np.asarray(src_slot, dtype=np.intp)
+        self.ac_rows = np.asarray(ac_rows, dtype=np.intp)
+        self.ac_sign = np.asarray(ac_sign)
+        self.ac_slot = np.asarray(ac_slot, dtype=np.intp)
+        self.cap_flat = np.asarray(cap_flat, dtype=np.intp)
+        self.cap_sign = np.asarray(cap_sign)
+        self.cap_slot = np.asarray(cap_slot, dtype=np.intp)
+
+        d = np.asarray(mos_d, dtype=np.intp)
+        g = np.asarray(mos_g, dtype=np.intp)
+        s = np.asarray(mos_s, dtype=np.intp)
+        b = np.asarray(mos_b, dtype=np.intp)
+        self.mos_d, self.mos_g, self.mos_s, self.mos_b = d, g, s, b
+        # F rows for [ids at drains, -ids at sources].
+        self.mos_f_rows = np.concatenate((d, s))
+        # J footprint: add_j(d, t, +gt) and add_j(s, t, -gt) for each
+        # terminal t in (d, g, s, b) — eight entries per device, laid out
+        # to match the value vector assemble_dc concatenates.
+        self.mos_j_flat = np.concatenate((
+            d * stride + d, d * stride + g, d * stride + s, d * stride + b,
+            s * stride + d, s * stride + g, s * stride + s, s * stride + b,
+        ))
+        nodes = np.arange(self.n_nodes, dtype=np.intp)
+        self.node_diag_flat = nodes * stride + nodes
+
+        self._banks: dict[Technology, _DeviceBank] = {}
+
+    def device_bank(self, tech: Technology) -> "_DeviceBank":
+        """Nominal per-device parameter bank under one technology (cached).
+
+        Variation deltas shift ``vth0`` and scale ``kp`` only, so
+        everything else — including the MOSFET capacitance matrix — is
+        computed here once and shared by every binding.
+        """
+        bank = self._banks.get(tech)
+        if bank is None:
+            bank = _DeviceBank(self, tech)
+            self._banks[tech] = bank
+        return bank
+
+    def bind(
+        self,
+        circuit: Circuit,
+        tech: Technology,
+        deltas: Mapping[str, DeviceDelta] | None = None,
+    ) -> "CompiledSystem":
+        """Bind this topology to one circuit instance's values."""
+        return CompiledSystem(self, circuit, tech, deltas)
+
+
+class _DeviceBank:
+    """Nominal MOSFET parameter vectors of one topology × technology."""
+
+    def __init__(self, topology: CompiledTopology, tech: Technology):
+        params = [tech.params_for(p) for p in topology.mos_polarity]
+        widths = np.asarray(topology.mos_widths, dtype=float)
+        lengths = np.asarray(topology.mos_lengths, dtype=float)
+        self.params = params
+        self.polarity = np.array([float(p.polarity) for p in params])
+        self.vth0 = np.array([p.vth0 for p in params])
+        self.kp = np.array([p.kp for p in params])
+        self.w_over_l = widths / lengths
+        self.lam = np.array(
+            [p.lam_at(l) for p, l in zip(params, lengths)]
+        )
+        self.gamma = np.array([p.gamma for p in params])
+        self.phi = np.array([p.phi for p in params])
+        self.ss = np.array([p.subthreshold_slope for p in params])
+
+        # Deltas never touch the capacitance coefficients, so the whole
+        # MOSFET contribution to the C matrix is fixed per technology.
+        stride = topology.size + 1
+        cap_values = np.zeros(topology.n_cap_slots)
+        for (name, slot), p, w, l in zip(
+            topology.mos_cap_slots, params, widths, lengths
+        ):
+            caps = device_caps(p, w, l)
+            cap_values[slot: slot + 4] = (caps.cgs, caps.cgd, caps.cdb, caps.csb)
+        C = np.zeros((stride, stride))
+        # Capacitor-device slots hold zeros here, so scattering the full
+        # pattern stamps exactly the MOSFET contribution.
+        if topology.cap_flat.size:
+            np.add.at(
+                C.ravel(), topology.cap_flat,
+                topology.cap_sign * cap_values[topology.cap_slot],
+            )
+        self.c_mos_ext = C
+
+
+class CompiledSystem:
+    """A compiled topology bound to concrete element values.
+
+    Drop-in assembler-interface replacement for
+    :class:`repro.sim.mna.MnaSystem`; the circuit handed in must have the
+    same structure signature as the topology (guaranteed when obtained via
+    :func:`compiled_system`).
+    """
+
+    def __init__(
+        self,
+        topology: CompiledTopology,
+        circuit: Circuit,
+        tech: Technology,
+        deltas: Mapping[str, DeviceDelta] | None = None,
+    ):
+        self.topology = topology
+        self.circuit = circuit
+        self.tech = tech
+        self.deltas = dict(deltas or {})
+        self.node_index = topology.node_index
+        self.branch_index = topology.branch_index
+        self.n_nodes = topology.n_nodes
+        self.size = topology.size
+
+        t = topology
+        stride = self.size + 1
+
+        # Linear conductance matrix (extended by the ground spill slot).
+        values = np.ones(t.n_lin_slots)
+        for name, slot in t.resistor_slots:
+            values[slot] = 1.0 / circuit.device(name).value
+        for name, slot in t.vcvs_slots:
+            values[slot] = circuit.device(name).gain
+        G = np.zeros((stride, stride))
+        if t.lin_flat.size:
+            np.add.at(G.ravel(), t.lin_flat, t.lin_sign * values[t.lin_slot])
+        self._G_ext = G
+
+        # Source levels (DC base values and the constant AC drive vector).
+        self._src_base = np.array(
+            [circuit.device(name).dc for name in t.source_names]
+        )
+        ac_values = np.array(
+            [circuit.device(name).ac for name in t.source_names]
+        )
+        b_ac = np.zeros(stride)
+        if t.ac_rows.size:
+            np.add.at(b_ac, t.ac_rows, t.ac_sign * ac_values[t.ac_slot])
+        self._b_ac = b_ac[: self.size].astype(complex)
+
+        # Variation-resolved MOSFET parameters: the cached nominal bank
+        # plus per-device delta arrays (dvth adds, dbeta scales kp —
+        # exactly MosfetParams.with_deltas, vectorized).
+        bank = topology.device_bank(tech)
+        self._bank = bank
+        if self.deltas:
+            dvth = np.zeros(len(t.mos_names))
+            dbeta = np.zeros(len(t.mos_names))
+            for i, name in enumerate(t.mos_names):
+                delta = self.deltas.get(name)
+                if delta is not None:
+                    dvth[i] = delta.dvth
+                    dbeta[i] = delta.dbeta_rel
+            vth0 = bank.vth0 + dvth
+            kp = bank.kp * (1.0 + dbeta)
+        else:
+            vth0 = bank.vth0
+            kp = bank.kp
+        self._mos_arrays = MosfetArrays(
+            polarity=bank.polarity,
+            vth0=vth0,
+            kp_wl=kp * bank.w_over_l,
+            lam=bank.lam,
+            gamma=bank.gamma,
+            phi=bank.phi,
+            ss=bank.ss,
+        )
+        self._mos_params_cache: dict[str, MosfetParams] | None = None
+
+        # Deltas never change capacitances: the C matrix is the cached
+        # MOSFET part plus this instance's capacitor values.
+        C = bank.c_mos_ext.copy()
+        if t.capacitor_slots:
+            cap_values = np.zeros(t.n_cap_slots)
+            for name, slot in t.capacitor_slots:
+                cap_values[slot] = circuit.device(name).value
+            np.add.at(C.ravel(), t.cap_flat, t.cap_sign * cap_values[t.cap_slot])
+        self._C = C[: self.size, : self.size].copy()
+
+    # ------------------------------------------------------------- helpers
+
+    def idx(self, net: str) -> int:
+        """Matrix index of a net (GROUND for the reference node)."""
+        if is_ground(net):
+            return GROUND
+        return self.node_index[net]
+
+    def voltage(self, x: np.ndarray, net: str) -> float:
+        """Voltage of ``net`` under state vector ``x``."""
+        i = self.idx(net)
+        return 0.0 if i == GROUND else float(x[i])
+
+    def mosfet_params(self, name: str) -> MosfetParams:
+        """Variation-resolved parameter set of a MOSFET (lazily built)."""
+        cache = self._mos_params_cache
+        if cache is None:
+            cache = self._mos_params_cache = {}
+        params = cache.get(name)
+        if params is None:
+            params = self._bank.params[self.topology.mos_index[name]]
+            delta = self.deltas.get(name)
+            if delta is not None:
+                params = params.with_deltas(
+                    dvth=delta.dvth, dbeta_rel=delta.dbeta_rel
+                )
+            cache[name] = params
+        return params
+
+    def _mos_stamps(
+        self, x_ext: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized MOSFET-bank evaluation at an extended state vector.
+
+        Returns ``(ids, jvals)`` where ``jvals`` is laid out to match the
+        topology's eight-entry-per-device Jacobian footprint.
+        """
+        t = self.topology
+        ids, gdd, gdg, gds_, gdb = terminal_currents_array(
+            self._mos_arrays,
+            x_ext[t.mos_d], x_ext[t.mos_g], x_ext[t.mos_s], x_ext[t.mos_b],
+        )
+        jvals = np.concatenate(
+            (gdd, gdg, gds_, gdb, -gdd, -gdg, -gds_, -gdb)
+        )
+        return ids, jvals
+
+    def _dc_source_vector(
+        self,
+        source_scale: float,
+        source_values: Mapping[str, float] | None,
+    ) -> np.ndarray:
+        values = self._src_base
+        if source_values:
+            values = values.copy()
+            for i, name in enumerate(self.topology.source_names):
+                if name in source_values:
+                    values[i] = source_values[name]
+        return values * source_scale
+
+    # ------------------------------------------------------------------ DC
+
+    def assemble_dc(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+        source_values: Mapping[str, float] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Jacobian and residual of the DC system at state ``x``.
+
+        Semantics identical to :meth:`MnaSystem.assemble_dc`; assembly is
+        one matrix copy, one vectorized device-bank evaluation and two
+        index scatters.
+        """
+        t = self.topology
+        size = self.size
+        x_ext = np.zeros(size + 1)
+        x_ext[:size] = x
+
+        J_ext = self._G_ext.copy()
+        F_ext = self._G_ext @ x_ext
+        if t.src_rows.size:
+            values = self._dc_source_vector(source_scale, source_values)
+            np.add.at(F_ext, t.src_rows, t.src_sign * values[t.src_slot])
+        if t.mos_names:
+            ids, jvals = self._mos_stamps(x_ext)
+            np.add.at(F_ext, t.mos_f_rows, np.concatenate((ids, -ids)))
+            np.add.at(J_ext.ravel(), t.mos_j_flat, jvals)
+        J_ext.ravel()[t.node_diag_flat] += gmin
+        F_ext[: self.n_nodes] += gmin * x_ext[: self.n_nodes]
+        return J_ext[:size, :size], F_ext[:size]
+
+    # ------------------------------------------------------------------ AC
+
+    def capacitance_matrix(self) -> np.ndarray:
+        """Node-space capacitance matrix (bias-independent, prebuilt)."""
+        return self._C.copy()
+
+    def _op_vector_ext(self, op_voltages: Mapping[str, float]) -> np.ndarray:
+        x_ext = np.zeros(self.size + 1)
+        for net in self.topology.mos_nets:
+            if net not in op_voltages:
+                raise KeyError(f"operating point missing net {net!r}")
+        for net, i in self.node_index.items():
+            if net in op_voltages:
+                x_ext[i] = op_voltages[net]
+        return x_ext
+
+    def ac_matrices(
+        self, op_voltages: Mapping[str, float], gmin: float = 1e-12
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Frequency-independent pieces of the AC system.
+
+        Returns ``(G, C, b)`` with ``A(omega) = G + 1j * omega * C``; one
+        call serves every frequency point of an analysis.
+        """
+        t = self.topology
+        size = self.size
+        G_ext = self._G_ext.copy()
+        if t.mos_names:
+            __, jvals = self._mos_stamps(self._op_vector_ext(op_voltages))
+            np.add.at(G_ext.ravel(), t.mos_j_flat, jvals)
+        G_ext.ravel()[t.node_diag_flat] += gmin
+        return G_ext[:size, :size], self._C, self._b_ac
+
+    def assemble_ac(
+        self, op_voltages: Mapping[str, float], omega: float, gmin: float = 1e-12
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Complex small-signal system at one angular frequency."""
+        G, C, b = self.ac_matrices(op_voltages, gmin=gmin)
+        return G + 1j * omega * C, b.copy()
+
+    def solve_ac_batch(
+        self,
+        op_voltages: Mapping[str, float],
+        omegas: np.ndarray,
+        rhs: np.ndarray | None = None,
+        gmin: float = 1e-12,
+    ) -> np.ndarray:
+        """Solve the AC system at every angular frequency in one batch.
+
+        Args:
+            op_voltages: DC bias by net name.
+            omegas: angular frequencies [rad/s].
+            rhs: optional right-hand-side matrix ``(size, m)`` replacing
+                the circuit's own AC drives (used by the noise analysis);
+                default is the single-column source drive.
+
+        Returns:
+            ``(nfreq, size)`` complex solutions, or ``(nfreq, size, m)``
+            when ``rhs`` is given.
+        """
+        G, C, b = self.ac_matrices(op_voltages, gmin=gmin)
+        omegas = np.asarray(omegas, dtype=float)
+        A = G[None, :, :] + 1j * omegas[:, None, None] * C[None, :, :]
+        if rhs is None:
+            B = np.broadcast_to(
+                b[None, :, None], (len(omegas), self.size, 1)
+            )
+            return np.linalg.solve(A, B.copy())[..., 0]
+        B = np.broadcast_to(
+            np.asarray(rhs, dtype=complex)[None, :, :],
+            (len(omegas),) + rhs.shape,
+        )
+        return np.linalg.solve(A, B.copy())
+
+
+# -------------------------------------------------------- topology cache
+
+_TOPOLOGY_CACHE: "OrderedDict[tuple, CompiledTopology]" = OrderedDict()
+_TOPOLOGY_CACHE_MAX = 256
+_cache_hits = 0
+_cache_misses = 0
+
+
+def compiled_topology(circuit: Circuit) -> CompiledTopology:
+    """The compiled topology of ``circuit``'s shape (globally LRU-cached).
+
+    Every placement of a block — parasitic annotation included — shares a
+    structure signature, so an optimization run compiles each testbench
+    variant exactly once.
+    """
+    global _cache_hits, _cache_misses
+    signature = structure_signature(circuit)
+    topology = _TOPOLOGY_CACHE.get(signature)
+    if topology is not None:
+        _cache_hits += 1
+        _TOPOLOGY_CACHE.move_to_end(signature)
+        return topology
+    _cache_misses += 1
+    topology = CompiledTopology(circuit)
+    if len(_TOPOLOGY_CACHE) >= _TOPOLOGY_CACHE_MAX:
+        _TOPOLOGY_CACHE.popitem(last=False)
+    _TOPOLOGY_CACHE[signature] = topology
+    return topology
+
+
+def compiled_system(
+    circuit: Circuit,
+    tech: Technology,
+    deltas: Mapping[str, DeviceDelta] | None = None,
+) -> CompiledSystem:
+    """A value-bound compiled system (topology fetched from the cache)."""
+    return compiled_topology(circuit).bind(circuit, tech, deltas)
+
+
+def topology_cache_info() -> dict[str, int]:
+    """Cache statistics: ``{"size": ..., "hits": ..., "misses": ...}``."""
+    return {
+        "size": len(_TOPOLOGY_CACHE),
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+    }
+
+
+def clear_topology_cache() -> None:
+    """Drop all cached topologies and zero the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    _TOPOLOGY_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0

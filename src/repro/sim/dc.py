@@ -19,9 +19,13 @@ from typing import Mapping
 import numpy as np
 
 from repro.netlist.circuit import Circuit
+from repro.sim.compiled import CompiledSystem
+from repro.sim.engine import make_system
 from repro.sim.mna import MnaSystem
 from repro.tech import Technology
 from repro.variation import DeviceDelta
+
+MnaLike = MnaSystem | CompiledSystem
 
 
 class ConvergenceError(RuntimeError):
@@ -59,10 +63,16 @@ class DcResult:
 MAX_STEP_V = 0.5
 ABSTOL_V = 1e-9
 ABSTOL_I = 1e-12
+# Residual ceilings at convergence.  KCL rows are currents [A]; branch
+# rows (voltage sources, VCVS) are voltage-constraint residuals [V] and
+# are checked too, so a voltage-source-heavy circuit cannot report
+# convergence while a damped step left its source constraints unmet.
+RESIDTOL_I = 1e-9
+RESIDTOL_V = 1e-9
 
 
 def _newton(
-    system: MnaSystem,
+    system: MnaLike,
     x0: np.ndarray,
     gmin: float,
     source_scale: float,
@@ -89,10 +99,15 @@ def _newton(
         if system.n_nodes:
             dv = float(np.max(np.abs(dx[: system.n_nodes])))
             vmax = float(np.max(np.abs(x[: system.n_nodes])))
-            residual = float(np.max(np.abs(F[: system.n_nodes])))
+            resid_i = float(np.max(np.abs(F[: system.n_nodes])))
         else:
-            dv = vmax = residual = 0.0
-        if dv < ABSTOL_V * (1.0 + vmax) and residual < 1e-9:
+            dv = vmax = resid_i = 0.0
+        if system.size > system.n_nodes:
+            resid_v = float(np.max(np.abs(F[system.n_nodes:])))
+        else:
+            resid_v = 0.0
+        if (dv < ABSTOL_V * (1.0 + vmax)
+                and resid_i < RESIDTOL_I and resid_v < RESIDTOL_V):
             return x, it, True
     return x, max_iter, False
 
@@ -105,6 +120,8 @@ def solve_dc(
     source_values: Mapping[str, float] | None = None,
     gmin: float = 1e-12,
     max_iter: int = 150,
+    engine: str | None = None,
+    system: MnaLike | None = None,
 ) -> DcResult:
     """Find the DC operating point of ``circuit``.
 
@@ -117,11 +134,17 @@ def solve_dc(
         source_values: per-source dc overrides (name → value).
         gmin: final stabilising conductance.
         max_iter: Newton budget per homotopy stage.
+        engine: assembler choice (``"compiled"``/``"legacy"``); ``None``
+            uses the process default.
+        system: prebuilt assembler for ``circuit`` — skips construction
+            entirely (callers like ``dc_sweep`` and the transient driver
+            reuse one system across many solves).
 
     Raises:
         ConvergenceError: if no strategy converges.
     """
-    system = MnaSystem(circuit, tech, deltas)
+    if system is None:
+        system = make_system(circuit, tech, deltas, engine=engine)
     guess = x0.copy() if x0 is not None else np.zeros(system.size)
     total_iters = 0
 
@@ -167,7 +190,7 @@ def solve_dc(
     )
 
 
-def _package(system: MnaSystem, x: np.ndarray, iterations: int) -> DcResult:
+def _package(system: MnaLike, x: np.ndarray, iterations: int) -> DcResult:
     voltages = {net: system.voltage(x, net) for net in system.circuit.nets()}
     branch_currents = {
         name: float(x[row]) for name, row in system.branch_index.items()
@@ -186,21 +209,28 @@ def dc_sweep(
     source_name: str,
     values: np.ndarray,
     deltas: Mapping[str, DeviceDelta] | None = None,
+    engine: str | None = None,
 ) -> list[DcResult]:
     """Sweep one source's DC value, warm-starting each point.
+
+    The assembler is built once and reused for every sweep point — only
+    the source override changes between solves.
 
     Args:
         source_name: a voltage or current source in the circuit.
         values: sequence of source values to visit, in order.
+        engine: assembler choice; ``None`` uses the process default.
     """
     if source_name not in circuit:
         raise KeyError(f"no source named {source_name!r}")
+    system = make_system(circuit, tech, deltas, engine=engine)
     results: list[DcResult] = []
     x0: np.ndarray | None = None
     for value in values:
         result = solve_dc(
             circuit, tech, deltas=deltas, x0=x0,
             source_values={source_name: float(value)},
+            system=system,
         )
         results.append(result)
         x0 = result.x

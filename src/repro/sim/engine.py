@@ -1,0 +1,77 @@
+"""Simulation-engine selection: compiled (default) vs legacy assembly.
+
+Two interchangeable MNA assemblers exist:
+
+* ``"compiled"`` — :class:`repro.sim.compiled.CompiledSystem`: cached
+  topology, vectorized device stamping, batched AC solves.  The default.
+* ``"legacy"`` — :class:`repro.sim.mna.MnaSystem`: the original
+  per-device Python stamp loop, kept as the equivalence-tested reference
+  backend (see ``tests/sim/test_compiled_equivalence.py``).
+
+The process-wide default can be changed with :func:`set_engine` or
+scoped with the :func:`use_engine` context manager; every analysis entry
+point (``solve_dc``, ``solve_ac``, ``solve_noise``, ``solve_transient``,
+``dc_sweep``) also accepts an explicit ``engine=`` override.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.netlist.circuit import Circuit
+from repro.sim.compiled import CompiledSystem, compiled_system
+from repro.sim.mna import MnaSystem
+from repro.tech import Technology
+from repro.variation import DeviceDelta
+
+ENGINES = ("compiled", "legacy")
+
+_engine = "compiled"
+
+
+def get_engine() -> str:
+    """The process-wide default engine name."""
+    return _engine
+
+
+def set_engine(name: str) -> None:
+    """Set the process-wide default engine (``"compiled"`` or ``"legacy"``)."""
+    global _engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+    _engine = name
+
+
+@contextmanager
+def use_engine(name: str | None) -> Iterator[None]:
+    """Scope the default engine to a ``with`` block (``None`` = no change)."""
+    if name is None:
+        yield
+        return
+    previous = get_engine()
+    set_engine(name)
+    try:
+        yield
+    finally:
+        set_engine(previous)
+
+
+def make_system(
+    circuit: Circuit,
+    tech: Technology,
+    deltas: Mapping[str, DeviceDelta] | None = None,
+    engine: str | None = None,
+) -> MnaSystem | CompiledSystem:
+    """Build the assembler the selected engine uses for one circuit.
+
+    Args:
+        engine: explicit engine name, or ``None`` to use the process-wide
+            default.
+    """
+    name = engine if engine is not None else _engine
+    if name == "legacy":
+        return MnaSystem(circuit, tech, deltas)
+    if name == "compiled":
+        return compiled_system(circuit, tech, deltas)
+    raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")

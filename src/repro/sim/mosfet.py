@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.tech import MosfetParams
 
 
@@ -181,6 +183,109 @@ class MosfetCaps:
     cgd: float
     cdb: float
     csb: float
+
+
+# -------------------------------------------------- vectorized evaluation
+#
+# The compiled MNA engine evaluates every MOSFET of a circuit in one numpy
+# pass instead of one Python call per device.  The array model below is the
+# exact smoothed square law above, restated branch-free: the drain/source
+# swap becomes an index-free min/max (for either orientation the core
+# arguments are measured from the lower of the two diffusion terminals),
+# and the saturation/triode and softplus/sigmoid pieces become np.where
+# selections over the same piecewise formulas.
+
+
+@dataclass(frozen=True)
+class MosfetArrays:
+    """Per-device parameter vectors for the array model.
+
+    One entry per MOSFET, all variation deltas already applied.  ``kp_wl``
+    folds the geometry in (``kp * width / length``) and ``lam`` is already
+    scaled to the actual channel length, so the evaluation itself needs no
+    per-device geometry.  Built by the compiled engine's device bank
+    (:class:`repro.sim.compiled._DeviceBank`).
+    """
+
+    polarity: np.ndarray
+    vth0: np.ndarray
+    kp_wl: np.ndarray
+    lam: np.ndarray
+    gamma: np.ndarray
+    phi: np.ndarray
+    ss: np.ndarray
+
+
+# exp() underflows to 0.0 below roughly -745; clipping there keeps the
+# array path free of warnings while matching math.exp semantics exactly.
+_EXP_MIN = -745.0
+
+
+def _softplus_array(u: np.ndarray) -> np.ndarray:
+    e = np.exp(np.clip(u, _EXP_MIN, 30.0))
+    return np.where(u > 30.0, u, np.where(u < -30.0, e, np.log1p(e)))
+
+
+def _sigmoid_array(u: np.ndarray) -> np.ndarray:
+    e = np.exp(np.clip(u, _EXP_MIN, 30.0))
+    mid = 1.0 / (1.0 + np.exp(-np.clip(u, -30.0, 30.0)))
+    return np.where(u > 30.0, 1.0, np.where(u < -30.0, e, mid))
+
+
+def terminal_currents_array(
+    pa: MosfetArrays,
+    vd: np.ndarray, vg: np.ndarray, vs: np.ndarray, vb: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`terminal_currents` over a device bank.
+
+    Returns ``(ids, gdd, gdg, gds_, gdb)`` arrays, one entry per device,
+    with the same polarity and drain/source-swap handling as the scalar
+    model.
+    """
+    pol = pa.polarity
+    # PMOS devices are evaluated as NMOS in negated-voltage space.
+    vd_n, vg_n, vs_n, vb_n = pol * vd, pol * vg, pol * vs, pol * vb
+    swap = vd_n < vs_n
+    # Core arguments referenced to the lower diffusion terminal: this is
+    # (vgs, vds, vbs) for the normal orientation and the swapped triple
+    # (vg-vd, vs-vd, vb-vd) when the roles of d and s are exchanged.
+    vlo = np.where(swap, vd_n, vs_n)
+    vgs = vg_n - vlo
+    vds = np.abs(vd_n - vs_n)
+    vbs = vb_n - vlo
+
+    # Body effect with the clamped sqrt argument.
+    arg = pa.phi - vbs
+    clamped = arg < 0.05
+    arg = np.where(clamped, 0.05, arg)
+    sqrt_arg = np.sqrt(arg)
+    dvth_dvbs = np.where(clamped, 0.0, -pa.gamma / (2.0 * sqrt_arg))
+    vth = pa.vth0 + pa.gamma * (sqrt_arg - np.sqrt(pa.phi))
+
+    u = (vgs - vth) / pa.ss
+    vov = pa.ss * _softplus_array(u)
+    dvov_du = _sigmoid_array(u)
+
+    k = pa.kp_wl
+    mod = 1.0 + pa.lam * vds
+    sat = vds >= vov
+    id0 = np.where(sat, 0.5 * k * vov * vov, k * (vov * vds - 0.5 * vds * vds))
+    did_dvov = np.where(sat, k * vov, k * vds) * mod
+    did_dvds = np.where(sat, id0 * pa.lam,
+                        k * (vov - vds) * mod + id0 * pa.lam)
+    ids_c = id0 * mod
+    dgs = did_dvov * dvov_du
+    dbs = did_dvov * (-dvov_du) * dvth_dvbs
+    dds = did_dvds
+
+    # Map core partials back through the swap (see _nmos_terminal).
+    ids = np.where(swap, -ids_c, ids_c)
+    gdg = np.where(swap, -dgs, dgs)
+    gds_ = np.where(swap, -dds, -(dgs + dds + dbs))
+    gdb = np.where(swap, -dbs, dbs)
+    gdd = np.where(swap, dgs + dds + dbs, dds)
+    # PMOS: negate the current back; the partials keep their sign.
+    return pol * ids, gdd, gdg, gds_, gdb
 
 
 def device_caps(params: MosfetParams, width: float, length: float) -> MosfetCaps:

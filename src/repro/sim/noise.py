@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import Mosfet, Resistor
+from repro.sim.compiled import CompiledSystem
+from repro.sim.engine import make_system
 from repro.sim.mna import GROUND, MnaSystem
 from repro.sim.mosfet import terminal_currents
 from repro.tech import Technology
@@ -77,7 +79,7 @@ class NoiseResult:
 
 
 def _device_noise_psd(
-    device, system: MnaSystem, op: Mapping[str, float],
+    device, system: MnaSystem | CompiledSystem, op: Mapping[str, float],
     temperature: float, kf: float, freqs: np.ndarray,
 ) -> np.ndarray | None:
     """One-sided current-noise PSD [A^2/Hz] across the device, or None."""
@@ -112,6 +114,7 @@ def solve_noise(
     deltas: Mapping[str, DeviceDelta] | None = None,
     temperature: float = ROOM_TEMPERATURE,
     kf: float = KF_DEFAULT,
+    engine: str | None = None,
 ) -> NoiseResult:
     """Output noise PSD at ``output_net``.
 
@@ -126,6 +129,9 @@ def solve_noise(
         deltas: variation-resolved device parameter shifts.
         temperature: analysis temperature [K].
         kf: flicker coefficient of the simplified level-1 model.
+        engine: assembler choice; ``None`` uses the process default.  The
+            compiled engine solves all frequencies and all injection
+            columns as one stacked batch.
     """
     freqs = np.asarray(freqs, dtype=float)
     if np.any(freqs <= 0):
@@ -133,7 +139,7 @@ def solve_noise(
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
 
-    system = MnaSystem(circuit, tech, deltas)
+    system = make_system(circuit, tech, deltas, engine=engine)
     if output_net not in system.node_index:
         raise KeyError(f"output net {output_net!r} is ground or unknown")
     out_idx = system.node_index[output_net]
@@ -149,22 +155,32 @@ def solve_noise(
     }
     total = np.zeros(len(freqs))
 
-    for k, f in enumerate(freqs):
-        A, __ = system.assemble_ac(op_voltages, omega=2.0 * math.pi * f)
-        # One RHS column per noise source: unit current across the element.
-        B = np.zeros((system.size, len(noisy)), dtype=complex)
-        for col, (device, __) in enumerate(noisy):
-            node_a, node_b = _injection_nodes(device)
-            ia, ib = system.idx(node_a), system.idx(node_b)
-            if ia != GROUND:
-                B[ia, col] += 1.0
-            if ib != GROUND:
-                B[ib, col] -= 1.0
-        X = np.linalg.solve(A, B)
+    # One RHS column per noise source: unit current across the element
+    # (frequency-independent, so it is built once for both engines).
+    B = np.zeros((system.size, len(noisy)), dtype=complex)
+    for col, (device, __) in enumerate(noisy):
+        node_a, node_b = _injection_nodes(device)
+        ia, ib = system.idx(node_a), system.idx(node_b)
+        if ia != GROUND:
+            B[ia, col] += 1.0
+        if ib != GROUND:
+            B[ib, col] -= 1.0
+
+    if isinstance(system, CompiledSystem):
+        X = system.solve_ac_batch(op_voltages, 2.0 * math.pi * freqs, rhs=B)
+        gains_sq = np.abs(X[:, out_idx, :]) ** 2  # (nfreq, n_noisy)
         for col, (device, psd) in enumerate(noisy):
-            gain_sq = float(np.abs(X[out_idx, col]) ** 2)
-            contribution = gain_sq * psd[k]
-            contributions[device.name][k] += contribution
-            total[k] += contribution
+            contribution = gains_sq[:, col] * psd
+            contributions[device.name] += contribution
+            total += contribution
+    else:
+        for k, f in enumerate(freqs):
+            A, __ = system.assemble_ac(op_voltages, omega=2.0 * math.pi * f)
+            X = np.linalg.solve(A, B)
+            for col, (device, psd) in enumerate(noisy):
+                gain_sq = float(np.abs(X[out_idx, col]) ** 2)
+                contribution = gain_sq * psd[k]
+                contributions[device.name][k] += contribution
+                total[k] += contribution
 
     return NoiseResult(freqs=freqs, output_psd=total, contributions=contributions)

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.netlist.circuit import Circuit
 from repro.sim.dc import ConvergenceError, solve_dc
-from repro.sim.mna import MnaSystem
+from repro.sim.engine import make_system
 from repro.tech import Technology
 from repro.variation import DeviceDelta
 
@@ -78,8 +78,13 @@ def solve_transient(
     waveforms: Mapping[str, Waveform] | None = None,
     ic: Mapping[str, float] | None = None,
     max_iter: int = 100,
+    engine: str | None = None,
 ) -> TransientResult:
     """Integrate the circuit from a DC initial condition.
+
+    One assembler serves the initial DC solve and every time step — the
+    compiled engine therefore stamps the whole run without per-device
+    Python dispatch.
 
     Args:
         t_stop: final time [s].
@@ -90,6 +95,7 @@ def solve_transient(
         ic: optional initial node voltages overriding the DC solve result
             (net → volts) — useful to seed a latch imbalance.
         max_iter: Newton budget per time step.
+        engine: assembler choice; ``None`` uses the process default.
 
     Raises:
         ConvergenceError: if a time step fails to converge.
@@ -98,13 +104,14 @@ def solve_transient(
         raise ValueError("need 0 < dt <= t_stop")
     waveforms = dict(waveforms or {})
 
-    system = MnaSystem(circuit, tech, deltas)
+    system = make_system(circuit, tech, deltas, engine=engine)
     C = system.capacitance_matrix()
 
     def source_values_at(t: float) -> dict[str, float]:
         return {name: wave(t) for name, wave in waveforms.items()}
 
-    op = solve_dc(circuit, tech, deltas=deltas, source_values=source_values_at(0.0))
+    op = solve_dc(circuit, tech, deltas=deltas,
+                  source_values=source_values_at(0.0), system=system)
     x = op.x.copy()
     if ic:
         for net, v in ic.items():

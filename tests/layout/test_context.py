@@ -1,8 +1,16 @@
 """Tests for the placement → UnitContext bridge."""
 
+import numpy as np
 import pytest
 
-from repro.layout import CanvasSpec, Placement, device_contexts, unit_context, unit_contexts
+from repro.layout import (
+    CanvasSpec,
+    Placement,
+    device_contexts,
+    device_contexts_all,
+    unit_context,
+    unit_contexts,
+)
 from repro.tech import generic_tech_40
 
 TECH = generic_tech_40()
@@ -86,3 +94,39 @@ class TestDeviceContexts:
     def test_missing_device_rejected(self, row_placement):
         with pytest.raises(KeyError, match="no placed units"):
             device_contexts(row_placement, "ghost", TECH)
+
+
+class TestVectorizedBatch:
+    """The grid-vectorized batch path must match the scalar reference."""
+
+    def test_empty_placement(self):
+        p = Placement(CanvasSpec(4, 4))
+        assert unit_contexts(p, TECH) == {}
+        assert device_contexts_all(p, TECH) == {}
+
+    def test_batch_matches_scalar_on_random_placements(self):
+        rng = np.random.default_rng(7)
+        for __ in range(20):
+            cols = int(rng.integers(1, 9))
+            rows = int(rng.integers(1, 7))
+            p = Placement(CanvasSpec(cols, rows))
+            cells = [(c, r) for c in range(cols) for r in range(rows)]
+            rng.shuffle(cells)
+            n_units = int(rng.integers(1, len(cells) + 1))
+            per_device = {}
+            for i, cell in enumerate(cells[:n_units]):
+                name = f"d{i % 3}"
+                index = per_device.get(name, 0)
+                per_device[name] = index + 1
+                p.place((name, index), cell)
+            batch = unit_contexts(p, TECH)
+            assert set(batch) == set(p.units)
+            for unit, got in batch.items():
+                assert got == unit_context(p, unit, TECH)
+
+    def test_device_contexts_all_grouping(self, row_placement):
+        row_placement.place(("other", 0), (0, 0))
+        grouped = device_contexts_all(row_placement, TECH)
+        assert set(grouped) == {"m", "other"}
+        assert grouped["m"] == device_contexts(row_placement, "m", TECH)
+        assert len(grouped["other"]) == 1

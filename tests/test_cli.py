@@ -104,6 +104,28 @@ class TestFig3:
             main(["fig3", "--circuit", "cm", "--scale", "0"])
 
 
+class TestProfile:
+    def test_profile_default_engine(self, capsys):
+        assert main(["profile", "ota5t", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("context", "parasitics", "dc", "ac", "measures"):
+            assert stage in out
+        assert "compiled (default)" in out
+
+    def test_profile_explicit_engine(self, capsys):
+        assert main(["profile", "cm", "--engine", "legacy",
+                     "--repeats", "1"]) == 0
+        assert "engine=legacy" in capsys.readouterr().out
+
+    def test_profile_requires_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+    def test_profile_rejects_bad_repeats(self):
+        with pytest.raises(SystemExit, match="repeats"):
+            main(["profile", "cm", "--repeats", "0"])
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
