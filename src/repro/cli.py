@@ -32,7 +32,11 @@ from repro.experiments import (
 )
 from repro.experiments.scaling import format_scaling, run_scaling
 from repro.layout.context import device_contexts_all
-from repro.layout.generators import STYLES, banded_placement
+from repro.layout.generators import (
+    STYLES,
+    banded_placement,
+    random_walk_placements,
+)
 from repro.layout.render import render_placement
 from repro.layout.svg import save_placement_svg
 from repro.netlist.library import (
@@ -64,6 +68,13 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _batch_arg(value: str) -> int:
+    batch = int(value)
+    if batch < 1:
+        raise argparse.ArgumentTypeError("batch must be >= 1")
+    return batch
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -83,6 +94,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="step-budget multiplier")
     fig3.add_argument("--jobs", type=_jobs_arg, default=1,
                       help="worker processes for the per-seed fan-out")
+    fig3.add_argument("--batch", type=_batch_arg, default=1,
+                      help="candidate placements priced per agent turn")
 
     ablation = sub.add_parser("ablation", help="run an ablation experiment")
     ablation.add_argument("which", choices=[
@@ -93,6 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--seed", type=int, default=1)
     ablation.add_argument("--jobs", type=_jobs_arg, default=1,
                           help="worker processes for independent runs")
+    ablation.add_argument("--batch", type=_batch_arg, default=1,
+                          help="candidate placements priced per agent turn")
 
     spice = sub.add_parser("spice", help="print a circuit's SPICE deck")
     spice.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
@@ -106,6 +121,8 @@ def _build_parser() -> argparse.ArgumentParser:
     place.add_argument("--jobs", type=_jobs_arg, default=1,
                        help="worker processes (the run executes on the "
                             "shared runtime either way)")
+    place.add_argument("--batch", type=_batch_arg, default=1,
+                       help="candidate placements priced per agent turn")
 
     profile = sub.add_parser(
         "profile",
@@ -119,6 +136,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="placement style to evaluate")
     profile.add_argument("--repeats", type=int, default=5,
                          help="timing repeats per stage (best-of is shown)")
+    profile.add_argument("--batch", type=_batch_arg, default=8,
+                         help="candidate count for the batched-vs-"
+                              "sequential evaluation rows")
     return parser
 
 
@@ -146,7 +166,8 @@ def _cmd_fig3(args) -> int:
     config = ALL_CONFIGS[circuit]
     if args.scale != 1.0:
         config = config.scaled(args.scale)
-    print(format_fig3(run_fig3(config.with_jobs(max(1, args.jobs)))))
+    config = config.with_jobs(max(1, args.jobs)).with_batch(args.batch)
+    print(format_fig3(run_fig3(config)))
     return 0
 
 
@@ -155,20 +176,24 @@ def _cmd_ablation(args) -> int:
     backend = resolve_backend(args.jobs)
     if args.which == "hierarchy":
         print(format_hierarchy(run_hierarchy_ablation(
-            block, max_steps=args.steps, seed=args.seed, backend=backend)))
+            block, max_steps=args.steps, seed=args.seed, backend=backend,
+            batch=args.batch)))
     elif args.which == "convergence":
         print(format_convergence(run_convergence_ablation(
-            block, max_steps=args.steps, seed=args.seed, backend=backend)))
+            block, max_steps=args.steps, seed=args.seed, backend=backend,
+            batch=args.batch)))
     elif args.which == "linearity":
         print(format_linearity(run_linearity_ablation(
             CIRCUITS[args.circuit], max_steps=args.steps, seed=args.seed,
-            backend=backend)))
+            backend=backend, batch=args.batch)))
     elif args.which == "dummies":
         print(format_dummies(run_dummy_ablation(
-            block, max_steps=args.steps, seed=args.seed, backend=backend)))
+            block, max_steps=args.steps, seed=args.seed, backend=backend,
+            batch=args.batch)))
     else:
         print(format_scaling(run_scaling(
-            max_steps=args.steps, seed=args.seed, backend=backend)))
+            max_steps=args.steps, seed=args.seed, backend=backend,
+            batch=args.batch)))
     return 0
 
 
@@ -181,7 +206,7 @@ def _cmd_spice(args) -> int:
 def _cmd_place(args) -> int:
     block = CIRCUITS[args.circuit]()
     spec = RunSpec(key="place", builder=args.circuit, placer="ql",
-                   seed=args.seed, max_steps=args.steps,
+                   seed=args.seed, max_steps=args.steps, batch=args.batch,
                    target_from_symmetric=True, share_target_evaluator=True)
     outcome = map_runs([spec], resolve_backend(args.jobs))[0]
     result = outcome.result
@@ -202,7 +227,10 @@ def _cmd_profile(args) -> int:
     Stages mirror :meth:`PlacementEvaluator.evaluate`: placement contexts →
     parasitic annotation → DC operating point → AC sweep → the full
     measurement suite.  The suite row *includes* its internal DC/AC
-    solves; the end-to-end row is one whole cache-miss evaluation.
+    solves; the end-to-end row is one whole cache-miss evaluation.  The
+    final two rows price ``--batch`` candidate placements sequentially
+    vs through :meth:`PlacementEvaluator.evaluate_many` (the placement-
+    batched compiled solves), with the resulting speedup.
     """
     if args.repeats < 1:
         raise SystemExit("profile: --repeats must be >= 1")
@@ -229,6 +257,18 @@ def _cmd_profile(args) -> int:
             evaluator.clear_cache()
             evaluator.evaluate(placement)
 
+        candidates = random_walk_placements(
+            block, args.batch, style=args.style)
+
+        def sequential_batch():
+            evaluator.clear_cache()
+            for p in candidates:
+                evaluator.evaluate(p)
+
+        def batched_batch():
+            evaluator.clear_cache()
+            evaluator.evaluate_many(candidates)
+
         stages = [
             ("context", lambda: device_contexts_all(placement, tech)),
             ("parasitics", lambda: annotate_parasitics(
@@ -248,6 +288,14 @@ def _cmd_profile(args) -> int:
                 total += elapsed
             print(f"  {name:<24s} {elapsed * 1e3:9.3f} ms")
         print(f"  {'stages (ctx+par+dc+ac)':<24s} {total * 1e3:9.3f} ms")
+
+        n = len(candidates)
+        sequential_batch()  # warm every candidate's topology/warm-start
+        seq = best_of(sequential_batch)
+        many = best_of(batched_batch)
+        print(f"  {f'evaluate x{n} (sequential)':<24s} {seq * 1e3:9.3f} ms")
+        print(f"  {f'evaluate_many x{n}':<24s} {many * 1e3:9.3f} ms"
+              f"   ({seq / many:.2f}x)")
     return 0
 
 

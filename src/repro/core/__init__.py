@@ -13,9 +13,17 @@ simulations used, sims-to-target, convergence history).
 
 from repro.core.annealing import RandomSearchPlacer, SimulatedAnnealingPlacer
 from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
-from repro.core.optimizer import BudgetTracker, Placer, PlacerResult
+from repro.core.optimizer import (
+    BudgetTracker,
+    Outcome,
+    Placer,
+    PlacerResult,
+    Proposal,
+    ProposingAgent,
+    price_proposals,
+)
 from repro.core.persistence import load_placer_tables, save_placer_tables
-from repro.core.policy import EpsilonSchedule, epsilon_greedy
+from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_topk
 from repro.core.qlearning import QAgent, QTable
 from repro.core.rewards import RewardConfig, shaped_reward
 
@@ -24,15 +32,20 @@ __all__ = [
     "EpsilonSchedule",
     "FlatQPlacer",
     "MultiLevelPlacer",
+    "Outcome",
     "Placer",
     "PlacerResult",
+    "Proposal",
+    "ProposingAgent",
     "QAgent",
     "QTable",
     "RandomSearchPlacer",
     "RewardConfig",
     "SimulatedAnnealingPlacer",
     "epsilon_greedy",
+    "epsilon_greedy_topk",
     "load_placer_tables",
+    "price_proposals",
     "save_placer_tables",
     "shaped_reward",
 ]

@@ -5,17 +5,88 @@ moves and rigid group moves), with geometric cooling.  SA "focuses on
 exploring solutions near the current best" and carries no memory between
 moves — the contrast the paper draws against Q-learning's accumulated
 policy.
+
+SA turns run through the same propose/observe candidate protocol as the
+Q-learning placers (:mod:`repro.core.optimizer`): with ``batch = k`` each
+turn draws ``k`` random legal moves from the current placement, prices
+them in one batched objective call, and Metropolis-tests them *in
+proposal order*, committing the first acceptance.  ``k = 1`` is exactly
+classic SA — same RNG stream, same acceptance sequence.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.optimizer import BudgetTracker, PlacerResult
+from repro.core.optimizer import (
+    BudgetTracker,
+    Outcome,
+    PlacerResult,
+    Proposal,
+    price_proposals,
+)
 from repro.layout.env import PlacementEnv
+from repro.layout.placement import Placement
+
+
+class _SaTurn:
+    """One annealing turn as a :class:`ProposingAgent`.
+
+    ``propose`` draws up to ``k`` random legal moves (the first draw is
+    exactly the classic single proposal); ``observe`` Metropolis-tests
+    the priced candidates in order and commits the first acceptance.
+    """
+
+    def __init__(self, placer: "SimulatedAnnealingPlacer"):
+        self.placer = placer
+
+    def _apply(self, action) -> None:
+        kind, group, local, direction = action
+        if kind == "group":
+            self.placer.env.step_group(group, direction)
+        else:
+            self.placer.env.step_unit(group, local, direction)
+
+    def _undo(self, action) -> None:
+        kind, group, local, direction = action
+        if kind == "group":
+            self.placer.env.undo_group(group, direction)
+        else:
+            self.placer.env.undo_unit(group, local, direction)
+
+    def propose(self, k: int) -> list[Proposal]:
+        placer = self.placer
+        proposals: list[Proposal] = []
+        for __ in range(k):
+            action = placer._propose()
+            if action is None:
+                break
+            self._apply(action)
+            proposals.append(Proposal(
+                action=action, placement=placer.env.placement.copy(),
+            ))
+            self._undo(action)
+        return proposals
+
+    def observe(self, outcomes: Sequence[Outcome]) -> float:
+        placer = self.placer
+        cost = placer.turn_cost
+        placer.proposed += len(outcomes)
+        for outcome in outcomes:
+            delta = outcome.cost - cost
+            accept = (
+                delta <= 0
+                or placer.rng.random()
+                < math.exp(-delta / placer.temperature)
+            )
+            if accept:
+                placer.accepted += 1
+                self._apply(outcome.proposal.action)
+                return outcome.cost
+        return cost
 
 
 class SimulatedAnnealingPlacer:
@@ -28,6 +99,9 @@ class SimulatedAnnealingPlacer:
         t_end_frac: final temperature as a fraction of the initial cost.
         p_group_move: probability a proposal is a rigid group move rather
             than a single-unit move.
+        batch: candidate moves priced per turn (1 = classic SA; larger
+            batches Metropolis-test the candidates in order and commit
+            the first acceptance).
         seed: RNG seed.
         sim_counter: callable returning cumulative simulator evaluations.
     """
@@ -38,6 +112,7 @@ class SimulatedAnnealingPlacer:
         t_start_frac: float = 0.3,
         t_end_frac: float = 1e-3,
         p_group_move: float = 0.25,
+        batch: int = 1,
         seed: int = 0,
         sim_counter: Callable[[], int] | None = None,
     ):
@@ -45,10 +120,13 @@ class SimulatedAnnealingPlacer:
             raise ValueError("need 0 < t_end_frac <= t_start_frac")
         if not 0.0 <= p_group_move <= 1.0:
             raise ValueError(f"p_group_move must be in [0, 1], got {p_group_move}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.env = env
         self.t_start_frac = t_start_frac
         self.t_end_frac = t_end_frac
         self.p_group_move = p_group_move
+        self.batch = batch
         self.rng = np.random.default_rng(seed)
         self._objective_calls = 0
         self._sim_counter = sim_counter if sim_counter is not None else (
@@ -56,10 +134,16 @@ class SimulatedAnnealingPlacer:
         )
         self.accepted = 0
         self.proposed = 0
+        self.temperature = 0.0
+        self.turn_cost = 0.0
 
     def _cost(self) -> float:
         self._objective_calls += 1
         return self.env.cost()
+
+    def _cost_many(self, placements: list[Placement]) -> list[float]:
+        self._objective_calls += len(placements)
+        return self.env.cost_many(placements)
 
     def _propose(self) -> tuple[str, str, int, int] | None:
         """Pick a random legal move: ("group"/"unit", group, local, dir)."""
@@ -85,7 +169,7 @@ class SimulatedAnnealingPlacer:
         sim_budget: int | None = None,
         stop_at_target: bool = False,
     ) -> PlacerResult:
-        """Run annealing for ``max_steps`` proposals.
+        """Run annealing for ``max_steps`` turns.
 
         Temperature decays geometrically from ``t_start_frac * C0`` to
         ``t_end_frac * C0`` across the step budget.
@@ -104,37 +188,19 @@ class SimulatedAnnealingPlacer:
         t_end = self.t_end_frac * max(initial, 1e-12)
         decay = (t_end / t_start) ** (1.0 / max_steps)
 
+        turn = _SaTurn(self)
         cost = initial
-        temperature = t_start
+        self.temperature = t_start
         steps = 0
         while steps < max_steps:
-            proposal = self._propose()
-            if proposal is None:
+            self.turn_cost = cost
+            new_cost = price_proposals(turn, self.batch, self._cost_many)
+            if new_cost is None:
                 break
-            kind, group, local, direction = proposal
-            if kind == "group":
-                applied = self.env.step_group(group, direction)
-            else:
-                applied = self.env.step_unit(group, local, direction)
-            if not applied:
-                steps += 1
-                temperature *= decay
-                continue
-            self.proposed += 1
-            new_cost = self._cost()
-            delta = new_cost - cost
-            accept = delta <= 0 or self.rng.random() < math.exp(-delta / temperature)
-            if accept:
-                self.accepted += 1
-                cost = new_cost
-                tracker.update(cost, self.env.placement, self._sim_counter())
-            else:
-                if kind == "group":
-                    self.env.undo_group(group, direction)
-                else:
-                    self.env.undo_unit(group, local, direction)
+            cost = new_cost
             steps += 1
-            temperature *= decay
+            self.temperature *= decay
+            tracker.update(cost, self.env.placement, self._sim_counter())
             if tracker.out_of_budget(self._sim_counter()):
                 break
             if stop_at_target and tracker.reached_target:

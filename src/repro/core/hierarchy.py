@@ -14,6 +14,19 @@ and moves are conflict-free by construction (the paper's "Q-table updates
 are performed in an interleaved manner, ensuring conflict-free movement
 between agents").
 
+Every turn runs through the batched candidate protocol of
+:mod:`repro.core.optimizer`: the agent *proposes* its ε-greedy move plus
+up to ``batch - 1`` greedy runners-up as placement snapshots, the whole
+candidate set is priced in **one batched objective call**
+(:meth:`repro.layout.env.PlacementEnv.cost_many`, which reaches
+``PlacementEvaluator.evaluate_many`` and the placement-batched compiled
+solver underneath), and the agent *observes* all outcomes — committing
+only the primary move under the usual tolerance rule while
+Bellman-updating its Q-table from every candidate.  With ``batch = 1``
+the round is exactly the classic step (same RNG stream, same updates,
+same trajectory); larger batches add speculative candidates whose priced
+outcomes accelerate learning and land in the evaluator's cache.
+
 Learning is **episodic**: after ``episode_length`` agent steps the
 environment resets to the initial placement while all Q-tables persist —
 this is how Q-learning "improves over time by gradually refining its
@@ -26,15 +39,158 @@ claim (Q-table growth).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.optimizer import BudgetTracker, PlacerResult
+from repro.core.optimizer import (
+    BudgetTracker,
+    Outcome,
+    PlacerResult,
+    Proposal,
+    price_proposals,
+)
 from repro.core.policy import EpsilonSchedule
 from repro.core.qlearning import QAgent
 from repro.core.rewards import RewardConfig, shaped_reward
 from repro.layout.env import PlacementEnv
+from repro.layout.placement import Placement
+
+
+def _annealed_keep(
+    worse_tolerance: float | None,
+    step: int,
+    max_steps: int,
+    cost: float,
+    new_cost: float,
+) -> bool:
+    """The shared move-acceptance rule of both Q-learning placers.
+
+    Accept unless the move worsens the current cost by more than the
+    tolerance, which anneals linearly from ``worse_tolerance`` to zero
+    across the step budget; ``None`` disables reverting entirely.
+    """
+    if worse_tolerance is None:
+        return True
+    tolerance = worse_tolerance * max(0.0, 1.0 - step / max(1, max_steps))
+    return new_cost <= cost * (1.0 + tolerance)
+
+
+class _QTurn:
+    """One agent's round-robin turn as a :class:`ProposingAgent`.
+
+    Subclasses supply the level specifics (state encoding, legal moves,
+    apply/undo); this base implements the protocol: ``propose`` selects
+    the ε-greedy action plus greedy runners-up and snapshots each
+    candidate placement (applying and immediately undoing the move on the
+    live environment), ``observe`` Bellman-updates from every outcome and
+    commits the primary move iff the placer's tolerance rule keeps it.
+    """
+
+    def __init__(self, placer, agent: QAgent):
+        self.placer = placer
+        self.agent = agent
+        self._state = None
+
+    # ------------------------------------------------- level specifics
+
+    def state(self):
+        raise NotImplementedError
+
+    def legal_actions(self) -> list:
+        raise NotImplementedError
+
+    def apply(self, action) -> None:
+        raise NotImplementedError
+
+    def undo(self, action) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------- ProposingAgent
+
+    def propose(self, k: int) -> list[Proposal]:
+        placer = self.placer
+        self._state = self.state()
+        legal = self.legal_actions()
+        if not legal:
+            return []
+        actions = self.agent.select_many(
+            self._state, legal, k, step=placer.schedule_step()
+        )
+        proposals = []
+        for action in actions:
+            self.apply(action)
+            proposals.append(Proposal(
+                action=action,
+                placement=placer.env.placement.copy(),
+                next_state=self.state(),
+            ))
+            self.undo(action)
+        return proposals
+
+    def observe(self, outcomes: Sequence[Outcome]) -> float:
+        placer = self.placer
+        cost = placer.turn_cost
+        for outcome in outcomes:
+            reward = shaped_reward(
+                cost, outcome.cost, placer.turn_initial, placer.turn_target,
+                placer.reward_config,
+            )
+            self.agent.learn(
+                self._state, outcome.proposal.action, reward,
+                outcome.proposal.next_state,
+            )
+        primary = outcomes[0]
+        if placer.keep_move(cost, primary.cost):
+            self.apply(primary.proposal.action)
+            return primary.cost
+        return cost
+
+
+class _TopTurn(_QTurn):
+    """The group-level agent's turn: rigid translations of whole groups."""
+
+    def state(self):
+        return self.placer.env.global_state()
+
+    def legal_actions(self):
+        env = self.placer.env
+        return [
+            (gi, d)
+            for gi, name in enumerate(env.group_names)
+            for d in env.legal_group_actions(name)
+        ]
+
+    def apply(self, action):
+        env = self.placer.env
+        env.step_group(env.group_names[action[0]], action[1])
+
+    def undo(self, action):
+        env = self.placer.env
+        env.undo_group(env.group_names[action[0]], action[1])
+
+
+class _BottomTurn(_QTurn):
+    """A group agent's turn: single-unit moves inside its group."""
+
+    def __init__(self, placer, agent: QAgent, group: str):
+        super().__init__(placer, agent)
+        self.group = group
+
+    def state(self):
+        return self.placer.env.group_state(self.group)
+
+    def legal_actions(self):
+        return [
+            tuple(a)
+            for a in self.placer.env.legal_unit_actions(self.group)
+        ]
+
+    def apply(self, action):
+        self.placer.env.step_unit(self.group, action[0], action[1])
+
+    def undo(self, action):
+        self.placer.env.undo_unit(self.group, action[0], action[1])
 
 
 class MultiLevelPlacer:
@@ -67,6 +223,11 @@ class MultiLevelPlacer:
             the *current* cost, annealed to zero over the budget);
             ``None`` disables reverting entirely (plain-accept Q-learning,
             used by the acceptance ablation).
+        batch: candidate moves priced per agent turn.  1 (default)
+            reproduces the classic one-move-per-step trajectory exactly;
+            ``k > 1`` adds the agent's top ``k - 1`` greedy runners-up to
+            every batched objective call and Bellman-updates from all of
+            them.
         seed: RNG seed (agents get independent child generators).
         sim_counter: callable returning cumulative simulator evaluations
             (pass ``lambda: evaluator.sim_count``); defaults to counting
@@ -83,6 +244,7 @@ class MultiLevelPlacer:
         episode_length: int = 100,
         episode_restart: str = "best",
         worse_tolerance: float | None = 0.5,
+        batch: int = 1,
         seed: int = 0,
         sim_counter: Callable[[], int] | None = None,
     ):
@@ -94,11 +256,14 @@ class MultiLevelPlacer:
             )
         if worse_tolerance is not None and worse_tolerance < 0:
             raise ValueError("worse_tolerance cannot be negative")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.env = env
         self.reward_config = reward_config if reward_config is not None else RewardConfig()
         self.episode_length = episode_length
         self.episode_restart = episode_restart
         self.worse_tolerance = worse_tolerance
+        self.batch = batch
         epsilon = epsilon if epsilon is not None else EpsilonSchedule()
         seed_seq = np.random.SeedSequence(seed)
         children = seed_seq.spawn(1 + len(env.group_names))
@@ -114,6 +279,9 @@ class MultiLevelPlacer:
         )
         self._global_step = 0
         self._max_steps = 1
+        self.turn_cost = 0.0
+        self.turn_initial = 0.0
+        self.turn_target: float | None = None
 
     # ------------------------------------------------------------- internals
 
@@ -121,50 +289,20 @@ class MultiLevelPlacer:
         self._objective_calls += 1
         return self.env.cost()
 
-    def _keep_move(self, cost: float, new_cost: float, initial: float) -> bool:
-        if self.worse_tolerance is None:
-            return True
-        frac_left = 1.0 - self._global_step / max(1, self._max_steps)
-        tolerance = self.worse_tolerance * max(0.0, frac_left)
-        return new_cost <= cost * (1.0 + tolerance)
+    def _cost_many(self, placements: list[Placement]) -> list[float]:
+        self._objective_calls += len(placements)
+        return self.env.cost_many(placements)
 
-    def _top_step(self, cost: float, initial: float, target: float | None) -> float:
-        state = self.env.global_state()
-        legal = [
-            (gi, d)
-            for gi, name in enumerate(self.env.group_names)
-            for d in self.env.legal_group_actions(name)
-        ]
-        if not legal:
-            return cost
-        action = self.top_agent.select(state, legal, step=self._global_step)
-        group = self.env.group_names[action[0]]
-        self.env.step_group(group, action[1])
-        new_cost = self._cost()
-        reward = shaped_reward(cost, new_cost, initial, target, self.reward_config)
-        self.top_agent.learn(state, action, reward, self.env.global_state())
-        if not self._keep_move(cost, new_cost, initial):
-            self.env.undo_group(group, action[1])
-            return cost
-        return new_cost
+    def schedule_step(self) -> int:
+        """Global step all agents share for their exploration schedule."""
+        return self._global_step
 
-    def _bottom_step(
-        self, group: str, cost: float, initial: float, target: float | None
-    ) -> float:
-        agent = self.bottom_agents[group]
-        state = self.env.group_state(group)
-        legal = self.env.legal_unit_actions(group)
-        if not legal:
-            return cost
-        action = agent.select(state, [tuple(a) for a in legal], step=self._global_step)
-        self.env.step_unit(group, action[0], action[1])
-        new_cost = self._cost()
-        reward = shaped_reward(cost, new_cost, initial, target, self.reward_config)
-        agent.learn(state, action, reward, self.env.group_state(group))
-        if not self._keep_move(cost, new_cost, initial):
-            self.env.undo_unit(group, action[0], action[1])
-            return cost
-        return new_cost
+    def keep_move(self, cost: float, new_cost: float) -> bool:
+        """The tolerance rule: accept unless too much worse than now."""
+        return _annealed_keep(
+            self.worse_tolerance, self._global_step, self._max_steps,
+            cost, new_cost,
+        )
 
     # --------------------------------------------------------------- public
 
@@ -178,7 +316,8 @@ class MultiLevelPlacer:
         """Run interleaved multi-agent Q-learning.
 
         Args:
-            max_steps: total agent steps across all agents and episodes.
+            max_steps: total agent turns across all agents and episodes
+                (each turn prices up to ``batch`` candidates).
             target: target cost (sims-to-target is recorded; with
                 ``stop_at_target`` the run ends there).
             sim_budget: stop once this many simulator calls were spent.
@@ -187,6 +326,7 @@ class MultiLevelPlacer:
         if max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {max_steps}")
         self._max_steps = max_steps
+        self._global_step = 0
         self.env.reset()
         initial = self._cost()
         tracker = BudgetTracker(
@@ -195,19 +335,24 @@ class MultiLevelPlacer:
         )
         tracker.update(initial, self.env.placement, self._sim_counter())
 
-        schedule: list[tuple[str, str | None]] = [("top", None)]
-        schedule += [("bottom", name) for name in self.env.group_names]
+        turns: list[_QTurn] = [_TopTurn(self, self.top_agent)]
+        turns += [
+            _BottomTurn(self, self.bottom_agents[name], name)
+            for name in self.env.group_names
+        ]
 
         cost = initial
+        self.turn_initial = initial
+        self.turn_target = target
         steps = 0
         episode_steps = 0
         done = False
         while not done:
-            for level, group in schedule:
-                if level == "top":
-                    cost = self._top_step(cost, initial, target)
-                else:
-                    cost = self._bottom_step(group, cost, initial, target)
+            for turn in turns:
+                self.turn_cost = cost
+                new_cost = price_proposals(turn, self.batch, self._cost_many)
+                if new_cost is not None:
+                    cost = new_cost
                 steps += 1
                 episode_steps += 1
                 self._global_step = steps
@@ -252,13 +397,41 @@ class MultiLevelPlacer:
         }
 
 
+class _FlatTurn(_QTurn):
+    """The flat placer's single-agent turn over the combined action space."""
+
+    def state(self):
+        placer = self.placer
+        placement = placer.env.placement
+        cells = [(unit, placement.cell_of(unit)) for unit in sorted(placement.units)]
+        c0 = min(c for __, (c, __r) in cells)
+        r0 = min(r for __, (__c, r) in cells)
+        return tuple((unit, c - c0, r - r0) for unit, (c, r) in cells)
+
+    def legal_actions(self):
+        env = self.placer.env
+        actions = []
+        for group in env.group_names:
+            for local, direction in env.legal_unit_actions(group):
+                actions.append((group, local, direction))
+        return actions
+
+    def apply(self, action):
+        self.placer.env.step_unit(action[0], action[1], action[2])
+
+    def undo(self, action):
+        self.placer.env.undo_unit(action[0], action[1], action[2])
+
+
 class FlatQPlacer:
     """Single-agent, single-table Q-learning — the no-hierarchy ablation.
 
     One Q-table over the *entire* placement state (all unit offsets,
     bbox-normalised) with the combined unit-move action space.  On anything
     beyond toy sizes the state space explodes — which is exactly the
-    scalability point the paper's hierarchy addresses.
+    scalability point the paper's hierarchy addresses.  Turns run through
+    the same propose/observe protocol (and ``batch`` knob) as
+    :class:`MultiLevelPlacer`.
     """
 
     def __init__(
@@ -270,13 +443,17 @@ class FlatQPlacer:
         reward_config: RewardConfig | None = None,
         episode_length: int = 100,
         worse_tolerance: float | None = 0.5,
+        batch: int = 1,
         seed: int = 0,
         sim_counter: Callable[[], int] | None = None,
     ):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.env = env
         self.reward_config = reward_config if reward_config is not None else RewardConfig()
         self.episode_length = episode_length
         self.worse_tolerance = worse_tolerance
+        self.batch = batch
         self.agent = QAgent(
             alpha, gamma, epsilon if epsilon is not None else EpsilonSchedule(),
             np.random.default_rng(seed),
@@ -285,24 +462,28 @@ class FlatQPlacer:
         self._sim_counter = sim_counter if sim_counter is not None else (
             lambda: self._objective_calls
         )
+        self._global_step = 0
+        self._max_steps = 1
+        self.turn_cost = 0.0
+        self.turn_initial = 0.0
+        self.turn_target: float | None = None
 
     def _cost(self) -> float:
         self._objective_calls += 1
         return self.env.cost()
 
-    def _state(self) -> tuple:
-        placement = self.env.placement
-        cells = [(unit, placement.cell_of(unit)) for unit in sorted(placement.units)]
-        c0 = min(c for __, (c, __r) in cells)
-        r0 = min(r for __, (__c, r) in cells)
-        return tuple((unit, c - c0, r - r0) for unit, (c, r) in cells)
+    def _cost_many(self, placements: list[Placement]) -> list[float]:
+        self._objective_calls += len(placements)
+        return self.env.cost_many(placements)
 
-    def _legal_actions(self) -> list[tuple[str, int, int]]:
-        actions = []
-        for group in self.env.group_names:
-            for local, direction in self.env.legal_unit_actions(group):
-                actions.append((group, local, direction))
-        return actions
+    def schedule_step(self) -> int:
+        return self._global_step
+
+    def keep_move(self, cost: float, new_cost: float) -> bool:
+        return _annealed_keep(
+            self.worse_tolerance, self._global_step, self._max_steps,
+            cost, new_cost,
+        )
 
     def optimize(
         self,
@@ -312,6 +493,8 @@ class FlatQPlacer:
         stop_at_target: bool = False,
     ) -> PlacerResult:
         """Run flat Q-learning (same protocol as :class:`MultiLevelPlacer`)."""
+        self._max_steps = max_steps
+        self._global_step = 0
         self.env.reset()
         initial = self._cost()
         tracker = BudgetTracker(
@@ -319,28 +502,19 @@ class FlatQPlacer:
             best_cost=initial, best_placement=self.env.placement.copy(),
         )
         tracker.update(initial, self.env.placement, self._sim_counter())
+        turn = _FlatTurn(self, self.agent)
         cost = initial
+        self.turn_initial = initial
+        self.turn_target = target
         steps = 0
         episode_steps = 0
         while steps < max_steps:
-            state = self._state()
-            legal = self._legal_actions()
-            if not legal:
+            self.turn_cost = cost
+            self._global_step = steps
+            new_cost = price_proposals(turn, self.batch, self._cost_many)
+            if new_cost is None:
                 break
-            action = self.agent.select(state, legal, step=steps)
-            self.env.step_unit(action[0], action[1], action[2])
-            new_cost = self._cost()
-            reward = shaped_reward(cost, new_cost, initial, target, self.reward_config)
-            self.agent.learn(state, action, reward, self._state())
-            if self.worse_tolerance is None:
-                keep = True
-            else:
-                tolerance = self.worse_tolerance * max(0.0, 1.0 - steps / max_steps)
-                keep = new_cost <= cost * (1.0 + tolerance)
-            if keep:
-                cost = new_cost
-            else:
-                self.env.undo_unit(action[0], action[1], action[2])
+            cost = new_cost
             steps += 1
             episode_steps += 1
             tracker.update(cost, self.env.placement, self._sim_counter())

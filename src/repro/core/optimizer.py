@@ -1,9 +1,28 @@
-"""Shared optimizer interfaces and result types."""
+"""Shared optimizer interfaces and result types.
+
+Besides the classic :class:`Placer` protocol (``optimize() ->
+PlacerResult``) this module defines the **batched candidate protocol**
+every agent in the repo is built around:
+
+* :meth:`ProposingAgent.propose` returns up to ``k`` candidate moves as
+  :class:`Proposal` snapshots — the primary candidate first (the move the
+  agent would have made unbatched), then the runners-up it wants priced
+  speculatively;
+* the driver prices all candidate placements in **one batched objective
+  call** (:func:`price_proposals`);
+* :meth:`ProposingAgent.observe` receives every :class:`Outcome`, learns
+  from all of them, commits at most the one move its acceptance rule
+  keeps, and returns the new current cost.
+
+With ``k = 1`` the propose/observe round is exactly the classic
+select → apply → price → learn → keep/revert step, so batching is purely
+a throughput knob: trajectories are unchanged.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from repro.layout.placement import Placement
 
@@ -43,6 +62,83 @@ class PlacerResult:
         if self.initial_cost == 0:
             return 0.0
         return (self.initial_cost - self.best_cost) / self.initial_cost
+
+
+@dataclass
+class Proposal:
+    """One candidate move an agent wants priced.
+
+    Attributes:
+        action: agent-specific action encoding (opaque to the driver).
+        placement: snapshot of the placement after the move (safe to hand
+            to a batched objective; the live environment is unchanged).
+        next_state: agent-state the move reaches (``None`` for agents
+            without state, e.g. simulated annealing).
+    """
+
+    action: Any
+    placement: Placement
+    next_state: Any = None
+
+
+@dataclass
+class Outcome:
+    """A priced proposal: the candidate move plus its objective value."""
+
+    proposal: Proposal
+    cost: float
+
+
+@runtime_checkable
+class ProposingAgent(Protocol):
+    """An agent turn that can propose candidate batches and learn from them.
+
+    Implementations guarantee that a ``propose(1)`` / ``observe`` round
+    is *exactly* the unbatched step — same RNG draws, same Q-table
+    updates, same accept/revert rule — so ``k`` scales evaluation
+    throughput without changing trajectories.
+    """
+
+    def propose(self, k: int) -> list[Proposal]:
+        """Up to ``k`` candidate moves from the current state.
+
+        The first proposal is the primary candidate (the move the
+        unbatched agent would make); the rest are speculative.  An empty
+        list means no legal move exists.
+        """
+        ...
+
+    def observe(self, outcomes: Sequence[Outcome]) -> float:
+        """Learn from every outcome, commit at most one of the moves.
+
+        Which candidate (if any) is committed is the agent's acceptance
+        rule: the Q-learning placers only ever commit the primary under
+        their tolerance rule; simulated annealing Metropolis-tests the
+        outcomes in proposal order and commits the first acceptance.
+        Returns the cost the environment is left at (the committed
+        outcome's cost, or the pre-turn cost when everything was
+        rejected).
+        """
+        ...
+
+
+def price_proposals(
+    agent: ProposingAgent,
+    k: int,
+    cost_many: Callable[[list[Placement]], list[float]],
+) -> float | None:
+    """One propose → batch-price → observe round.
+
+    Returns the post-turn cost, or ``None`` when the agent had no legal
+    move (the environment is untouched in that case).
+    """
+    proposals = agent.propose(k)
+    if not proposals:
+        return None
+    costs = cost_many([p.placement for p in proposals])
+    return agent.observe(
+        [Outcome(proposal=p, cost=c) for p, c in zip(proposals, costs)]
+    )
 
 
 @runtime_checkable

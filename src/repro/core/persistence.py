@@ -4,7 +4,10 @@ States and actions are hashable trees of ints/strings/tuples, so they
 serialise exactly through ``repr`` and parse back with
 :func:`ast.literal_eval` (no pickle, no code execution).  A saved
 :class:`MultiLevelPlacer` snapshot carries the top table plus every
-bottom agent's table keyed by group name.
+bottom agent's table keyed by group name, each agent's schedule step
+counter, and each agent's RNG state — everything learning-related, so a
+placer restored from a snapshot continues *exactly* the trajectory the
+saved one would have taken (see ``tests/core/test_persistence.py``).
 """
 
 from __future__ import annotations
@@ -14,15 +17,15 @@ import json
 from pathlib import Path
 
 from repro.core.hierarchy import MultiLevelPlacer
-from repro.core.qlearning import QTable
+from repro.core.qlearning import QAgent, QTable
 
 
 def qtable_to_dict(table: QTable) -> dict[str, dict[str, float]]:
     """JSON-compatible representation of a Q-table."""
-    return {
-        repr(state): {repr(action): value for action, value in actions.items()}
-        for state, actions in table._table.items()
-    }
+    out: dict[str, dict[str, float]] = {}
+    for state, action, value in table.items():
+        out.setdefault(repr(state), {})[repr(action)] = value
+    return out
 
 
 def qtable_from_dict(data: dict[str, dict[str, float]]) -> QTable:
@@ -35,8 +38,16 @@ def qtable_from_dict(data: dict[str, dict[str, float]]) -> QTable:
     return table
 
 
+def _rng_state(agent: QAgent) -> dict:
+    return agent.rng.bit_generator.state
+
+
+def _set_rng_state(agent: QAgent, state: dict) -> None:
+    agent.rng.bit_generator.state = state
+
+
 def save_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
-    """Write all of a placer's Q-tables to a JSON file."""
+    """Write all of a placer's Q-tables (and agent RNG states) to JSON."""
     payload = {
         "top": qtable_to_dict(placer.top_agent.table),
         "bottom": {
@@ -47,6 +58,11 @@ def save_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
             "top": placer.top_agent.steps,
             **{name: agent.steps for name, agent in placer.bottom_agents.items()},
         },
+        "rng": {
+            "top": _rng_state(placer.top_agent),
+            **{name: _rng_state(agent)
+               for name, agent in placer.bottom_agents.items()},
+        },
     }
     Path(path).write_text(json.dumps(payload))
 
@@ -55,6 +71,9 @@ def load_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
     """Restore Q-tables saved by :func:`save_placer_tables`.
 
     The placer must have the same group structure as the one saved.
+    Snapshots that carry RNG states (everything written by this version)
+    restore them too, making a resumed run reproduce the uninterrupted
+    trajectory; older table-only snapshots still load.
 
     Raises:
         ValueError: if the saved group set does not match the placer's.
@@ -72,3 +91,8 @@ def load_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
     for name, agent in placer.bottom_agents.items():
         agent.table = qtable_from_dict(payload["bottom"][name])
         agent.steps = int(payload["steps"][name])
+    rng_states = payload.get("rng")
+    if rng_states is not None:
+        _set_rng_state(placer.top_agent, rng_states["top"])
+        for name, agent in placer.bottom_agents.items():
+            _set_rng_state(agent, rng_states[name])

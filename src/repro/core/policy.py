@@ -62,3 +62,31 @@ def epsilon_greedy(
     best_value = max(q_values.get(a, 0.0) for a in legal_actions)
     best = [a for a in legal_actions if q_values.get(a, 0.0) == best_value]
     return best[int(rng.integers(len(best)))]
+
+
+def epsilon_greedy_topk(
+    q_values: dict,
+    legal_actions: list,
+    epsilon: float,
+    rng: np.random.Generator,
+    k: int,
+):
+    """The epsilon-greedy pick plus up to ``k - 1`` greedy runners-up.
+
+    The first returned action is **exactly** :func:`epsilon_greedy` — the
+    same RNG draws in the same order — so ``k = 1`` reproduces unbatched
+    selection bit for bit.  The extras are the remaining legal actions
+    ranked by Q estimate (stable sort: legal-list order breaks ties), the
+    candidates a batched evaluator prices speculatively.
+
+    Args:
+        k: maximum number of actions to return (>= 1).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    primary = epsilon_greedy(q_values, legal_actions, epsilon, rng)
+    if k == 1:
+        return [primary]
+    rest = [a for a in legal_actions if a != primary]
+    rest.sort(key=lambda a: -q_values.get(a, 0.0))
+    return [primary] + rest[: k - 1]

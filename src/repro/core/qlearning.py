@@ -12,9 +12,11 @@ read as 0, so optimistic/neutral initialisation is implicit.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
-from repro.core.policy import EpsilonSchedule, epsilon_greedy
+from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_topk
 
 
 class QTable:
@@ -39,6 +41,41 @@ class QTable:
         if not entries:
             return 0.0
         return max(entries.values())
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate ``(state, action, value)`` entries in insertion order.
+
+        The public walk persistence, diagnostics and merging use — no
+        caller needs to reach into the internal dict-of-dicts.
+        """
+        for state, actions in self._table.items():
+            for action, value in actions.items():
+                yield state, action, value
+
+    def merge(self, other: "QTable", how: str = "theirs") -> None:
+        """Fold another table's entries into this one, in place.
+
+        Args:
+            other: table whose entries to absorb.
+            how: conflict rule for entries both tables hold —
+                ``"theirs"`` (the other table wins; use when ``other`` is
+                newer, e.g. a resumed snapshot), ``"ours"`` (keep local
+                values), or ``"max"`` (optimistic: keep the larger Q).
+        """
+        if how not in ("theirs", "ours", "max"):
+            raise ValueError(
+                f"how must be 'theirs', 'ours' or 'max', got {how!r}"
+            )
+        for state, action, value in other.items():
+            if how == "theirs":
+                self.set(state, action, value)
+                continue
+            entries = self._table.get(state)
+            missing = entries is None or action not in entries
+            if missing:
+                self.set(state, action, value)
+            elif how == "max":
+                self.set(state, action, max(entries[action], value))
 
     @property
     def n_states(self) -> int:
@@ -91,6 +128,22 @@ class QAgent:
         eps = self.epsilon.value(self.steps if step is None else step)
         self.steps += 1
         return epsilon_greedy(self.table.actions(state), legal_actions, eps, self.rng)
+
+    def select_many(
+        self, state, legal_actions: list, k: int, step: int | None = None
+    ) -> list:
+        """The epsilon-greedy action plus up to ``k - 1`` greedy extras.
+
+        One *selection event* (one schedule step, the same RNG draws as
+        :meth:`select` for the first action), returning the candidate set
+        a batched evaluator prices in one shot.  ``k = 1`` is exactly
+        :meth:`select`.
+        """
+        eps = self.epsilon.value(self.steps if step is None else step)
+        self.steps += 1
+        return epsilon_greedy_topk(
+            self.table.actions(state), legal_actions, eps, self.rng, k
+        )
 
     def learn(self, state, action, reward: float, next_state) -> float:
         """Apply the Bellman update; returns the new Q(s, a)."""

@@ -7,6 +7,12 @@ protocols, and :mod:`repro.eval.fom` reproduces the paper's figure of
 merit.
 """
 
+from repro.eval.batch_suites import (
+    BATCH_SUITES,
+    measure_cm_many,
+    measure_comp_many,
+    measure_ota_many,
+)
 from repro.eval.evaluator import FAILURE_PRIMARY, PlacementEvaluator
 from repro.eval.fom import FOM_SPECS, MetricSpec, RATIO_CLAMP, compute_fom
 from repro.eval.metrics import Metrics
@@ -16,6 +22,7 @@ from repro.eval.sensitivity import primary_sensitivities, rank_sensitivities
 from repro.eval.suites import measure_cm, measure_comp, measure_ota
 
 __all__ = [
+    "BATCH_SUITES",
     "FAILURE_PRIMARY",
     "FOM_SPECS",
     "McResult",
@@ -26,8 +33,11 @@ __all__ = [
     "WorstCaseEvaluator",
     "compute_fom",
     "measure_cm",
+    "measure_cm_many",
     "measure_comp",
+    "measure_comp_many",
     "measure_ota",
+    "measure_ota_many",
     "monte_carlo",
     "primary_sensitivities",
     "rank_sensitivities",

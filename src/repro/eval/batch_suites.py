@@ -1,0 +1,231 @@
+"""Placement-batched measurement suites.
+
+One-to-one batched counterparts of the scalar protocols in
+:mod:`repro.eval.suites`: each takes K parasitic-annotated circuit
+variants plus their variation deltas and produces K metric sets, running
+every DC and AC analysis of the protocol as one placement-batched solve
+(:mod:`repro.sim.batch`).  The measurement *protocol* — probe sources,
+clamps, feedback trick, derived quantities — is identical line for line;
+only the solver calls are batched, so per-placement metrics match the
+scalar suites to solver tolerance.
+
+Warm-start semantics: the scalar suites thread one warm vector through
+consecutive evaluations; the batched suites seed every placement of a
+batch from that same vector and store the last placement's solution
+back, mirroring what a sequential pass over the batch would leave
+behind.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.eval.metrics import Metrics
+from repro.eval.suites import (
+    AC_FREQS,
+    OFFSET_PROBE_V,
+    Warm,
+    _device_gm,
+    _geometry_values,
+    _node_capacitance,
+)
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Vcvs, VoltageSource
+from repro.netlist.library import AnalogBlock
+from repro.sim.batch import solve_ac_many, solve_dc_many
+from repro.sim.engine import make_batched_system
+from repro.sim.measures import (
+    db,
+    dc_gain,
+    phase_margin,
+    supply_power,
+    unity_gain_frequency,
+)
+from repro.tech import Technology
+from repro.variation import DeviceDelta
+
+DeltasSeq = Sequence[Mapping[str, DeviceDelta]]
+
+
+# ---------------------------------------------------------------------- CM
+
+
+def measure_cm_many(
+    block: AnalogBlock,
+    annotated: Sequence[Circuit],
+    deltas_seq: DeltasSeq,
+    tech: Technology,
+    placements: Sequence[Placement],
+    warm: Warm,
+) -> list[Metrics]:
+    """Batched :func:`repro.eval.suites.measure_cm`."""
+    iref = block.params["iref"]
+    probes = block.params["probe_sources"]
+    bsys = make_batched_system(
+        annotated, tech, deltas_seq, check_signatures=False)
+    results = solve_dc_many(
+        annotated, tech, deltas_seq, x0=warm.get("cm"), system=bsys)
+    warm["cm"] = results[-1].x
+
+    out = []
+    for circuit, placement, result in zip(annotated, placements, results):
+        currents = [abs(result.current(p)) for p in probes]
+        values = {
+            "mismatch_pct": 100.0 * max(abs(i - iref) for i in currents) / iref,
+            "power_w": supply_power(
+                block.params["vdd"], result.current("vvdd")),
+        }
+        for probe, current in zip(probes, currents):
+            values[f"i_{probe}_ua"] = current * 1e6
+        values.update(_geometry_values(block, circuit, placement, tech))
+        out.append(Metrics(kind="cm", primary="mismatch_pct", values=values))
+    return out
+
+
+# -------------------------------------------------------------------- COMP
+
+
+def measure_comp_many(
+    block: AnalogBlock,
+    annotated: Sequence[Circuit],
+    deltas_seq: DeltasSeq,
+    tech: Technology,
+    placements: Sequence[Placement],
+    warm: Warm,
+) -> list[Metrics]:
+    """Batched :func:`repro.eval.suites.measure_comp`."""
+    params = block.params
+    vcm = params["vcm"]
+    clamp = [
+        VoltageSource("vclampp", {"p": "outp", "n": "gnd"}, dc=params["clamp_v"]),
+        VoltageSource("vclampn", {"p": "outn", "n": "gnd"}, dc=params["clamp_v"]),
+    ]
+    benches = [circuit.copy_with(extra=clamp) for circuit in annotated]
+    bsys = make_batched_system(
+        benches, tech, deltas_seq, check_signatures=False)
+
+    def imbalances(vdiff: float):
+        return solve_dc_many(
+            benches, tech, deltas_seq, x0=warm.get("comp"),
+            source_values={"vvip": vcm + vdiff / 2, "vvin": vcm - vdiff / 2},
+            system=bsys,
+        )
+
+    ops = imbalances(0.0)
+    warm["comp"] = ops[-1].x
+    plus = imbalances(+2 * OFFSET_PROBE_V)
+    minus = imbalances(-2 * OFFSET_PROBE_V)
+
+    out = []
+    for bench, circuit, placement, op, rp, rm, deltas in zip(
+        benches, annotated, placements, ops, plus, minus, deltas_seq
+    ):
+        d0 = op.current("vclampp") - op.current("vclampn")
+        dp = rp.current("vclampp") - rp.current("vclampn")
+        dm = rm.current("vclampp") - rm.current("vclampn")
+        gm_diff = (dp - dm) / (4 * OFFSET_PROBE_V)
+        if abs(gm_diff) < 1e-12:
+            offset_v = float("inf")
+        else:
+            offset_v = -d0 / gm_diff
+
+        gm_latch = 0.5 * (
+            _device_gm(bench, "m3", op, tech, deltas)
+            + _device_gm(bench, "m4", op, tech, deltas)
+        ) + 0.5 * (
+            _device_gm(bench, "m5", op, tech, deltas)
+            + _device_gm(bench, "m6", op, tech, deltas)
+        )
+        c_outp = _node_capacitance(bench, "outp", tech, deltas)
+        c_outn = _node_capacitance(bench, "outn", tech, deltas)
+        c_out = 0.5 * (c_outp + c_outn)
+        tau = c_out / max(gm_latch, 1e-9)
+        delay_s = tau * math.log(
+            params["regen_swing"] / params["seed_imbalance"])
+
+        c_internal = (_node_capacitance(bench, "p1", tech, deltas)
+                      + _node_capacitance(bench, "p2", tech, deltas))
+        c_switched = c_outp + c_outn + c_internal
+        vdd = params["vdd"]
+        power_dynamic = params["fclk"] * c_switched * vdd * vdd
+        power_static = supply_power(vdd, op.current("vvdd"))
+
+        values = {
+            "offset_mv": abs(offset_v) * 1e3,
+            "offset_signed_mv": offset_v * 1e3,
+            "delay_s": delay_s,
+            "power_w": power_dynamic + power_static,
+            "gm_latch_s": gm_latch,
+        }
+        values.update(_geometry_values(block, circuit, placement, tech))
+        out.append(Metrics(kind="comp", primary="offset_mv", values=values))
+    return out
+
+
+# --------------------------------------------------------------------- OTA
+
+
+def measure_ota_many(
+    block: AnalogBlock,
+    annotated: Sequence[Circuit],
+    deltas_seq: DeltasSeq,
+    tech: Technology,
+    placements: Sequence[Placement],
+    warm: Warm,
+) -> list[Metrics]:
+    """Batched :func:`repro.eval.suites.measure_ota`."""
+    import dataclasses
+
+    params = block.params
+    vcm = params["vcm"]
+
+    feedback = Vcvs("vvin", {"p": "vin", "n": "gnd", "cp": "outp", "cn": "gnd"},
+                    gain=1.0)
+    closed = [c.copy_with(replacements={"vvin": feedback}) for c in annotated]
+    closed_sys = make_batched_system(
+        closed, tech, deltas_seq, check_signatures=False)
+    ops = solve_dc_many(
+        closed, tech, deltas_seq, x0=warm.get("ota"), system=closed_sys)
+    warm["ota"] = ops[-1].x
+
+    ac_benches = []
+    for circuit in annotated:
+        vip = circuit.device("vvip")
+        vin = circuit.device("vvin")
+        ac_benches.append(circuit.copy_with(replacements={
+            "vvip": dataclasses.replace(vip, ac=+0.5),
+            "vvin": dataclasses.replace(vin, ac=-0.5),
+        }))
+    ac_sys = make_batched_system(
+        ac_benches, tech, deltas_seq, check_signatures=False)
+    acs = solve_ac_many(
+        ac_benches, tech, [op.voltages for op in ops], AC_FREQS, deltas_seq,
+        system=ac_sys)
+
+    out = []
+    for circuit, placement, op, ac in zip(annotated, placements, ops, acs):
+        offset_v = op.voltage("outp") - vcm
+        h = ac.transfer("outp")
+        gain = dc_gain(h)
+        gbw = unity_gain_frequency(ac.freqs, h) or 0.0
+        pm = phase_margin(ac.freqs, h)
+        values = {
+            "offset_mv": abs(offset_v) * 1e3,
+            "offset_signed_mv": offset_v * 1e3,
+            "gain_db": float(db(gain)) if gain > 0 else 0.0,
+            "gbw_hz": gbw,
+            "pm_deg": pm if pm is not None else 0.0,
+            "power_w": supply_power(params["vdd"], op.current("vvdd")),
+        }
+        values.update(_geometry_values(block, circuit, placement, tech))
+        out.append(Metrics(kind="ota", primary="offset_mv", values=values))
+    return out
+
+
+BATCH_SUITES = {
+    "cm": measure_cm_many,
+    "comp": measure_comp_many,
+    "ota": measure_ota_many,
+}

@@ -16,11 +16,14 @@ need:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping
+from typing import Mapping, Sequence
 
+import numpy as np
+
+from repro.eval.batch_suites import BATCH_SUITES
 from repro.eval.metrics import Metrics
 from repro.eval.suites import SUITES, Warm
-from repro.layout.context import device_contexts_all
+from repro.layout.context import device_contexts_all, unit_context_arrays
 from repro.layout.placement import Placement
 from repro.netlist.library import AnalogBlock
 from repro.route.parasitics import annotate_parasitics
@@ -88,19 +91,120 @@ class PlacementEvaluator:
     # ------------------------------------------------------------- pipeline
 
     def deltas_for(self, placement: Placement) -> dict[str, DeviceDelta]:
-        """Variation-resolved parameter delta of every placeable device."""
+        """Variation-resolved parameter delta of every placeable device.
+
+        All devices' unit contexts evaluate through one vectorized
+        variation-model pass (:meth:`VariationModel.systematic_devices`).
+        """
         contexts = device_contexts_all(placement, self.tech)
-        out = {}
+        polarities = {}
         for device in self.block.circuit.mosfets():
             if device.name not in contexts:
                 raise KeyError(f"device {device.name!r} has no placed units")
-            delta = self.variation.systematic_device(
-                contexts[device.name], device.polarity
-            )
-            if self.corner is not None:
-                delta = delta + self.corner.delta_for(device.polarity)
-            out[device.name] = delta
+            polarities[device.name] = device.polarity
+        deltas = self.variation.systematic_devices(
+            {name: contexts[name] for name in polarities}, polarities
+        )
+        if self.corner is not None:
+            deltas = {
+                name: delta + self.corner.delta_for(polarities[name])
+                for name, delta in deltas.items()
+            }
+        return deltas
+
+    def deltas_for_many(
+        self, placements: Sequence[Placement]
+    ) -> list[dict[str, DeviceDelta]]:
+        """Variation deltas of K candidate placements in one fused pass.
+
+        One stacked occupancy-grid pass derives every unit context and one
+        vectorized variation-model evaluation covers all units of all
+        candidates; per-placement results match :meth:`deltas_for`.
+        """
+        placements = list(placements)
+        if len(placements) < 2:
+            return [self.deltas_for(p) for p in placements]
+        mosfets = self.block.circuit.mosfets()
+        units_lists, x, y, run_l, run_r, dist = unit_context_arrays(
+            placements, self.tech
+        )
+        perm: list[int] = []
+        counts: list[int] = []
+        polarity: list[int] = []
+        offset = 0
+        for units in units_lists:
+            by_device: dict[str, list[tuple[int, int]]] = {}
+            for i, (name, k) in enumerate(units):
+                by_device.setdefault(name, []).append((k, offset + i))
+            for device in mosfets:
+                entries = by_device.get(device.name)
+                if not entries:
+                    raise KeyError(
+                        f"device {device.name!r} has no placed units")
+                entries.sort()
+                perm.extend(flat for __, flat in entries)
+                counts.append(len(entries))
+                polarity.extend([device.polarity] * len(entries))
+            offset += len(units)
+        take = np.asarray(perm, dtype=np.intp)
+        dvth, dbeta = self.variation.systematic_units(
+            x[take], y[take], run_l[take], run_r[take], dist[take],
+            np.asarray(polarity),
+        )
+        counts_arr = np.asarray(counts)
+        starts = np.concatenate(([0], np.cumsum(counts_arr)[:-1]))
+        dvth_mean = np.add.reduceat(dvth, starts) / counts_arr
+        dbeta_mean = np.add.reduceat(dbeta, starts) / counts_arr
+
+        out = []
+        seg = 0
+        for __ in placements:
+            deltas = {}
+            for device in mosfets:
+                delta = DeviceDelta(
+                    dvth=float(dvth_mean[seg]),
+                    dbeta_rel=float(dbeta_mean[seg]),
+                )
+                if self.corner is not None:
+                    delta = delta + self.corner.delta_for(device.polarity)
+                deltas[device.name] = delta
+                seg += 1
+            out.append(deltas)
         return out
+
+    def _penalty_metrics(self, placement: Placement) -> Metrics:
+        """Finite-but-terrible metrics for a non-converging placement."""
+        primary = {"cm": "mismatch_pct", "comp": "offset_mv",
+                   "ota": "offset_mv"}[self.block.kind]
+        return Metrics(
+            kind=self.block.kind,
+            primary=primary,
+            values={primary: FAILURE_PRIMARY, "sim_failed": 1.0,
+                    "area_um2": placement.area_cells()
+                    * self.tech.cell_area() * 1e12},
+        )
+
+    def _simulate(self, placement: Placement) -> Metrics:
+        """One uncached pipeline pass (no cache or counter bookkeeping)."""
+        deltas = self.deltas_for(placement)
+        annotated = annotate_parasitics(self.block.circuit, placement, self.tech)
+        try:
+            with use_engine(self.engine):
+                return self._suite(
+                    self.block, annotated, deltas, self.tech, placement,
+                    self._warm
+                )
+        except ConvergenceError:
+            self.sim_failures += 1
+            return self._penalty_metrics(placement)
+
+    def _store(self, key: tuple, metrics: Metrics) -> None:
+        """Insert into the LRU cache, evicting only for genuinely new keys."""
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        elif len(self._cache) >= self._cache_size:
+            self._cache.popitem(last=False)
+        self._cache[key] = metrics
 
     def evaluate(self, placement: Placement) -> Metrics:
         """Metrics of a placement (memoised; counts a simulation on miss).
@@ -117,30 +221,80 @@ class PlacementEvaluator:
             self.cache_hits += 1
             self._cache.move_to_end(key)
             return cached
-        deltas = self.deltas_for(placement)
-        annotated = annotate_parasitics(self.block.circuit, placement, self.tech)
-        try:
-            with use_engine(self.engine):
-                metrics = self._suite(
-                    self.block, annotated, deltas, self.tech, placement,
-                    self._warm
-                )
-        except ConvergenceError:
-            self.sim_failures += 1
-            primary = {"cm": "mismatch_pct", "comp": "offset_mv",
-                       "ota": "offset_mv"}[self.block.kind]
-            metrics = Metrics(
-                kind=self.block.kind,
-                primary=primary,
-                values={primary: FAILURE_PRIMARY, "sim_failed": 1.0,
-                        "area_um2": placement.area_cells()
-                        * self.tech.cell_area() * 1e12},
-            )
+        metrics = self._simulate(placement)
         self.sim_count += 1
-        if len(self._cache) >= self._cache_size:
-            self._cache.popitem(last=False)
-        self._cache[key] = metrics
+        self._store(key, metrics)
         return metrics
+
+    def evaluate_many(self, placements: Sequence[Placement]) -> list[Metrics]:
+        """Metrics of K candidate placements, priced as one batch.
+
+        Cache and counter semantics are exactly those of calling
+        :meth:`evaluate` sequentially: already-cached placements (and
+        duplicates within the batch) are cache hits, and every genuinely
+        new placement counts one simulation.  The unique misses share one
+        context + parasitics pass each and then dispatch through the
+        placement-batched suite, so all their DC/AC solves run as stacked
+        ``np.linalg.solve`` batches.
+
+        If any placement of the batch fails to converge, the whole miss
+        set is re-priced through the sequential path so that exactly the
+        failing placements receive penalty metrics — identical outcomes
+        to a sequential pass, at re-simulation cost only in the rare
+        failure case.
+        """
+        placements = list(placements)
+        out: list[Metrics | None] = [None] * len(placements)
+        miss_positions: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        for i, placement in enumerate(placements):
+            key = placement.signature()
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                out[i] = cached
+            else:
+                miss_positions.setdefault(key, []).append(i)
+        if not miss_positions:
+            return out  # type: ignore[return-value]
+
+        reps = [placements[positions[0]]
+                for positions in miss_positions.values()]
+        if len(reps) == 1:
+            metrics_list = [self._simulate(reps[0])]
+        else:
+            batch_suite = BATCH_SUITES[self.block.kind]
+            deltas_seq = self.deltas_for_many(reps)
+            annotated = [
+                annotate_parasitics(self.block.circuit, p, self.tech)
+                for p in reps
+            ]
+            try:
+                with use_engine(self.engine):
+                    metrics_list = batch_suite(
+                        self.block, annotated, deltas_seq, self.tech, reps,
+                        self._warm,
+                    )
+            except ConvergenceError:
+                metrics_list = [self._simulate(p) for p in reps]
+
+        for (key, positions), metrics in zip(
+            miss_positions.items(), metrics_list
+        ):
+            self.sim_count += 1
+            self._store(key, metrics)
+            out[positions[0]] = metrics
+            for extra in positions[1:]:
+                self.cache_hits += 1
+                out[extra] = metrics
+        return out  # type: ignore[return-value]
+
+    def _cost_of(self, placement: Placement, metrics: Metrics) -> float:
+        primary = metrics.primary_value
+        if self.cost_area_weight == 0:
+            return primary
+        spread = placement.area_cells() / max(1, len(placement))
+        return primary * (1.0 + self.cost_area_weight * max(0.0, spread - 1.0))
 
     def cost(self, placement: Placement) -> float:
         """Scalar objective (lower is better).
@@ -151,12 +305,16 @@ class PlacementEvaluator:
         from trading micro-improvements in mismatch for unbounded sprawl —
         the same role area plays in the paper's FOM.
         """
-        metrics = self.evaluate(placement)
-        primary = metrics.primary_value
-        if self.cost_area_weight == 0:
-            return primary
-        spread = placement.area_cells() / max(1, len(placement))
-        return primary * (1.0 + self.cost_area_weight * max(0.0, spread - 1.0))
+        return self._cost_of(placement, self.evaluate(placement))
+
+    def cost_many(self, placements: Sequence[Placement]) -> list[float]:
+        """Scalar objectives of K candidates via one batched evaluation."""
+        placements = list(placements)
+        return [
+            self._cost_of(placement, metrics)
+            for placement, metrics in zip(
+                placements, self.evaluate_many(placements))
+        ]
 
     # ------------------------------------------------------------ utilities
 

@@ -53,15 +53,18 @@ def run_hierarchy_ablation(
     max_steps: int = 400,
     seed: int = 1,
     backend: ExecutionBackend | None = None,
+    batch: int = 1,
 ) -> HierarchyAblation:
     """Compare the two Q-learning formulations on one circuit."""
     target = symmetric_target(block, PlacementEvaluator(block))
 
     specs = [
         RunSpec(key="multi", builder=block, placer="ql", seed=seed,
-                max_steps=max_steps, target=target, evaluate_best=False),
+                max_steps=max_steps, target=target, batch=batch,
+                evaluate_best=False),
         RunSpec(key="flat", builder=block, placer="flat", seed=seed,
-                max_steps=max_steps, target=target, evaluate_best=False),
+                max_steps=max_steps, target=target, batch=batch,
+                evaluate_best=False),
     ]
     outcomes = outcomes_by_key(map_runs(specs, backend))
     rm = outcomes["multi"].result
@@ -128,13 +131,14 @@ def run_convergence_ablation(
     max_steps: int = 600,
     seed: int = 1,
     backend: ExecutionBackend | None = None,
+    batch: int = 1,
 ) -> ConvergenceAblation:
     """Produce the QL-vs-SA convergence traces for one circuit."""
     specs = [
         RunSpec(key="ql", builder=block, placer="ql", seed=seed,
-                max_steps=max_steps, evaluate_best=False),
+                max_steps=max_steps, batch=batch, evaluate_best=False),
         RunSpec(key="sa", builder=block, placer="sa", seed=seed,
-                max_steps=max_steps, evaluate_best=False),
+                max_steps=max_steps, batch=batch, evaluate_best=False),
     ]
     outcomes = outcomes_by_key(map_runs(specs, backend))
     rq = outcomes["ql"].result
@@ -174,6 +178,7 @@ def run_dummy_ablation(
     max_steps: int = 400,
     seed: int = 1,
     backend: ExecutionBackend | None = None,
+    batch: int = 1,
 ) -> DummyAblation:
     """Measure bare-symmetric vs symmetric+dummies vs Q-learning."""
     evaluator = PlacementEvaluator(block)
@@ -201,7 +206,8 @@ def run_dummy_ablation(
     }
 
     spec = RunSpec(key="ql", builder=block, placer="ql", seed=seed,
-                   max_steps=max_steps, target=evaluator.cost(bare))
+                   max_steps=max_steps, target=evaluator.cost(bare),
+                   batch=batch)
     ql_metrics = map_runs([spec], backend)[0].metrics
     out.rows["q-learning"] = {
         "primary": ql_metrics.primary_value,
@@ -232,6 +238,7 @@ def run_linearity_ablation(
     max_steps: int = 400,
     seed: int = 1,
     backend: ExecutionBackend | None = None,
+    batch: int = 1,
 ) -> LinearityAblation:
     """Run the linear-vs-nonlinear field comparison on one circuit.
 
@@ -252,7 +259,7 @@ def run_linearity_ablation(
                 max_steps=max_steps, target_from_symmetric=True,
                 share_target_evaluator=True, variation_kind=kind,
                 variation_with_lde=(kind == "nonlinear"),
-                evaluate_best=False)
+                batch=batch, evaluate_best=False)
         for kind in ("linear", "nonlinear")
     ]
     for outcome in map_runs(specs, backend):

@@ -35,6 +35,10 @@ class ExperimentConfig:
         jobs: worker processes for the per-seed fan-out (1 = serial;
             see :mod:`repro.runtime`).  Results are identical at any
             job count — only wall-clock changes.
+        batch: candidate placements each agent turn prices in one batched
+            evaluation (1 = the classic per-move loop; see the placers'
+            ``batch`` argument).  Composes with ``jobs``: every worker
+            process runs its placer at this batch size.
     """
 
     name: str
@@ -44,6 +48,7 @@ class ExperimentConfig:
     epsilon_decay_frac: float = 0.6
     ql_worse_tolerance: float = 0.5
     jobs: int = 1
+    batch: int = 1
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -54,6 +59,8 @@ class ExperimentConfig:
             raise ValueError("epsilon_decay_frac must be in (0, 1]")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """A variant with the step budget scaled by ``factor``."""
@@ -64,6 +71,10 @@ class ExperimentConfig:
     def with_jobs(self, jobs: int) -> "ExperimentConfig":
         """A variant fanning its independent runs over ``jobs`` workers."""
         return replace(self, jobs=jobs)
+
+    def with_batch(self, batch: int) -> "ExperimentConfig":
+        """A variant pricing ``batch`` candidates per agent turn."""
+        return replace(self, batch=batch)
 
 
 CM_CONFIG = ExperimentConfig(

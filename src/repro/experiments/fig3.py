@@ -141,6 +141,7 @@ def _algo_specs(config: ExperimentConfig, target: float) -> list[RunSpec]:
                 seed=seed,
                 max_steps=config.max_steps,
                 target=target,
+                batch=config.batch,
                 epsilon_decay_frac=config.epsilon_decay_frac,
                 ql_worse_tolerance=(
                     config.ql_worse_tolerance if placer == "ql" else None

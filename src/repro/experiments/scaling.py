@@ -36,6 +36,7 @@ def run_scaling(
     max_steps: int = 350,
     seed: int = 1,
     backend: ExecutionBackend | None = None,
+    batch: int = 1,
 ) -> ScalingResult:
     """Sweep the CM size and optimize each instance with the QL placer.
 
@@ -50,7 +51,7 @@ def run_scaling(
         RunSpec(key=upd, builder=block,
                 placer="ql", seed=seed, max_steps=max_steps,
                 target_from_symmetric=True, share_target_evaluator=True,
-                ql_worse_tolerance=0.2, evaluate_best=False)
+                ql_worse_tolerance=0.2, batch=batch, evaluate_best=False)
         for upd, block in zip(units_per_device, blocks)
     ]
     for block, outcome in zip(blocks, map_runs(specs, backend)):

@@ -21,7 +21,12 @@ from repro.layout.dummies import (
     with_dummy_halo,
 )
 from repro.layout.env import PlacementEnv
-from repro.layout.generators import STYLES, banded_placement, initial_placement
+from repro.layout.generators import (
+    STYLES,
+    banded_placement,
+    initial_placement,
+    random_walk_placements,
+)
 from repro.layout.svg import placement_to_svg, save_placement_svg
 from repro.layout.moves import (
     DIRECTIONS,
@@ -62,6 +67,7 @@ __all__ = [
     "legal_unit_moves",
     "neighbours",
     "placement_to_svg",
+    "random_walk_placements",
     "render_placement",
     "save_placement_svg",
     "unit_context",

@@ -58,38 +58,89 @@ def unit_context(
 def _streaks(occ: np.ndarray) -> np.ndarray:
     """Per-cell length of the contiguous occupied run ending at that cell.
 
-    Computed along axis 1 (columns) without Python-level scanning: the
-    running cumsum minus its value at the most recent gap.
+    Computed along the last axis (columns) without Python-level scanning:
+    the running cumsum minus its value at the most recent gap.  Works on a
+    single ``(rows, cols)`` grid or a stacked ``(k, rows, cols)`` batch.
     """
-    cumulative = np.cumsum(occ, axis=1)
+    cumulative = np.cumsum(occ, axis=-1)
     at_gaps = np.where(occ, 0, cumulative)
-    last_gap = np.maximum.accumulate(at_gaps, axis=1)
+    last_gap = np.maximum.accumulate(at_gaps, axis=-1)
     return cumulative - last_gap
 
 
 def unit_contexts(
     placement: Placement, tech: Technology
 ) -> dict[UnitId, UnitContext]:
-    """Contexts for every placed unit (single vectorized grid pass)."""
-    assignment = placement.as_dict()
-    if not assignment:
-        return {}
-    units = list(assignment)
-    cells = np.array([assignment[u] for u in units], dtype=np.intp)
-    cols, rows = cells[:, 0], cells[:, 1]
-    n_cols = placement.canvas.cols
-    n_rows = placement.canvas.rows
+    """Contexts for every placed unit (single vectorized grid pass).
 
-    occupancy = np.zeros((n_rows, n_cols), dtype=bool)
-    occupancy[rows, cols] = True
-    # left[r, c] = occupied run ending at c; right[r, c] = run starting at c.
+    Thin wrapper over :func:`unit_context_arrays` — one algorithm serves
+    both the scalar and the candidate-batch paths.
+    """
+    if not len(placement):
+        return {}
+    units_lists, x, y, run_left, run_right, dist = unit_context_arrays(
+        [placement], tech
+    )
+    return {
+        unit: UnitContext(
+            x=float(x[i]),
+            y=float(y[i]),
+            run_left=int(run_left[i]),
+            run_right=int(run_right[i]),
+            dist_to_edge=float(dist[i]),
+        )
+        for i, unit in enumerate(units_lists[0])
+    }
+
+
+def unit_context_arrays(
+    placements: "list[Placement]", tech: Technology
+) -> tuple[list[list[UnitId]], np.ndarray, np.ndarray, np.ndarray,
+           np.ndarray, np.ndarray]:
+    """Flat context arrays of every unit of K same-canvas placements.
+
+    One stacked occupancy-grid pass serves the whole candidate batch.
+    Returns ``(units_per_placement, x, y, run_left, run_right,
+    dist_to_edge)`` where the arrays are flat in placement-major order —
+    placement ``p``'s unit ``i`` (of ``units_per_placement[p]``, in
+    ``as_dict`` order) lands at flat index ``sum(earlier counts) + i``.
+    The per-unit values are exactly :func:`unit_contexts`'s, without the
+    per-unit ``UnitContext`` object construction.
+    """
+    if not placements:
+        return [], *(np.zeros(0) for __ in range(5))
+    n_cols = placements[0].canvas.cols
+    n_rows = placements[0].canvas.rows
+    for p in placements[1:]:
+        if p.canvas.cols != n_cols or p.canvas.rows != n_rows:
+            raise ValueError("cannot batch placements on different canvases")
+
+    units_per_placement: list[list[UnitId]] = []
+    cols_parts, rows_parts, pidx_parts = [], [], []
+    occupancy = np.zeros((len(placements), n_rows, n_cols), dtype=bool)
+    for k, placement in enumerate(placements):
+        assignment = placement.as_dict()
+        units = list(assignment)
+        units_per_placement.append(units)
+        cells = np.array(
+            [assignment[u] for u in units], dtype=np.intp
+        ).reshape(len(units), 2)
+        cols_parts.append(cells[:, 0])
+        rows_parts.append(cells[:, 1])
+        pidx_parts.append(np.full(len(units), k, dtype=np.intp))
+        occupancy[k, cells[:, 1], cells[:, 0]] = True
+    cols = np.concatenate(cols_parts)
+    rows = np.concatenate(rows_parts)
+    pidx = np.concatenate(pidx_parts)
+
     left = _streaks(occupancy)
-    right = _streaks(occupancy[:, ::-1])[:, ::-1]
+    right = _streaks(occupancy[..., ::-1])[..., ::-1]
     run_left = np.where(
-        cols > 0, left[rows, np.maximum(cols - 1, 0)], 0
+        cols > 0, left[pidx, rows, np.maximum(cols - 1, 0)], 0
     )
     run_right = np.where(
-        cols < n_cols - 1, right[rows, np.minimum(cols + 1, n_cols - 1)], 0
+        cols < n_cols - 1,
+        right[pidx, rows, np.minimum(cols + 1, n_cols - 1)], 0,
     )
 
     pitch = tech.grid_pitch
@@ -98,16 +149,8 @@ def unit_contexts(
     dist_to_edge = pitch * np.minimum.reduce(
         (cols + 0.5, n_cols - cols - 0.5, rows + 0.5, n_rows - rows - 0.5)
     )
-    return {
-        unit: UnitContext(
-            x=float(x[i]),
-            y=float(y[i]),
-            run_left=int(run_left[i]),
-            run_right=int(run_right[i]),
-            dist_to_edge=float(dist_to_edge[i]),
-        )
-        for i, unit in enumerate(units)
-    }
+    return (units_per_placement, x, y,
+            run_left.astype(float), run_right.astype(float), dist_to_edge)
 
 
 def device_contexts_all(

@@ -15,7 +15,7 @@ exposes exactly what the two agent levels need:
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.layout.generators import banded_placement
 from repro.layout.moves import (
@@ -31,6 +31,7 @@ from repro.layout.placement import Placement, UnitId
 from repro.netlist.library import AnalogBlock
 
 Objective = Callable[[Placement], float]
+ObjectiveMany = Callable[[Sequence[Placement]], "list[float]"]
 
 
 class PlacementEnv:
@@ -41,13 +42,24 @@ class PlacementEnv:
         objective: placement cost function (lower is better).
         adjacency: group-connectivity rule, 4 or 8 (paper-style king
             moves with loose clusters default to 8).
+        objective_many: optional batched form of the objective (pass
+            :meth:`repro.eval.PlacementEvaluator.cost_many` to price a
+            whole candidate batch in one simulator pass); when absent,
+            :meth:`cost_many` falls back to mapping ``objective``.
     """
 
-    def __init__(self, block: AnalogBlock, objective: Objective, adjacency: int = 8):
+    def __init__(
+        self,
+        block: AnalogBlock,
+        objective: Objective,
+        adjacency: int = 8,
+        objective_many: ObjectiveMany | None = None,
+    ):
         if adjacency not in (4, 8):
             raise ValueError(f"adjacency must be 4 or 8, got {adjacency}")
         self.block = block
         self.objective = objective
+        self.objective_many = objective_many
         self.adjacency = adjacency
         self.group_names = [g.name for g in block.groups]
         self._group_units: dict[str, list[UnitId]] = {}
@@ -79,6 +91,20 @@ class PlacementEnv:
     def cost(self) -> float:
         """Objective value of the current placement."""
         return self.objective(self.placement)
+
+    def cost_many(self, placements: Sequence[Placement]) -> list[float]:
+        """Objective values of candidate placements, batched when possible.
+
+        Uses ``objective_many`` (one simulator pass for the whole batch)
+        when the environment was built with one; otherwise maps the
+        scalar objective.  Single-candidate batches always go through the
+        scalar objective, so a ``batch=1`` optimizer is indistinguishable
+        from the classic per-move loop.
+        """
+        placements = list(placements)
+        if self.objective_many is not None and len(placements) > 1:
+            return list(self.objective_many(placements))
+        return [self.objective(p) for p in placements]
 
     # -------------------------------------------------------------- states
 

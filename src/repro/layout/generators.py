@@ -130,3 +130,47 @@ def banded_placement(
 def initial_placement(block: AnalogBlock) -> Placement:
     """The optimizer's starting point: SFG-ordered sequential placement."""
     return banded_placement(block, style="sequential")
+
+
+def random_walk_placements(
+    block: AnalogBlock,
+    count: int,
+    style: str = "ysym",
+    seed: int = 0,
+) -> list[Placement]:
+    """``count`` *distinct* placements: a styled base plus a legal walk.
+
+    The candidate sets the profiler and throughput benchmarks price:
+    starting from :func:`banded_placement`, random legal unit moves are
+    applied and each new arrangement snapshotted.  Revisited arrangements
+    are skipped (every returned placement is a distinct signature, hence
+    a genuine cache miss for an evaluator) and the walk gives up after a
+    bounded number of attempts rather than hanging when no legal move
+    remains.
+    """
+    import numpy as np
+
+    from repro.layout.env import PlacementEnv
+
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    env = PlacementEnv(block, lambda p: 0.0)
+    env.placement = banded_placement(block, style)
+    rng = np.random.default_rng(seed)
+    placements = [env.placement.copy()]
+    seen = {env.placement.signature()}
+    attempts = 0
+    while len(placements) < count and attempts < 200 * count:
+        attempts += 1
+        group = env.group_names[int(rng.integers(len(env.group_names)))]
+        legal = env.legal_unit_actions(group)
+        if not legal:
+            continue
+        local, direction = legal[int(rng.integers(len(legal)))]
+        env.step_unit(group, local, direction)
+        signature = env.placement.signature()
+        if signature in seen:
+            continue
+        seen.add(signature)
+        placements.append(env.placement.copy())
+    return placements

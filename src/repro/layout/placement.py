@@ -142,6 +142,26 @@ class Placement:
         n = float(len(cells))
         return (sum(c for c, __ in cells) / n, sum(r for __, r in cells) / n)
 
+    def device_centroids(self) -> dict[str, tuple[float, float]]:
+        """Centroids of every placed device in one pass over the units.
+
+        Numerically identical to calling :meth:`device_centroid` per
+        device (unit-index summation order preserved); the single pass is
+        what the routing estimator's per-placement hot path uses.
+        """
+        grouped: dict[str, list[tuple[int, Cell]]] = {}
+        for (name, k), cell in self._cells.items():
+            grouped.setdefault(name, []).append((k, cell))
+        out = {}
+        for name, cells in grouped.items():
+            cells.sort(key=lambda kc: kc[0])
+            n = float(len(cells))
+            out[name] = (
+                sum(c for __, (c, __r) in cells) / n,
+                sum(r for __, (__c, r) in cells) / n,
+            )
+        return out
+
     def bounding_box(self, units: list[UnitId] | None = None) -> tuple[int, int, int, int]:
         """(col_min, row_min, col_max, row_max) of the chosen units (or all)."""
         chosen = units if units is not None else list(self._cells)

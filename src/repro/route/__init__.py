@@ -6,12 +6,23 @@ signal net from device centroids, turned into lumped parasitic capacitance
 injected into the simulated netlist.
 """
 
-from repro.route.estimator import net_hpwl, net_pin_positions, signal_nets, total_wirelength
+from repro.route.estimator import (
+    NetPinPlan,
+    net_hpwl,
+    net_hpwls,
+    net_pin_plan,
+    net_pin_positions,
+    signal_nets,
+    total_wirelength,
+)
 from repro.route.parasitics import annotate_parasitics, parasitic_caps
 
 __all__ = [
+    "NetPinPlan",
     "annotate_parasitics",
     "net_hpwl",
+    "net_hpwls",
+    "net_pin_plan",
     "net_pin_positions",
     "parasitic_caps",
     "signal_nets",

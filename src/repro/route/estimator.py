@@ -5,9 +5,17 @@ the net (each MOSFET's units are already strapped together, so the
 centroid is the natural pin abstraction).  Supply/ground rails are skipped
 — they are distributed grids in a real layout, not routed point-to-point —
 and nets touching fewer than two placeable devices contribute nothing.
+
+Which devices pin which net is a property of the *circuit*, not the
+placement, so it is derived once per circuit into a cached
+:class:`NetPinPlan`; the per-placement hot path (one call per candidate
+per evaluation) then only gathers device centroids — a single pass over
+the placed units — and folds min/max per net.
 """
 
 from __future__ import annotations
+
+from weakref import WeakKeyDictionary
 
 from repro.layout.placement import Placement
 from repro.netlist.circuit import Circuit
@@ -15,18 +23,50 @@ from repro.netlist.nets import is_rail
 from repro.tech import Technology
 
 
+class NetPinPlan:
+    """Placement-independent routing facts of one circuit.
+
+    Attributes:
+        nets: signal nets (non-rail, >= 2 placeable pins), in circuit
+            net order.
+        pins_by_net: every net → placeable device names pinning it, one
+            entry per (device, port) attachment in device order — exactly
+            the pin list :func:`net_pin_positions` produces.
+    """
+
+    def __init__(self, circuit: Circuit):
+        attachments: dict[str, list[str]] = {}
+        for device in circuit:
+            placeable = device.is_placeable
+            for port in device.PORTS:
+                net = device.net(port)
+                pins = attachments.setdefault(net, [])
+                if placeable:
+                    pins.append(device.name)
+        self.pins_by_net: dict[str, tuple[str, ...]] = {
+            net: tuple(pins) for net, pins in attachments.items()
+        }
+        self.nets: list[str] = [
+            net for net, pins in self.pins_by_net.items()
+            if not is_rail(net) and len(pins) >= 2
+        ]
+
+
+_PLAN_CACHE: "WeakKeyDictionary[Circuit, NetPinPlan]" = WeakKeyDictionary()
+
+
+def net_pin_plan(circuit: Circuit) -> NetPinPlan:
+    """The (cached) pin plan of a circuit."""
+    plan = _PLAN_CACHE.get(circuit)
+    if plan is None:
+        plan = NetPinPlan(circuit)
+        _PLAN_CACHE[circuit] = plan
+    return plan
+
+
 def signal_nets(circuit: Circuit) -> list[str]:
     """Nets that the router would actually route between placeable devices."""
-    out = []
-    for net in circuit.nets():
-        if is_rail(net):
-            continue
-        placeable_pins = sum(
-            1 for device, __ in circuit.net_devices(net) if device.is_placeable
-        )
-        if placeable_pins >= 2:
-            out.append(net)
-    return out
+    return list(net_pin_plan(circuit).nets)
 
 
 def net_pin_positions(
@@ -46,22 +86,41 @@ def net_pin_positions(
     return positions
 
 
+def _hpwl(
+    pins: tuple[str, ...],
+    centroids: dict[str, tuple[float, float]],
+    pitch: float,
+) -> float:
+    xs = [(centroids[name][0] + 0.5) * pitch for name in pins]
+    ys = [(centroids[name][1] + 0.5) * pitch for name in pins]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
 def net_hpwl(
     circuit: Circuit, placement: Placement, net: str, tech: Technology
 ) -> float:
     """Half-perimeter wirelength of one net [m] (0 for degenerate nets)."""
-    pins = net_pin_positions(circuit, placement, net, tech)
+    pins = net_pin_plan(circuit).pins_by_net.get(net, ())
     if len(pins) < 2:
         return 0.0
-    xs = [x for x, __ in pins]
-    ys = [y for __, y in pins]
-    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return _hpwl(pins, placement.device_centroids(), tech.grid_pitch)
+
+
+def net_hpwls(
+    circuit: Circuit, placement: Placement, tech: Technology
+) -> dict[str, float]:
+    """HPWL of every signal net [m] from one centroid pass."""
+    plan = net_pin_plan(circuit)
+    centroids = placement.device_centroids()
+    pitch = tech.grid_pitch
+    return {
+        net: _hpwl(plan.pins_by_net[net], centroids, pitch)
+        for net in plan.nets
+    }
 
 
 def total_wirelength(
     circuit: Circuit, placement: Placement, tech: Technology
 ) -> float:
     """Sum of HPWL over all signal nets [m]."""
-    return sum(
-        net_hpwl(circuit, placement, net, tech) for net in signal_nets(circuit)
-    )
+    return sum(net_hpwls(circuit, placement, tech).values())

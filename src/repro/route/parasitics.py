@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.layout.placement import Placement
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import Capacitor
-from repro.route.estimator import net_hpwl, signal_nets
+from repro.route.estimator import net_hpwls
 from repro.tech import Technology
 
 # Fixed per-net floor: contacts and landing pads exist even for abutted
@@ -29,11 +29,10 @@ def parasitic_caps(
     circuit: Circuit, placement: Placement, tech: Technology
 ) -> dict[str, float]:
     """Estimated parasitic capacitance per signal net [F]."""
-    out = {}
-    for net in signal_nets(circuit):
-        length = net_hpwl(circuit, placement, net, tech)
-        out[net] = C_FLOOR + tech.wire_cap_per_m * length
-    return out
+    return {
+        net: C_FLOOR + tech.wire_cap_per_m * length
+        for net, length in net_hpwls(circuit, placement, tech).items()
+    }
 
 
 def annotate_parasitics(

@@ -83,6 +83,11 @@ class RunSpec:
             the *run's* evaluator (so the reference simulations share its
             cache and counters — the historical behavior of the scaling
             and linearity drivers) instead of a fresh one.
+        batch: candidate placements each agent turn prices in one
+            batched evaluation (1 = the classic per-move loop); the
+            worker builds the environment with the evaluator's
+            ``cost_many`` so the batch reaches the placement-batched
+            compiled solver.
         epsilon_decay_frac: fraction of ``max_steps`` over which the
             Q-learning exploration rate decays.
         ql_worse_tolerance: ``worse_tolerance`` for the Q-learning
@@ -105,6 +110,7 @@ class RunSpec:
     target: float | None = None
     target_from_symmetric: bool = False
     share_target_evaluator: bool = False
+    batch: int = 1
     epsilon_decay_frac: float = 0.6
     ql_worse_tolerance: float | None = None
     variation_kind: str | None = None
@@ -116,6 +122,8 @@ class RunSpec:
             raise ValueError(f"unknown placer {self.placer!r}; expected {PLACERS}")
         if self.max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
         if isinstance(self.builder, str) and self.builder not in BUILDERS:
             raise ValueError(
                 f"unknown builder {self.builder!r}; have {sorted(BUILDERS)}"
@@ -169,12 +177,14 @@ def _make_placer(spec: RunSpec, env: PlacementEnv, evaluator: PlacementEvaluator
     # never crosses a process boundary.
     counter = lambda: evaluator.sim_count  # noqa: E731
     if spec.placer == "sa":
-        return SimulatedAnnealingPlacer(env, seed=spec.seed, sim_counter=counter)
+        return SimulatedAnnealingPlacer(
+            env, batch=spec.batch, seed=spec.seed, sim_counter=counter
+        )
     epsilon = EpsilonSchedule(
         0.9, 0.05, max(1, int(spec.epsilon_decay_frac * spec.max_steps))
     )
     kwargs: dict[str, Any] = dict(
-        epsilon=epsilon, seed=spec.seed, sim_counter=counter
+        epsilon=epsilon, batch=spec.batch, seed=spec.seed, sim_counter=counter
     )
     if spec.ql_worse_tolerance is not None:
         kwargs["worse_tolerance"] = spec.ql_worse_tolerance
@@ -210,7 +220,9 @@ def execute_run(spec: RunSpec) -> RunOutcome:
             else _make_evaluator(spec, block)
         )
         target = symmetric_target(block, reference)
-    env = PlacementEnv(block, evaluator.cost)
+    env = PlacementEnv(
+        block, evaluator.cost, objective_many=evaluator.cost_many
+    )
     placer = _make_placer(spec, env, evaluator)
     result = placer.optimize(max_steps=spec.max_steps, target=target)
     metrics = evaluator.evaluate(result.best_placement) if spec.evaluate_best else None

@@ -10,9 +10,12 @@ which this engine models faithfully.
 """
 
 from repro.sim.ac import AcResult, logspace_frequencies, solve_ac
+from repro.sim.batch import solve_ac_many, solve_dc_many, solve_noise_many
 from repro.sim.compiled import (
+    BatchedCompiledSystem,
     CompiledSystem,
     CompiledTopology,
+    batched_system,
     clear_topology_cache,
     compiled_system,
     compiled_topology,
@@ -23,6 +26,7 @@ from repro.sim.dc import ConvergenceError, DcResult, dc_sweep, solve_dc
 from repro.sim.engine import (
     ENGINES,
     get_engine,
+    make_batched_system,
     make_system,
     set_engine,
     use_engine,
@@ -54,6 +58,7 @@ from repro.sim.transient import (
 
 __all__ = [
     "AcResult",
+    "BatchedCompiledSystem",
     "CompiledSystem",
     "CompiledTopology",
     "ConvergenceError",
@@ -66,6 +71,7 @@ __all__ = [
     "OpPoint",
     "TransientResult",
     "bandwidth_3db",
+    "batched_system",
     "clear_topology_cache",
     "compiled_system",
     "compiled_topology",
@@ -76,12 +82,16 @@ __all__ = [
     "gain_margin_db",
     "get_engine",
     "logspace_frequencies",
+    "make_batched_system",
     "make_system",
     "phase_margin",
     "set_engine",
     "solve_ac",
+    "solve_ac_many",
     "solve_dc",
+    "solve_dc_many",
     "solve_noise",
+    "solve_noise_many",
     "solve_transient",
     "step_waveform",
     "structure_signature",

@@ -1,0 +1,390 @@
+"""Placement-batched analyses: K same-shape circuits solved together.
+
+The optimization loop prices *candidate batches*: K placements of one
+block, identical in structure, differing only in parasitic capacitor
+values and variation deltas.  The drivers here mirror the scalar entry
+points (:func:`repro.sim.dc.solve_dc`, :func:`repro.sim.ac.solve_ac`,
+:func:`repro.sim.noise.solve_noise`) but take *sequences* and return one
+result per circuit:
+
+* :func:`solve_dc_many` — batched damped Newton on a stacked system with
+  a per-placement active mask: every iteration assembles and solves only
+  the placements that have not yet met their own convergence criteria,
+  so results match the scalar path placement-for-placement.  Placements
+  the batched stage cannot converge fall back to the scalar homotopy
+  chain (gmin/source stepping) individually.
+* :func:`solve_ac_many` / :func:`solve_noise_many` — per-placement
+  ``(G, C, b)`` stacks solved as one placements × frequencies (× noise
+  injections) ``np.linalg.solve`` batch.
+
+On the legacy engine — or for single-circuit batches — every driver
+degenerates to a loop over the scalar entry point, so callers can thread
+batches unconditionally.  Transient analysis has no batched form
+(time-stepping state is inherently per-placement); batch it by looping
+:func:`repro.sim.transient.solve_transient`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import is_ground
+from repro.sim.ac import AcResult, solve_ac
+from repro.sim.compiled import BatchedCompiledSystem
+from repro.sim.dc import (
+    ABSTOL_V,
+    MAX_STEP_V,
+    RESIDTOL_I,
+    RESIDTOL_V,
+    DcResult,
+    solve_dc,
+)
+from repro.sim.engine import make_batched_system
+from repro.sim.mna import GROUND
+from repro.sim.noise import (
+    KF_DEFAULT,
+    ROOM_TEMPERATURE,
+    NoiseResult,
+    _device_noise_psd,
+    _injection_nodes,
+    solve_noise,
+)
+from repro.tech import Technology
+from repro.variation import DeviceDelta
+
+DeltasList = Sequence[Mapping[str, DeviceDelta] | None]
+
+
+def _deltas(deltas_list: DeltasList | None, n: int) -> list:
+    if deltas_list is None:
+        return [None] * n
+    deltas_list = list(deltas_list)
+    if len(deltas_list) != n:
+        raise ValueError(f"got {n} circuits but {len(deltas_list)} delta sets")
+    return deltas_list
+
+
+def _x0_row(x0, i: int) -> np.ndarray | None:
+    """Warm-start vector of row ``i`` (shared vector, per-row list or None)."""
+    if x0 is None:
+        return None
+    if isinstance(x0, np.ndarray) and x0.ndim == 1:
+        return x0
+    return x0[i]
+
+
+# ------------------------------------------------------------------------ DC
+
+
+def _package_row(
+    bsys: BatchedCompiledSystem, x: np.ndarray, iterations: int
+) -> DcResult:
+    """Package one batch row exactly like :func:`repro.sim.dc._package`."""
+    voltages = {
+        net: (0.0 if is_ground(net) else float(x[bsys.node_index[net]]))
+        for net in bsys.topology.circuit_nets
+    }
+    branch_currents = {
+        name: float(x[row]) for name, row in bsys.branch_index.items()
+    }
+    return DcResult(
+        voltages=voltages,
+        branch_currents=branch_currents,
+        iterations=iterations,
+        x=x,
+    )
+
+
+def _solve_rows(J: np.ndarray, F: np.ndarray) -> np.ndarray:
+    """Row-wise Newton steps ``-J \\ F``; singular rows come back as NaN."""
+    try:
+        return np.linalg.solve(J, -F[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        out = np.full_like(F, np.nan)
+        for i in range(len(F)):
+            try:
+                out[i] = np.linalg.solve(J[i], -F[i])
+            except np.linalg.LinAlgError:
+                pass
+        return out
+
+
+def _newton_many(
+    bsys: BatchedCompiledSystem,
+    X0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    source_values: Mapping[str, float] | None,
+    max_iter: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Damped Newton over a placement batch with per-row convergence.
+
+    Per-row semantics are exactly :func:`repro.sim.dc._newton`: the same
+    damping rule, the same node/branch residual criteria, and each row
+    stops updating the moment *its* criteria are met (converged rows are
+    dropped from the active set).  Returns ``(X, iterations, converged)``.
+    """
+    X = X0.copy()
+    n_rows = X.shape[0]
+    n_nodes = bsys.n_nodes
+    iters = np.zeros(n_rows, dtype=int)
+    converged = np.zeros(n_rows, dtype=bool)
+    active = np.arange(n_rows)
+    for __ in range(max_iter):
+        J, F = bsys.assemble_dc_batch(
+            X[active], gmin=gmin, source_scale=source_scale,
+            source_values=source_values, rows=active,
+        )
+        iters[active] += 1
+        dx = _solve_rows(J, F)
+        good = np.isfinite(dx).all(axis=1)
+        if not good.all():
+            # Singular / diverged rows keep their last state and leave the
+            # batch; the caller sends them down the scalar homotopy chain.
+            active, F, dx = active[good], F[good], dx[good]
+            if active.size == 0:
+                break
+        if n_nodes:
+            v_step = np.max(np.abs(dx[:, :n_nodes]), axis=1)
+            over = v_step > MAX_STEP_V
+            if over.any():
+                dx[over] *= (MAX_STEP_V / v_step[over])[:, None]
+        X[active] += dx
+        if n_nodes:
+            dv = np.max(np.abs(dx[:, :n_nodes]), axis=1)
+            vmax = np.max(np.abs(X[active][:, :n_nodes]), axis=1)
+            resid_i = np.max(np.abs(F[:, :n_nodes]), axis=1)
+        else:
+            dv = vmax = resid_i = np.zeros(active.size)
+        if bsys.size > n_nodes:
+            resid_v = np.max(np.abs(F[:, n_nodes:]), axis=1)
+        else:
+            resid_v = np.zeros(active.size)
+        done = (
+            (dv < ABSTOL_V * (1.0 + vmax))
+            & (resid_i < RESIDTOL_I)
+            & (resid_v < RESIDTOL_V)
+        )
+        converged[active[done]] = True
+        active = active[~done]
+        if active.size == 0:
+            break
+    return X, iters, converged
+
+
+def solve_dc_many(
+    circuits: Sequence[Circuit],
+    tech: Technology,
+    deltas_list: DeltasList | None = None,
+    x0=None,
+    source_values: Mapping[str, float] | None = None,
+    gmin: float = 1e-12,
+    max_iter: int = 150,
+    engine: str | None = None,
+    system: BatchedCompiledSystem | None = None,
+) -> list[DcResult]:
+    """DC operating points of K same-shape circuits, solved as one batch.
+
+    Args:
+        circuits: same-structure circuit instances (per-placement values).
+        deltas_list: one delta mapping per circuit (or ``None``).
+        x0: shared warm-start vector, or one vector per circuit.
+        source_values: per-source dc overrides, shared by the batch.
+        engine: assembler choice; anything but ``"compiled"`` (and
+            single-circuit batches) loops the scalar solver.
+        system: prebuilt batched system for ``circuits``.
+
+    Raises:
+        ConvergenceError: if any circuit defeats every scalar fallback.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    deltas_list = _deltas(deltas_list, len(circuits))
+    bsys = system if system is not None else make_batched_system(
+        circuits, tech, deltas_list, engine=engine
+    )
+    if bsys is None:
+        return [
+            solve_dc(c, tech, deltas=d, x0=_x0_row(x0, i),
+                     source_values=source_values, gmin=gmin,
+                     max_iter=max_iter, engine=engine)
+            for i, (c, d) in enumerate(zip(circuits, deltas_list))
+        ]
+    X0 = np.zeros((len(circuits), bsys.size))
+    if x0 is not None:
+        for i in range(len(circuits)):
+            X0[i] = _x0_row(x0, i)
+    X, iters, converged = _newton_many(
+        bsys, X0, gmin, 1.0, source_values, max_iter
+    )
+    results: list[DcResult] = []
+    for i, (circuit, deltas) in enumerate(zip(circuits, deltas_list)):
+        if converged[i]:
+            results.append(_package_row(bsys, X[i], int(iters[i])))
+        else:
+            # The scalar driver replays plain Newton, then escalates
+            # through gmin and source stepping — identical to what the
+            # sequential path would have done for this placement.
+            results.append(solve_dc(
+                circuit, tech, deltas=deltas, x0=_x0_row(x0, i),
+                source_values=source_values, gmin=gmin, max_iter=max_iter,
+                system=bsys.system(i),
+            ))
+    return results
+
+
+# ------------------------------------------------------------------------ AC
+
+
+def solve_ac_many(
+    circuits: Sequence[Circuit],
+    tech: Technology,
+    op_voltages_seq: Sequence[Mapping[str, float]],
+    freqs: np.ndarray,
+    deltas_list: DeltasList | None = None,
+    engine: str | None = None,
+    system: BatchedCompiledSystem | None = None,
+) -> list[AcResult]:
+    """Small-signal AC of K same-shape circuits over one frequency grid.
+
+    All placements and all frequency points solve in a single stacked
+    ``np.linalg.solve``; per-placement results match :func:`solve_ac`.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    if len(op_voltages_seq) != len(circuits):
+        raise ValueError(
+            f"got {len(circuits)} circuits but {len(op_voltages_seq)} "
+            "operating points"
+        )
+    deltas_list = _deltas(deltas_list, len(circuits))
+    bsys = system if system is not None else make_batched_system(
+        circuits, tech, deltas_list, engine=engine
+    )
+    if bsys is None:
+        return [
+            solve_ac(c, tech, op, freqs, deltas=d, engine=engine)
+            for c, op, d in zip(circuits, op_voltages_seq, deltas_list)
+        ]
+    freqs = np.asarray(freqs, dtype=float)
+    X = bsys.solve_ac_batch_many(op_voltages_seq, 2.0 * math.pi * freqs)
+    nets = bsys.topology.circuit_nets
+    results = []
+    for i in range(len(circuits)):
+        Xi = np.ascontiguousarray(X[i].T)  # (size, nfreq): one copy, row views
+        out = {}
+        for net in nets:
+            if is_ground(net):
+                out[net] = np.zeros(len(freqs), dtype=complex)
+            else:
+                out[net] = Xi[bsys.node_index[net]]
+        results.append(AcResult(freqs=freqs, node_voltages=out))
+    return results
+
+
+# --------------------------------------------------------------------- noise
+
+
+class _RowParamsView:
+    """One batch row exposing the interface ``_device_noise_psd`` reads."""
+
+    def __init__(self, bsys: BatchedCompiledSystem, row: int):
+        self._bsys = bsys
+        self._row = row
+
+    def mosfet_params(self, name: str):
+        return self._bsys.mosfet_params_row(self._row, name)
+
+
+def solve_noise_many(
+    circuits: Sequence[Circuit],
+    tech: Technology,
+    op_voltages_seq: Sequence[Mapping[str, float]],
+    freqs: np.ndarray,
+    output_net: str,
+    deltas_list: DeltasList | None = None,
+    temperature: float = ROOM_TEMPERATURE,
+    kf: float = KF_DEFAULT,
+    engine: str | None = None,
+) -> list[NoiseResult]:
+    """Output-noise PSDs of K same-shape circuits in one stacked solve.
+
+    The injection pattern is structural (one unit-current column per
+    noisy element), so a single RHS serves the whole batch; only the PSD
+    weights differ per placement.  Results match :func:`solve_noise`.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    if len(op_voltages_seq) != len(circuits):
+        raise ValueError(
+            f"got {len(circuits)} circuits but {len(op_voltages_seq)} "
+            "operating points"
+        )
+    deltas_list = _deltas(deltas_list, len(circuits))
+    bsys = make_batched_system(circuits, tech, deltas_list, engine=engine)
+    if bsys is None:
+        return [
+            solve_noise(c, tech, op, freqs, output_net, deltas=d,
+                        temperature=temperature, kf=kf, engine=engine)
+            for c, op, d in zip(circuits, op_voltages_seq, deltas_list)
+        ]
+    freqs = np.asarray(freqs, dtype=float)
+    if np.any(freqs <= 0):
+        raise ValueError("noise analysis requires strictly positive frequencies")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    if output_net not in bsys.node_index:
+        raise KeyError(f"output net {output_net!r} is ground or unknown")
+    out_idx = bsys.node_index[output_net]
+
+    # Per-placement noisy-device PSDs.  Same structure → same device list
+    # in the same order for every circuit of the batch.  The PSD helper
+    # only reads ``mosfet_params`` off the system, served here straight
+    # from the batched bank (no scalar bindings).
+    noisy_per_circuit = []
+    for i, circuit in enumerate(circuits):
+        row_view = _RowParamsView(bsys, i)
+        noisy = []
+        for device in circuit:
+            psd = _device_noise_psd(
+                device, row_view, op_voltages_seq[i],
+                temperature, kf, freqs,
+            )
+            if psd is not None:
+                noisy.append((device, psd))
+        noisy_per_circuit.append(noisy)
+
+    reference = noisy_per_circuit[0]
+    B = np.zeros((bsys.size, len(reference)), dtype=complex)
+    for col, (device, __) in enumerate(reference):
+        node_a, node_b = _injection_nodes(device)
+        ia = bsys.idx(node_a)
+        ib = bsys.idx(node_b)
+        if ia != GROUND:
+            B[ia, col] += 1.0
+        if ib != GROUND:
+            B[ib, col] -= 1.0
+
+    X = bsys.solve_ac_batch_many(
+        op_voltages_seq, 2.0 * math.pi * freqs, rhs=B
+    )
+    results = []
+    for i, noisy in enumerate(noisy_per_circuit):
+        gains_sq = np.abs(X[i, :, out_idx, :]) ** 2  # (nfreq, n_noisy)
+        contributions = {}
+        total = np.zeros(len(freqs))
+        for col, (device, psd) in enumerate(noisy):
+            contribution = gains_sq[:, col] * psd
+            contributions[device.name] = contribution
+            total = total + contribution
+        results.append(NoiseResult(
+            freqs=freqs, output_psd=total, contributions=contributions,
+        ))
+    return results

@@ -39,7 +39,7 @@ as the equivalence-tested reference backend (see
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -233,6 +233,9 @@ class CompiledTopology:
                 )
 
         self.mos_index = {name: i for i, name in enumerate(self.mos_names)}
+        # All nets including ground, in first-touch order: circuits sharing
+        # a signature share this too (net order derives from device order).
+        self.circuit_nets = circuit.nets()
         self.n_lin_slots = n_lin_slots
         self.n_cap_slots = n_cap_slots
         self.lin_flat = np.asarray(lin_flat, dtype=np.intp)
@@ -585,6 +588,365 @@ class CompiledSystem:
             (len(omegas),) + rhs.shape,
         )
         return np.linalg.solve(A, B.copy())
+
+
+class BatchedCompiledSystem:
+    """K same-shape circuit instances bound and solved as one batch.
+
+    The optimizers' candidate placements differ only in *values* —
+    parasitic capacitances and variation deltas — never in structure, so
+    their systems share one :class:`CompiledTopology` and stack cleanly:
+    ``(G, C, b)`` gain a leading placement axis, the MOSFET bank becomes
+    ``(K, n_mos)``, and every analysis solves all placements (and, for
+    AC/noise, all frequencies and injection columns) in a single
+    ``np.linalg.solve`` call.
+
+    Binding is itself batched: element values are gathered into
+    ``(K, n_slots)`` matrices and scattered through the topology's index
+    arrays once for the whole batch — per-row results are numerically
+    identical to K separate :class:`CompiledSystem` bindings (the same
+    scatter sequence runs per row), without K passes of per-device
+    Python.  Scalar bindings for individual rows (needed only on the
+    rare per-placement convergence fallback and for noise PSD parameter
+    lookups) are created lazily via :meth:`system`.
+    """
+
+    def __init__(
+        self,
+        topology: CompiledTopology,
+        circuits: Sequence[Circuit],
+        tech: Technology,
+        deltas_list: Sequence[Mapping[str, DeviceDelta] | None] | None = None,
+    ):
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("need at least one circuit to batch")
+        if deltas_list is None:
+            deltas_list = [None] * len(circuits)
+        deltas_list = list(deltas_list)
+        if len(deltas_list) != len(circuits):
+            raise ValueError(
+                f"got {len(circuits)} circuits but {len(deltas_list)} delta sets"
+            )
+        self.topology = topology
+        self.circuits = circuits
+        self.tech = tech
+        self.deltas_list = deltas_list
+        self.k = len(circuits)
+        self.size = topology.size
+        self.n_nodes = topology.n_nodes
+        self.node_index = topology.node_index
+        self.branch_index = topology.branch_index
+        self._scalar: list[CompiledSystem | None] = [None] * self.k
+
+        t = topology
+        k = self.k
+        stride = self.size + 1
+        rows = np.arange(k)[:, None]
+
+        # Linear conductance stacks (resistor/VCVS values per row).
+        lin_values = np.ones((k, t.n_lin_slots))
+        for i, circuit in enumerate(circuits):
+            for name, slot in t.resistor_slots:
+                lin_values[i, slot] = 1.0 / circuit.device(name).value
+            for name, slot in t.vcvs_slots:
+                lin_values[i, slot] = circuit.device(name).gain
+        G = np.zeros((k, stride * stride))
+        if t.lin_flat.size:
+            np.add.at(
+                G, (rows, t.lin_flat[None, :]),
+                t.lin_sign * lin_values[:, t.lin_slot],
+            )
+        self._G_ext = G.reshape(k, stride, stride)
+
+        # Source levels and the constant AC drive vectors.
+        n_src = len(t.source_names)
+        self._src_base = np.array([
+            [circuit.device(name).dc for name in t.source_names]
+            for circuit in circuits
+        ]).reshape(k, n_src)
+        ac_values = np.array([
+            [circuit.device(name).ac for name in t.source_names]
+            for circuit in circuits
+        ]).reshape(k, n_src)
+        b_ac = np.zeros((k, stride))
+        if t.ac_rows.size:
+            np.add.at(
+                b_ac, (rows, t.ac_rows[None, :]),
+                t.ac_sign * ac_values[:, t.ac_slot],
+            )
+        self._b_ac = b_ac[:, : self.size].astype(complex)
+
+        # Variation-resolved MOSFET banks: the shared nominal bank plus
+        # stacked per-row delta arrays (dvth adds, dbeta scales kp —
+        # exactly the scalar binding's arithmetic, row-wise).
+        bank = topology.device_bank(tech)
+        self._bank = bank
+        n_mos = len(t.mos_names)
+        if n_mos:
+            dvth = np.zeros((k, n_mos))
+            dbeta = np.zeros((k, n_mos))
+            for i, deltas in enumerate(deltas_list):
+                if deltas:
+                    for j, name in enumerate(t.mos_names):
+                        delta = deltas.get(name)
+                        if delta is not None:
+                            dvth[i, j] = delta.dvth
+                            dbeta[i, j] = delta.dbeta_rel
+            self._vth0 = bank.vth0 + dvth
+            self._kp_wl = (bank.kp * (1.0 + dbeta)) * bank.w_over_l
+
+        # Capacitance stacks: the shared MOSFET part plus per-row
+        # capacitor values (the only matrix entries a placement changes).
+        C = np.broadcast_to(
+            bank.c_mos_ext.reshape(1, stride * stride),
+            (k, stride * stride),
+        ).copy()
+        if t.capacitor_slots:
+            cap_values = np.zeros((k, t.n_cap_slots))
+            for i, circuit in enumerate(circuits):
+                for name, slot in t.capacitor_slots:
+                    cap_values[i, slot] = circuit.device(name).value
+            np.add.at(
+                C, (rows, t.cap_flat[None, :]),
+                t.cap_sign * cap_values[:, t.cap_slot],
+            )
+        self._C = np.ascontiguousarray(
+            C.reshape(k, stride, stride)[:, : self.size, : self.size]
+        )
+
+    # ------------------------------------------------------------- helpers
+
+    def system(self, i: int) -> CompiledSystem:
+        """Scalar binding of row ``i`` (lazily created and kept)."""
+        bound = self._scalar[i]
+        if bound is None:
+            bound = self.topology.bind(
+                self.circuits[i], self.tech, self.deltas_list[i]
+            )
+            self._scalar[i] = bound
+        return bound
+
+    def idx(self, net: str) -> int:
+        """Matrix index of a net (GROUND for the reference node)."""
+        if is_ground(net):
+            return GROUND
+        return self.node_index[net]
+
+    def mosfet_params_row(self, i: int, name: str) -> MosfetParams:
+        """Variation-resolved parameters of row ``i``'s MOSFET ``name``.
+
+        Computed from the shared bank plus row ``i``'s deltas — no
+        scalar binding needed (the noise analysis reads these for its
+        PSD weights).
+        """
+        params = self._bank.params[self.topology.mos_index[name]]
+        deltas = self.deltas_list[i]
+        delta = deltas.get(name) if deltas else None
+        if delta is not None:
+            params = params.with_deltas(
+                dvth=delta.dvth, dbeta_rel=delta.dbeta_rel
+            )
+        return params
+
+    def _op_vector_ext(self, op_voltages: Mapping[str, float]) -> np.ndarray:
+        x_ext = np.zeros(self.size + 1)
+        for net in self.topology.mos_nets:
+            if net not in op_voltages:
+                raise KeyError(f"operating point missing net {net!r}")
+        for net, i in self.node_index.items():
+            if net in op_voltages:
+                x_ext[i] = op_voltages[net]
+        return x_ext
+
+    def _arrays_rows(self, idx: np.ndarray) -> MosfetArrays:
+        """The stacked device bank restricted to placement rows ``idx``.
+
+        Only ``vth0`` and ``kp_wl`` carry a placement axis (variation
+        deltas shift nothing else); the shared per-device vectors
+        broadcast against them.
+        """
+        bank = self._bank
+        return MosfetArrays(
+            polarity=bank.polarity,
+            vth0=self._vth0[idx],
+            kp_wl=self._kp_wl[idx],
+            lam=bank.lam,
+            gamma=bank.gamma,
+            phi=bank.phi,
+            ss=bank.ss,
+        )
+
+    def _mos_stamps_rows(
+        self, x_ext: np.ndarray, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched MOSFET-bank evaluation at extended states ``(A, stride)``."""
+        t = self.topology
+        ids, gdd, gdg, gds_, gdb = terminal_currents_array(
+            self._arrays_rows(idx),
+            x_ext[:, t.mos_d], x_ext[:, t.mos_g],
+            x_ext[:, t.mos_s], x_ext[:, t.mos_b],
+        )
+        jvals = np.concatenate(
+            (gdd, gdg, gds_, gdb, -gdd, -gdg, -gds_, -gdb), axis=1
+        )
+        return ids, jvals
+
+    # ------------------------------------------------------------------ DC
+
+    def assemble_dc_batch(
+        self,
+        X: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+        source_values: Mapping[str, float] | None = None,
+        rows: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked Jacobians and residuals at states ``X`` of shape (A, size).
+
+        ``rows`` selects the placement subset the states belong to (all
+        placements by default) — the batched Newton driver shrinks the
+        active set as placements converge.  Per-row semantics are exactly
+        :meth:`CompiledSystem.assemble_dc`.
+        """
+        t = self.topology
+        size = self.size
+        stride = size + 1
+        idx = np.arange(self.k) if rows is None else np.asarray(rows, dtype=np.intp)
+        n_active = len(idx)
+        arange = np.arange(n_active)
+
+        x_ext = np.zeros((n_active, stride))
+        x_ext[:, :size] = X
+        G = self._G_ext[idx]
+        J_ext = G.copy()
+        F_ext = (G @ x_ext[..., None])[..., 0]
+
+        if t.src_rows.size:
+            values = self._src_base[idx]
+            if source_values:
+                values = values.copy()
+                for i, name in enumerate(t.source_names):
+                    if name in source_values:
+                        values[:, i] = source_values[name]
+            values = values * source_scale
+            np.add.at(
+                F_ext, (arange[:, None], t.src_rows[None, :]),
+                t.src_sign * values[:, t.src_slot],
+            )
+        if t.mos_names:
+            ids, jvals = self._mos_stamps_rows(x_ext, idx)
+            np.add.at(
+                F_ext, (arange[:, None], t.mos_f_rows[None, :]),
+                np.concatenate((ids, -ids), axis=1),
+            )
+            np.add.at(
+                J_ext.reshape(n_active, -1),
+                (arange[:, None], t.mos_j_flat[None, :]), jvals,
+            )
+        J_ext.reshape(n_active, -1)[:, t.node_diag_flat] += gmin
+        F_ext[:, : self.n_nodes] += gmin * x_ext[:, : self.n_nodes]
+        return J_ext[:, :size, :size], F_ext[:, :size]
+
+    # ------------------------------------------------------------------ AC
+
+    def ac_matrices_batch(
+        self,
+        op_voltages_seq: Sequence[Mapping[str, float]],
+        gmin: float = 1e-12,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-placement frequency-independent ``(G, C, b)`` stacks.
+
+        ``op_voltages_seq`` supplies one DC bias mapping per placement.
+        """
+        if len(op_voltages_seq) != self.k:
+            raise ValueError(
+                f"need {self.k} operating points, got {len(op_voltages_seq)}"
+            )
+        t = self.topology
+        size = self.size
+        G_ext = self._G_ext.copy()
+        if t.mos_names:
+            x_ext = np.stack([
+                self._op_vector_ext(op) for op in op_voltages_seq
+            ])
+            __, jvals = self._mos_stamps_rows(x_ext, np.arange(self.k))
+            np.add.at(
+                G_ext.reshape(self.k, -1),
+                (np.arange(self.k)[:, None], t.mos_j_flat[None, :]), jvals,
+            )
+        G_ext.reshape(self.k, -1)[:, t.node_diag_flat] += gmin
+        return G_ext[:, :size, :size], self._C, self._b_ac
+
+    def solve_ac_batch_many(
+        self,
+        op_voltages_seq: Sequence[Mapping[str, float]],
+        omegas: np.ndarray,
+        rhs: np.ndarray | None = None,
+        gmin: float = 1e-12,
+    ) -> np.ndarray:
+        """Solve all placements × frequencies in one stacked batch.
+
+        Args:
+            op_voltages_seq: one DC bias mapping per placement.
+            omegas: angular frequencies [rad/s], shared by all placements.
+            rhs: optional shared right-hand-side matrix ``(size, m)``
+                replacing each placement's own AC drive (the noise
+                analysis' injection columns — structural, hence shared).
+
+        Returns:
+            ``(k, nfreq, size)`` complex solutions, or
+            ``(k, nfreq, size, m)`` when ``rhs`` is given.
+        """
+        G, C, b = self.ac_matrices_batch(op_voltages_seq, gmin=gmin)
+        omegas = np.asarray(omegas, dtype=float)
+        nfreq = len(omegas)
+        # Fill real/imag planes separately: same values as G + 1j*omega*C
+        # without materialising intermediate complex products.
+        A = np.empty((self.k, nfreq, self.size, self.size), dtype=complex)
+        A.real[...] = G[:, None, :, :]
+        A.imag[...] = omegas[None, :, None, None] * C[:, None, :, :]
+        if rhs is None:
+            B = np.broadcast_to(
+                b[:, None, :, None], (self.k, nfreq, self.size, 1)
+            )
+            return np.linalg.solve(A, B.copy())[..., 0]
+        rhs = np.asarray(rhs, dtype=complex)
+        B = np.broadcast_to(
+            rhs[None, None, :, :], (self.k, nfreq) + rhs.shape
+        )
+        return np.linalg.solve(A, B.copy())
+
+
+def batched_system(
+    circuits: Sequence[Circuit],
+    tech: Technology,
+    deltas_list: Sequence[Mapping[str, DeviceDelta] | None] | None = None,
+    check_signatures: bool = True,
+) -> BatchedCompiledSystem:
+    """Bind K same-shape circuit instances into one placement batch.
+
+    All circuits must share a structure signature (every placement of a
+    block does — parasitic annotation changes capacitor values only); the
+    compiled topology is fetched from the global cache once.
+
+    Args:
+        check_signatures: verify every circuit's signature against the
+            first's.  Callers that construct the batch from one base
+            circuit (the measurement suites) skip the re-derivation.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        raise ValueError("need at least one circuit to batch")
+    topology = compiled_topology(circuits[0])
+    if check_signatures:
+        signature = topology.signature
+        for circuit in circuits[1:]:
+            if structure_signature(circuit) != signature:
+                raise ValueError(
+                    "cannot batch circuits with different structure signatures"
+                )
+    return BatchedCompiledSystem(topology, circuits, tech, deltas_list)
 
 
 # -------------------------------------------------------- topology cache

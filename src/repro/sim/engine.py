@@ -17,10 +17,15 @@ point (``solve_dc``, ``solve_ac``, ``solve_noise``, ``solve_transient``,
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.netlist.circuit import Circuit
-from repro.sim.compiled import CompiledSystem, compiled_system
+from repro.sim.compiled import (
+    BatchedCompiledSystem,
+    CompiledSystem,
+    batched_system,
+    compiled_system,
+)
 from repro.sim.mna import MnaSystem
 from repro.tech import Technology
 from repro.variation import DeviceDelta
@@ -75,3 +80,27 @@ def make_system(
     if name == "compiled":
         return compiled_system(circuit, tech, deltas)
     raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+
+
+def make_batched_system(
+    circuits: Sequence[Circuit],
+    tech: Technology,
+    deltas_list: Sequence[Mapping[str, DeviceDelta] | None] | None = None,
+    engine: str | None = None,
+    check_signatures: bool = True,
+) -> BatchedCompiledSystem | None:
+    """Placement-batched assembler, or ``None`` when batching is off.
+
+    Only the compiled engine has a batched form; ``None`` (returned on
+    the legacy engine, or for fewer than two circuits) tells the caller
+    to loop the scalar path instead.  The :mod:`repro.sim.batch` drivers
+    do exactly that, so callers can thread batches unconditionally.
+    """
+    name = engine if engine is not None else _engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+    if name != "compiled" or len(circuits) < 2:
+        return None
+    return batched_system(
+        circuits, tech, deltas_list, check_signatures=check_signatures
+    )

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 
 @runtime_checkable
 class ScalarField(Protocol):
@@ -27,6 +29,22 @@ class ScalarField(Protocol):
     def value(self, x: float, y: float) -> float:
         """Field value at position ``(x, y)``."""
         ...
+
+
+def field_values(
+    field_: ScalarField, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Vectorized field evaluation over position arrays.
+
+    Uses the field's ``values`` array method when it has one (every
+    built-in field does); third-party fields that only implement the
+    scalar :meth:`ScalarField.value` are evaluated point by point, so the
+    batched evaluation pipeline accepts them unchanged.
+    """
+    batch = getattr(field_, "values", None)
+    if batch is not None:
+        return batch(x, y)
+    return np.array([field_.value(xi, yi) for xi, yi in zip(x, y)])
 
 
 @dataclass(frozen=True)
@@ -41,6 +59,9 @@ class UniformField:
 
     def value(self, x: float, y: float) -> float:
         return self.level
+
+    def values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.full(np.shape(x), self.level)
 
 
 @dataclass(frozen=True)
@@ -57,6 +78,9 @@ class LinearGradient:
     y0: float = 0.0
 
     def value(self, x: float, y: float) -> float:
+        return self.gx * (x - self.x0) + self.gy * (y - self.y0)
+
+    def values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.gx * (x - self.x0) + self.gy * (y - self.y0)
 
 
@@ -77,6 +101,11 @@ class QuadraticGradient:
     y0: float = 0.0
 
     def value(self, x: float, y: float) -> float:
+        dx = x - self.x0
+        dy = y - self.y0
+        return self.cxx * dx * dx + self.cyy * dy * dy + self.cxy * dx * dy
+
+    def values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         dx = x - self.x0
         dy = y - self.y0
         return self.cxx * dx * dx + self.cyy * dy * dy + self.cxy * dx * dy
@@ -112,6 +141,16 @@ class SinusoidalGradient:
             out *= math.sin(2.0 * math.pi * y / self.wavelength_y + self.phase_y)
         return out
 
+    def values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        out = np.full(np.shape(x), self.amplitude)
+        if self.wavelength_x is not None:
+            out = out * np.sin(
+                2.0 * math.pi * x / self.wavelength_x + self.phase_x)
+        if self.wavelength_y is not None:
+            out = out * np.sin(
+                2.0 * math.pi * y / self.wavelength_y + self.phase_y)
+        return out
+
 
 @dataclass(frozen=True)
 class RadialGradient:
@@ -136,6 +175,12 @@ class RadialGradient:
         dy = y - self.y0
         return self.amplitude * math.exp(-(dx * dx + dy * dy) / (2.0 * self.sigma**2))
 
+    def values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        dx = x - self.x0
+        dy = y - self.y0
+        return self.amplitude * np.exp(
+            -(dx * dx + dy * dy) / (2.0 * self.sigma**2))
+
 
 @dataclass(frozen=True)
 class CompositeField:
@@ -151,6 +196,12 @@ class CompositeField:
 
     def value(self, x: float, y: float) -> float:
         return sum(f.value(x, y) for f in self.fields)
+
+    def values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        out = np.zeros(np.shape(x))
+        for f in self.fields:
+            out = out + field_values(f, x, y)
+        return out
 
     def plus(self, other: ScalarField) -> "CompositeField":
         """A new composite with one more component."""

@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class UnitContext:
@@ -92,6 +94,24 @@ class LodStressModel:
             raise ValueError(f"polarity must be +1 or -1, got {polarity}")
         return self.k_vth * self._stress(ctx)
 
+    def _stress_array(
+        self, run_left: np.ndarray, run_right: np.ndarray
+    ) -> np.ndarray:
+        return 0.5 * (1.0 / (1.0 + run_left) + 1.0 / (1.0 + run_right))
+
+    def dbeta_rel_array(
+        self, run_left: np.ndarray, run_right: np.ndarray, polarity: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`dbeta_rel` over unit arrays."""
+        return (-polarity.astype(float) * self.k_beta
+                * self._stress_array(run_left, run_right))
+
+    def dvth_array(
+        self, run_left: np.ndarray, run_right: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`dvth` over unit arrays (polarity-independent)."""
+        return self.k_vth * self._stress_array(run_left, run_right)
+
 
 @dataclass(frozen=True)
 class WellProximityModel:
@@ -120,3 +140,11 @@ class WellProximityModel:
         if math.isinf(ctx.dist_to_edge):
             return 0.0
         return self.k_vth * math.exp(-ctx.dist_to_edge / self.decay_length)
+
+    def dvth_array(self, dist_to_edge: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`dvth` over an edge-distance array."""
+        finite = np.isfinite(dist_to_edge)
+        out = np.zeros(np.shape(dist_to_edge))
+        out[finite] = self.k_vth * np.exp(
+            -dist_to_edge[finite] / self.decay_length)
+        return out

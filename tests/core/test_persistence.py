@@ -71,6 +71,70 @@ class TestPlacerRoundTrip:
         result = resumed.optimize(max_steps=40)
         assert result.best_cost <= result.initial_cost
 
+    def test_midrun_snapshot_resumes_identical_trajectory(self, tmp_path):
+        """Save mid-campaign, restore into a fresh placer, and the resumed
+        half runs *identically* to the uninterrupted one: snapshots carry
+        tables, schedule steps and RNG states — the whole learning state."""
+        # Uninterrupted: one placer, two optimize legs.
+        env_a = PlacementEnv(five_transistor_ota(), area_objective)
+        uninterrupted = MultiLevelPlacer(env_a, seed=13)
+        uninterrupted.optimize(max_steps=50)
+        second_leg = uninterrupted.optimize(max_steps=50)
+
+        # Interrupted: run the first leg, snapshot, resume elsewhere.
+        env_b = PlacementEnv(five_transistor_ota(), area_objective)
+        first = MultiLevelPlacer(env_b, seed=13)
+        first.optimize(max_steps=50)
+        path = tmp_path / "snapshot.json"
+        save_placer_tables(first, path)
+
+        env_c = PlacementEnv(five_transistor_ota(), area_objective)
+        resumed_placer = MultiLevelPlacer(env_c, seed=999)  # seed overwritten
+        load_placer_tables(resumed_placer, path)
+        resumed = resumed_placer.optimize(max_steps=50)
+
+        assert resumed.best_cost == second_leg.best_cost
+        assert resumed.steps == second_leg.steps
+        assert [c for __, c in resumed.history] == [
+            c for __, c in second_leg.history]
+        assert (resumed.best_placement.as_dict()
+                == second_leg.best_placement.as_dict())
+
+    def test_rng_state_round_trips(self, tmp_path):
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=4)
+        placer.optimize(max_steps=25)
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)
+
+        twin = MultiLevelPlacer(
+            PlacementEnv(five_transistor_ota(), area_objective), seed=4)
+        load_placer_tables(twin, path)
+        assert (twin.top_agent.rng.bit_generator.state
+                == placer.top_agent.rng.bit_generator.state)
+        draws_a = placer.top_agent.rng.random(5).tolist()
+        draws_b = twin.top_agent.rng.random(5).tolist()
+        assert draws_a == draws_b
+
+    def test_table_only_snapshot_still_loads(self, tmp_path):
+        """Backward compatibility: snapshots without RNG states load fine."""
+        import json
+
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=1)
+        placer.optimize(max_steps=20)
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)
+        payload = json.loads(path.read_text())
+        del payload["rng"]
+        path.write_text(json.dumps(payload))
+
+        fresh = MultiLevelPlacer(
+            PlacementEnv(five_transistor_ota(), area_objective), seed=1)
+        load_placer_tables(fresh, path)
+        assert (fresh.top_agent.table.n_entries
+                == placer.top_agent.table.n_entries)
+
     def test_group_mismatch_rejected(self, tmp_path):
         env = PlacementEnv(five_transistor_ota(), area_objective)
         placer = MultiLevelPlacer(env, seed=1)

@@ -87,3 +87,50 @@ class TestSelection:
         seq_a = [a.select("s", actions) for __ in range(20)]
         seq_b = [b.select("s", actions) for __ in range(20)]
         assert seq_a == seq_b
+
+
+class TestTableItemsAndMerge:
+    def test_items_walks_all_entries(self):
+        table = QTable()
+        table.set("s1", "a", 1.0)
+        table.set("s1", "b", 2.0)
+        table.set("s2", "a", 3.0)
+        assert sorted(table.items()) == [
+            ("s1", "a", 1.0), ("s1", "b", 2.0), ("s2", "a", 3.0)]
+
+    def test_items_empty_table(self):
+        assert list(QTable().items()) == []
+
+    def test_merge_theirs_overwrites(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 1.0)
+        ours.set("s", "b", 5.0)
+        theirs.set("s", "a", 2.0)
+        theirs.set("t", "c", 3.0)
+        ours.merge(theirs)
+        assert ours.get("s", "a") == 2.0
+        assert ours.get("s", "b") == 5.0
+        assert ours.get("t", "c") == 3.0
+
+    def test_merge_ours_keeps_local(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 1.0)
+        theirs.set("s", "a", 2.0)
+        theirs.set("s", "b", 4.0)
+        ours.merge(theirs, how="ours")
+        assert ours.get("s", "a") == 1.0
+        assert ours.get("s", "b") == 4.0
+
+    def test_merge_max_is_optimistic(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 1.0)
+        ours.set("s", "b", 9.0)
+        theirs.set("s", "a", 2.0)
+        theirs.set("s", "b", -1.0)
+        ours.merge(theirs, how="max")
+        assert ours.get("s", "a") == 2.0
+        assert ours.get("s", "b") == 9.0
+
+    def test_merge_rejects_unknown_rule(self):
+        with pytest.raises(ValueError, match="how"):
+            QTable().merge(QTable(), how="average")

@@ -31,3 +31,13 @@ class TestConfigs:
             ExperimentConfig("X", five_transistor_ota, 10, ())
         with pytest.raises(ValueError, match="epsilon_decay_frac"):
             ExperimentConfig("X", five_transistor_ota, 10, (1,), epsilon_decay_frac=0.0)
+
+    def test_with_batch(self):
+        batched = CM_CONFIG.with_batch(8)
+        assert batched.batch == 8
+        assert batched.max_steps == CM_CONFIG.max_steps
+        assert CM_CONFIG.batch == 1  # original untouched
+
+    def test_batch_validated(self):
+        with pytest.raises(ValueError, match="batch"):
+            ExperimentConfig("X", five_transistor_ota, 10, (1,), batch=0)

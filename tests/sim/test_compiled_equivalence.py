@@ -9,6 +9,7 @@ placements must never change metrics.
 """
 
 import dataclasses
+import zlib
 
 import numpy as np
 import pytest
@@ -71,7 +72,10 @@ def _dc_circuit(name, block):
 
 def _variants(name, circuit):
     """deltas for {nominal, corner, random} parameter variants."""
-    rng = np.random.default_rng(abs(hash(name)) % (2**32))
+    # Seed from a stable digest: str hash() is salted per process, which
+    # made the drawn deltas — and hence this suite's pass/fail — vary
+    # from run to run.
+    rng = np.random.default_rng(zlib.crc32(name.encode()))
     random_deltas = {
         m.name: DeviceDelta(
             dvth=float(rng.uniform(-0.02, 0.02)),
