@@ -1,0 +1,103 @@
+"""BENCH / train — island-model shared-policy training on the two-stage OTA.
+
+Records two things about the PR-4 training layer:
+
+* **round-merge overhead** — wall-clock share the driver spends folding
+  worker Q-tables into the master policy, versus the whole campaign.
+  Merging is pure dict work; it must stay a rounding error next to the
+  simulator-bound worker rounds.
+* **sims-to-target, island vs cold** — total simulator evaluations the
+  island campaign needs to reach the symmetric target versus what the
+  PR-1-style cold fan-out (same worker count, same per-worker budget,
+  no sharing, no early stop) spends — the headline number of the
+  shared-policy work.
+
+Only shapes are asserted (the island campaign reaches the target in
+fewer total sims than the cold fan-out spends; merge overhead below
+half the campaign); the raw numbers land in ``extra_info`` so the
+trajectory is tracked across PRs via the uploaded ``BENCH_4.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.qlearning import QTable
+from repro.experiments import run_transfer
+from repro.train import run_campaign
+from repro.train.campaign import merge_tables
+
+WORKERS = 4
+ROUNDS = 3
+STEPS = 50
+
+
+@pytest.mark.benchmark(group="train")
+def test_island_campaign_merge_overhead(benchmark):
+    def full_campaign():
+        start = time.perf_counter()
+        result = run_campaign(
+            "ota2s", workers=WORKERS, rounds=ROUNDS, steps_per_round=STEPS,
+            seed=0, stop_at_target=False,
+        )
+        return result, time.perf_counter() - start
+
+    result, campaign_s = benchmark.pedantic(full_campaign, rounds=1,
+                                            iterations=1)
+
+    # Merge cost in isolation: re-fold a master-sized snapshot once per
+    # (round, worker) — an upper bound on the in-campaign merge work,
+    # since round-1 masters are smaller than the final one.
+    snapshot = {k: t.copy() for k, t in result.master_tables.items()}
+    start = time.perf_counter()
+    for __ in range(WORKERS * ROUNDS):
+        merge_tables({k: QTable() for k in snapshot}, snapshot, how="max")
+    merge_s = time.perf_counter() - start
+
+    overhead = merge_s / campaign_s
+    benchmark.extra_info.update({
+        "block": "ota2s",
+        "workers": WORKERS,
+        "rounds": result.rounds_run,
+        "campaign_s": round(campaign_s, 3),
+        "merge_s_upper_bound": round(merge_s, 4),
+        "merge_overhead_frac": round(overhead, 4),
+        "master_entries": result.master_entries,
+        "total_sims": result.total_sims,
+    })
+
+    assert result.master_entries > 0
+    assert result.rounds_run == ROUNDS
+    # Merging dicts must not dominate simulator-bound rounds.
+    assert overhead < 0.5, (
+        f"Q-table merging took {overhead:.0%} of the campaign wall-clock"
+    )
+
+
+@pytest.mark.benchmark(group="train")
+def test_island_sims_to_target_vs_cold(benchmark):
+    def race():
+        return run_transfer(circuits=("ota2s",), workers=WORKERS,
+                            rounds=ROUNDS, steps_per_round=STEPS, seed=0)
+
+    rows = benchmark.pedantic(race, rounds=1, iterations=1)
+    row = rows[0]
+    benchmark.extra_info.update({
+        "block": "ota2s",
+        "target": round(row.target, 6),
+        "cold_total_sims": row.cold.total_sims,
+        "cold_sims_to_target": row.cold.sims_to_target,
+        "warm_sims_to_target": row.warm.sims_to_target,
+        "island_sims_to_target": row.island.sims_to_target,
+        "island_best_cost": round(row.island.best_cost, 6),
+        "speedup_vs_cold_budget": (
+            None if row.island.sims_to_target is None
+            else round(row.cold.total_sims / row.island.sims_to_target, 2)
+        ),
+    })
+
+    # The PR's acceptance shape: the shared-policy campaign reaches the
+    # symmetric target spending fewer total simulations than the cold
+    # fan-out burns on its fixed budgets.
+    assert row.island.sims_to_target is not None
+    assert row.island.sims_to_target < row.cold.total_sims

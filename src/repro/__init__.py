@@ -24,7 +24,8 @@ Subpackages: :mod:`repro.core` (the RL framework + SA baseline),
 :mod:`repro.netlist`, :mod:`repro.tech`, :mod:`repro.variation`,
 :mod:`repro.sim`, :mod:`repro.layout`, :mod:`repro.route`,
 :mod:`repro.eval`, :mod:`repro.experiments`, :mod:`repro.runtime`
-(the parallel execution backends behind ``--jobs``).
+(the parallel execution backends behind ``--jobs``) and
+:mod:`repro.train` (island-model shared-policy training campaigns).
 """
 
 from repro.core import (
@@ -65,12 +66,14 @@ from repro.runtime import (
     resolve_backend,
 )
 from repro.tech import Technology, generic_tech_40
+from repro.train import CampaignResult, TrainingCampaign, run_campaign
 from repro.variation import VariationModel, default_variation_model
 
 __version__ = "0.1.0"
 
 __all__ = [
     "AnalogBlock",
+    "CampaignResult",
     "Circuit",
     "EpsilonSchedule",
     "ExecutionBackend",
@@ -89,6 +92,7 @@ __all__ = [
     "SerialBackend",
     "SimulatedAnnealingPlacer",
     "Technology",
+    "TrainingCampaign",
     "VariationModel",
     "banded_placement",
     "comparator",
@@ -103,6 +107,7 @@ __all__ = [
     "map_runs",
     "render_placement",
     "resolve_backend",
+    "run_campaign",
     "to_spice",
     "two_stage_ota",
     "__version__",

@@ -7,6 +7,7 @@ Commands:
 * ``ablation`` — run one of the ablation experiments;
 * ``spice``    — print a circuit's SPICE deck;
 * ``place``    — optimize one circuit and print/export the placement;
+* ``train``    — island-model shared-policy training campaign;
 * ``profile``  — per-stage timing breakdown of one evaluation.
 """
 
@@ -16,6 +17,7 @@ import argparse
 import sys
 import time
 
+from repro.core.qlearning import MERGE_HOWS
 from repro.eval.evaluator import PlacementEvaluator
 from repro.experiments import (
     ALL_CONFIGS,
@@ -124,6 +126,36 @@ def _build_parser() -> argparse.ArgumentParser:
     place.add_argument("--batch", type=_batch_arg, default=1,
                        help="candidate placements priced per agent turn")
 
+    train = sub.add_parser(
+        "train",
+        help="island-model shared-policy training (merged Q-tables)",
+    )
+    train.add_argument("circuit", choices=sorted(CIRCUITS))
+    train.add_argument("--workers", type=int, default=4,
+                       help="islands per synchronisation round")
+    train.add_argument("--rounds", type=int, default=3,
+                       help="synchronisation rounds")
+    train.add_argument("--steps", type=int, default=150,
+                       help="optimizer steps per worker per round")
+    train.add_argument("--merge-how", choices=MERGE_HOWS, default="max",
+                       help="Q-table conflict rule when folding worker "
+                            "tables into the master policy")
+    train.add_argument("--placer", choices=("ql", "flat"), default="ql")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--batch", type=_batch_arg, default=1,
+                       help="candidate placements priced per agent turn")
+    train.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes the islands fan over "
+                            "(results are identical at any job count)")
+    train.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="write the merged master policy there after "
+                            "every round")
+    train.add_argument("--run-to-budget", action="store_true",
+                       help="keep training after the target is reached "
+                            "instead of stopping early")
+    train.add_argument("--svg", metavar="PATH",
+                       help="write the campaign's best placement as SVG")
+
     profile = sub.add_parser(
         "profile",
         help="per-stage timing breakdown of one placement evaluation",
@@ -221,6 +253,42 @@ def _cmd_place(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    from repro.experiments import format_campaign
+    from repro.train import run_campaign
+
+    if args.workers < 1:
+        raise SystemExit("train: --workers must be >= 1")
+    if args.rounds < 1:
+        raise SystemExit("train: --rounds must be >= 1")
+    if args.steps < 1:
+        raise SystemExit("train: --steps must be >= 1")
+    result = run_campaign(
+        args.circuit,
+        workers=args.workers,
+        rounds=args.rounds,
+        steps_per_round=args.steps,
+        placer=args.placer,
+        merge_how=args.merge_how,
+        seed=args.seed,
+        batch=args.batch,
+        stop_at_target=not args.run_to_budget,
+        checkpoint_dir=args.checkpoint_dir,
+        jobs=args.jobs,
+    )
+    print(format_campaign(result))
+    block = CIRCUITS[args.circuit]()
+    metrics = PlacementEvaluator(block).evaluate(result.best_placement)
+    print(metrics.summary())
+    print(render_placement(result.best_placement, block.circuit))
+    if args.checkpoint_dir:
+        print(f"checkpoints in {args.checkpoint_dir}")
+    if args.svg:
+        save_placement_svg(result.best_placement, block.circuit, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     """Per-stage wall-clock of the evaluation pipeline for one circuit.
 
@@ -308,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         "ablation": _cmd_ablation,
         "spice": _cmd_spice,
         "place": _cmd_place,
+        "train": _cmd_train,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

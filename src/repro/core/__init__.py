@@ -22,15 +22,21 @@ from repro.core.optimizer import (
     ProposingAgent,
     price_proposals,
 )
-from repro.core.persistence import load_placer_tables, save_placer_tables
+from repro.core.persistence import (
+    load_placer_tables,
+    load_tables_snapshot,
+    save_placer_tables,
+    save_tables_snapshot,
+)
 from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_topk
-from repro.core.qlearning import QAgent, QTable
+from repro.core.qlearning import MergeStats, QAgent, QTable
 from repro.core.rewards import RewardConfig, shaped_reward
 
 __all__ = [
     "BudgetTracker",
     "EpsilonSchedule",
     "FlatQPlacer",
+    "MergeStats",
     "MultiLevelPlacer",
     "Outcome",
     "Placer",
@@ -45,7 +51,9 @@ __all__ = [
     "epsilon_greedy",
     "epsilon_greedy_topk",
     "load_placer_tables",
+    "load_tables_snapshot",
     "price_proposals",
     "save_placer_tables",
+    "save_tables_snapshot",
     "shaped_reward",
 ]

@@ -51,10 +51,34 @@ from repro.core.optimizer import (
     price_proposals,
 )
 from repro.core.policy import EpsilonSchedule
-from repro.core.qlearning import QAgent
+from repro.core.qlearning import MergeStats, QAgent, QTable
 from repro.core.rewards import RewardConfig, shaped_reward
 from repro.layout.env import PlacementEnv
 from repro.layout.placement import Placement
+
+# Tables snapshots (export_tables()/warm_start_from()) are plain
+# ``dict[tuple, QTable]`` mappings keyed by agent address: ``("top",)``
+# for the group-level agent, ``("bottom", <group>)`` per group agent,
+# ``("agent",)`` for the flat placer — so a group literally named
+# ``"top"`` can never collide with the top agent.
+
+
+def _warm_start_agents(
+    agents: "dict[tuple, QAgent]",
+    tables: "dict[tuple, QTable]",
+    how: str,
+) -> "dict[tuple, MergeStats]":
+    """Fold a tables snapshot into live agents; shared by both placers."""
+    unknown = set(tables) - set(agents)
+    if unknown:
+        raise ValueError(
+            f"snapshot carries tables for unknown agents {sorted(unknown)}; "
+            f"placer has {sorted(agents)}"
+        )
+    return {
+        key: agents[key].table.merge(table, how=how)
+        for key, table in tables.items()
+    }
 
 
 def _annealed_keep(
@@ -396,6 +420,42 @@ class MultiLevelPlacer:
             "total_entries": self.top_agent.table.n_entries + sum(bottom.values()),
         }
 
+    # ------------------------------------------------------- shared policy
+
+    def _agents(self) -> "dict[tuple, QAgent]":
+        agents: dict[tuple, QAgent] = {("top",): self.top_agent}
+        for name, agent in self.bottom_agents.items():
+            agents[("bottom", name)] = agent
+        return agents
+
+    def export_tables(self) -> "dict[tuple, QTable]":
+        """Snapshot every agent's Q-table, keyed by agent address.
+
+        The snapshot is an independent copy — safe to ship across a
+        process boundary or to keep merging into a master policy while
+        this placer keeps learning.  Addresses are ``("top",)`` and
+        ``("bottom", <group>)``, so group names can never collide with
+        the top agent (see the persistence namespace fix).
+        """
+        return {key: agent.table.copy() for key, agent in self._agents().items()}
+
+    def warm_start_from(
+        self, tables: "dict[tuple, QTable]", how: str = "theirs"
+    ) -> "dict[tuple, MergeStats]":
+        """Seed this placer's agents from an exported tables snapshot.
+
+        Args:
+            tables: an :meth:`export_tables` snapshot (typically the
+                island campaign's master policy).  Agents missing from
+                the snapshot start cold; unknown addresses are an error.
+            how: :meth:`QTable.merge` conflict rule applied entry-wise
+                against whatever the agents already learned.
+
+        Returns:
+            Per-agent merge statistics, keyed like the snapshot.
+        """
+        return _warm_start_agents(self._agents(), tables, how)
+
 
 class _FlatTurn(_QTurn):
     """The flat placer's single-agent turn over the combined action space."""
@@ -541,3 +601,17 @@ class FlatQPlacer:
                 "entries": self.agent.table.n_entries,
             },
         )
+
+    # ------------------------------------------------------- shared policy
+
+    def export_tables(self) -> "dict[tuple, QTable]":
+        """Snapshot the single agent's Q-table (see
+        :meth:`MultiLevelPlacer.export_tables`)."""
+        return {("agent",): self.agent.table.copy()}
+
+    def warm_start_from(
+        self, tables: "dict[tuple, QTable]", how: str = "theirs"
+    ) -> "dict[tuple, MergeStats]":
+        """Seed the single agent from an exported snapshot (see
+        :meth:`MultiLevelPlacer.warm_start_from`)."""
+        return _warm_start_agents({("agent",): self.agent}, tables, how)

@@ -168,11 +168,19 @@ class BudgetTracker:
     sims_to_target: int | None = None
 
     def update(self, cost: float, placement: Placement, sims_used: int) -> None:
-        """Record a new evaluation; keeps the best-so-far snapshot."""
-        if cost < self.best_cost:
+        """Record a new evaluation; keeps the best-so-far snapshot.
+
+        The very first sample is always recorded even though it cannot
+        beat the seeded ``best_cost`` — without it a run that never
+        improves would report an *empty* convergence trajectory and the
+        fig3-style plots would silently drop the starting point.
+        """
+        improved = cost < self.best_cost
+        if improved:
             self.best_cost = cost
             self.best_placement = placement.copy()
-            self.history.append((sims_used, cost))
+        if improved or not self.history:
+            self.history.append((sims_used, self.best_cost))
         if (
             self.sims_to_target is None
             and self.target is not None

@@ -2,12 +2,30 @@
 
 States and actions are hashable trees of ints/strings/tuples, so they
 serialise exactly through ``repr`` and parse back with
-:func:`ast.literal_eval` (no pickle, no code execution).  A saved
-:class:`MultiLevelPlacer` snapshot carries the top table plus every
-bottom agent's table keyed by group name, each agent's schedule step
-counter, and each agent's RNG state — everything learning-related, so a
-placer restored from a snapshot continues *exactly* the trajectory the
-saved one would have taken (see ``tests/core/test_persistence.py``).
+:func:`ast.literal_eval` (no pickle, no code execution); numpy scalars
+that leak into states or actions through batched evaluation arrays are
+coerced to plain Python first, because their reprs (``np.int64(3)``)
+would not parse back.  A saved :class:`MultiLevelPlacer` snapshot
+carries the top table plus every bottom agent's table keyed by group
+name, each agent's schedule step counter, and each agent's RNG state —
+everything learning-related, so a placer restored from a snapshot
+continues *exactly* the trajectory the saved one would have taken (see
+``tests/core/test_persistence.py``).
+
+Payload format history:
+
+* **version 2** (written now): ``steps`` and ``rng`` namespace the top
+  agent under ``"top"`` and the group agents under a nested
+  ``"bottom"`` mapping, so a group literally named ``top`` can no
+  longer corrupt the top agent's counters on load.
+* **version 1** (legacy, still read): flat ``steps``/``rng`` dicts that
+  mixed the top agent's entry with group names.
+
+The island-training driver checkpoints its master policy through the
+same machinery: :func:`save_tables_snapshot` /
+:func:`load_tables_snapshot` persist an ``export_tables()`` snapshot
+(agent-address → Q-table) using the exact per-table encoding of
+:func:`save_placer_tables`.
 """
 
 from __future__ import annotations
@@ -15,16 +33,40 @@ from __future__ import annotations
 import ast
 import json
 from pathlib import Path
+from typing import Any
+
+import numpy as np
 
 from repro.core.hierarchy import MultiLevelPlacer
 from repro.core.qlearning import QAgent, QTable
+
+#: Payload schema version written by :func:`save_placer_tables`.
+PAYLOAD_VERSION = 2
+
+
+def _plain(obj: Any) -> Any:
+    """Recursively coerce numpy scalars so ``repr`` output stays
+    ``ast.literal_eval``-parseable."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.str_):
+        return str(obj)
+    if isinstance(obj, tuple):
+        return tuple(_plain(v) for v in obj)
+    if isinstance(obj, list):
+        return [_plain(v) for v in obj]
+    return obj
 
 
 def qtable_to_dict(table: QTable) -> dict[str, dict[str, float]]:
     """JSON-compatible representation of a Q-table."""
     out: dict[str, dict[str, float]] = {}
     for state, action, value in table.items():
-        out.setdefault(repr(state), {})[repr(action)] = value
+        out.setdefault(repr(_plain(state)), {})[repr(_plain(action))] = value
     return out
 
 
@@ -46,9 +88,10 @@ def _set_rng_state(agent: QAgent, state: dict) -> None:
     agent.rng.bit_generator.state = state
 
 
-def save_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
-    """Write all of a placer's Q-tables (and agent RNG states) to JSON."""
-    payload = {
+def placer_payload(placer: MultiLevelPlacer) -> dict:
+    """The JSON-compatible snapshot :func:`save_placer_tables` writes."""
+    return {
+        "version": PAYLOAD_VERSION,
         "top": qtable_to_dict(placer.top_agent.table),
         "bottom": {
             name: qtable_to_dict(agent.table)
@@ -56,29 +99,51 @@ def save_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
         },
         "steps": {
             "top": placer.top_agent.steps,
-            **{name: agent.steps for name, agent in placer.bottom_agents.items()},
+            "bottom": {
+                name: agent.steps
+                for name, agent in placer.bottom_agents.items()
+            },
         },
         "rng": {
             "top": _rng_state(placer.top_agent),
-            **{name: _rng_state(agent)
-               for name, agent in placer.bottom_agents.items()},
+            "bottom": {
+                name: _rng_state(agent)
+                for name, agent in placer.bottom_agents.items()
+            },
         },
     }
-    Path(path).write_text(json.dumps(payload))
 
 
-def load_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
-    """Restore Q-tables saved by :func:`save_placer_tables`.
+def save_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
+    """Write all of a placer's Q-tables (and agent RNG states) to JSON."""
+    Path(path).write_text(json.dumps(placer_payload(placer)))
 
-    The placer must have the same group structure as the one saved.
-    Snapshots that carry RNG states (everything written by this version)
-    restore them too, making a resumed run reproduce the uninterrupted
-    trajectory; older table-only snapshots still load.
+
+def _top_entry(payload_section: dict, version: int) -> Any:
+    """The top agent's entry from a ``steps``/``rng`` section."""
+    return payload_section["top"]
+
+
+def _bottom_entry(payload_section: dict, version: int, name: str) -> Any:
+    """One group agent's entry from a ``steps``/``rng`` section.
+
+    Version-1 payloads stored group entries flat beside the top agent's
+    ``"top"`` key — the collision version 2 fixes by nesting groups
+    under ``"bottom"``; legacy snapshots are still read with the
+    historical (flat) lookup, collision and all.
+    """
+    if version >= 2:
+        return payload_section["bottom"][name]
+    return payload_section[name]
+
+
+def restore_placer_payload(placer: MultiLevelPlacer, payload: dict) -> None:
+    """Restore a placer's learning state from :func:`placer_payload` output.
 
     Raises:
         ValueError: if the saved group set does not match the placer's.
     """
-    payload = json.loads(Path(path).read_text())
+    version = int(payload.get("version", 1))
     saved_groups = set(payload["bottom"])
     have_groups = set(placer.bottom_agents)
     if saved_groups != have_groups:
@@ -87,12 +152,73 @@ def load_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
             f"placer has {sorted(have_groups)}"
         )
     placer.top_agent.table = qtable_from_dict(payload["top"])
-    placer.top_agent.steps = int(payload["steps"]["top"])
+    placer.top_agent.steps = int(_top_entry(payload["steps"], version))
     for name, agent in placer.bottom_agents.items():
         agent.table = qtable_from_dict(payload["bottom"][name])
-        agent.steps = int(payload["steps"][name])
+        agent.steps = int(_bottom_entry(payload["steps"], version, name))
     rng_states = payload.get("rng")
     if rng_states is not None:
-        _set_rng_state(placer.top_agent, rng_states["top"])
+        _set_rng_state(placer.top_agent, _top_entry(rng_states, version))
         for name, agent in placer.bottom_agents.items():
-            _set_rng_state(agent, rng_states[name])
+            _set_rng_state(agent, _bottom_entry(rng_states, version, name))
+
+
+def load_placer_tables(placer: MultiLevelPlacer, path: str | Path) -> None:
+    """Restore Q-tables saved by :func:`save_placer_tables`.
+
+    The placer must have the same group structure as the one saved.
+    Snapshots that carry RNG states (everything written since they were
+    introduced) restore them too, making a resumed run reproduce the
+    uninterrupted trajectory; older table-only and version-1 flat-key
+    snapshots still load.
+
+    Raises:
+        ValueError: if the saved group set does not match the placer's.
+    """
+    restore_placer_payload(placer, json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------- snapshots
+
+
+def tables_to_payload(tables: dict[tuple, QTable]) -> dict[str, dict]:
+    """JSON-compatible form of an ``export_tables()`` snapshot.
+
+    Agent addresses (tuples like ``("bottom", "input_pair")``) serialise
+    through ``repr`` exactly like states and actions do.
+    """
+    return {repr(_plain(key)): qtable_to_dict(table)
+            for key, table in tables.items()}
+
+
+def tables_from_payload(payload: dict[str, dict]) -> dict[tuple, QTable]:
+    """Rebuild an ``export_tables()`` snapshot from its payload form."""
+    return {
+        ast.literal_eval(key_repr): qtable_from_dict(data)
+        for key_repr, data in payload.items()
+    }
+
+
+def save_tables_snapshot(
+    tables: dict[tuple, QTable], path: str | Path, **meta: Any
+) -> None:
+    """Write a tables snapshot (plus JSON-able metadata) to disk.
+
+    The island-training driver checkpoints its master policy each round
+    through this; ``meta`` lands beside the tables (round index, merge
+    rule, best cost, ...).
+    """
+    payload = {
+        "version": PAYLOAD_VERSION,
+        "tables": tables_to_payload(tables),
+        "meta": dict(meta),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_tables_snapshot(
+    path: str | Path,
+) -> tuple[dict[tuple, QTable], dict]:
+    """Read back a :func:`save_tables_snapshot` file → (tables, meta)."""
+    payload = json.loads(Path(path).read_text())
+    return tables_from_payload(payload["tables"]), dict(payload.get("meta", {}))

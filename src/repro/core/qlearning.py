@@ -12,11 +12,41 @@ read as 0, so optimistic/neutral initialisation is implicit.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
 from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_topk
+
+#: Conflict rules :meth:`QTable.merge` understands — the single source
+#: every merge-rule validation (specs, campaigns, CLI choices) refers to.
+MERGE_HOWS = ("theirs", "ours", "max")
+
+
+@dataclass
+class MergeStats:
+    """What one :meth:`QTable.merge` call did, entry by entry.
+
+    Attributes:
+        added: entries only the other table held (always absorbed).
+        updated: shared entries whose local value changed.
+        kept: shared entries whose local value survived unchanged.
+    """
+
+    added: int = 0
+    updated: int = 0
+    kept: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.added + self.updated + self.kept
+
+    def __iadd__(self, other: "MergeStats") -> "MergeStats":
+        self.added += other.added
+        self.updated += other.updated
+        self.kept += other.kept
+        return self
 
 
 class QTable:
@@ -33,7 +63,16 @@ class QTable:
         return self._table.get(state, {}).get(action, 0.0)
 
     def set(self, state, action, value: float) -> None:
-        self._table.setdefault(state, {})[action] = value
+        # Coerce so numpy scalars (rewards flowing out of batched
+        # ``cost_many`` arrays) never reach the table: entries stay plain
+        # floats and always survive json serialization.
+        self._table.setdefault(state, {})[action] = float(value)
+
+    def copy(self) -> "QTable":
+        """An independent copy (entries are immutable, so one level deep)."""
+        dup = QTable()
+        dup._table = {state: dict(actions) for state, actions in self._table.items()}
+        return dup
 
     def state_value(self, state) -> float:
         """V(s) = max_a Q(s, a) over visited actions, 0 if none (Eq. 2)."""
@@ -52,7 +91,7 @@ class QTable:
             for action, value in actions.items():
                 yield state, action, value
 
-    def merge(self, other: "QTable", how: str = "theirs") -> None:
+    def merge(self, other: "QTable", how: str = "theirs") -> MergeStats:
         """Fold another table's entries into this one, in place.
 
         Args:
@@ -61,21 +100,36 @@ class QTable:
                 ``"theirs"`` (the other table wins; use when ``other`` is
                 newer, e.g. a resumed snapshot), ``"ours"`` (keep local
                 values), or ``"max"`` (optimistic: keep the larger Q).
+
+        Returns:
+            Per-entry accounting of what happened — the island-training
+            driver reports these so policy-synchronisation progress
+            (shrinking ``added``, growing ``kept``) is observable.
         """
-        if how not in ("theirs", "ours", "max"):
+        if how not in MERGE_HOWS:
             raise ValueError(
-                f"how must be 'theirs', 'ours' or 'max', got {how!r}"
+                f"how must be one of {MERGE_HOWS}, got {how!r}"
             )
+        stats = MergeStats()
         for state, action, value in other.items():
-            if how == "theirs":
-                self.set(state, action, value)
-                continue
             entries = self._table.get(state)
-            missing = entries is None or action not in entries
-            if missing:
+            if entries is None or action not in entries:
                 self.set(state, action, value)
-            elif how == "max":
-                self.set(state, action, max(entries[action], value))
+                stats.added += 1
+                continue
+            current = entries[action]
+            if how == "theirs":
+                merged = float(value)
+            elif how == "ours":
+                merged = current
+            else:
+                merged = max(current, float(value))
+            if merged != current:
+                self.set(state, action, merged)
+                stats.updated += 1
+            else:
+                stats.kept += 1
+        return stats
 
     @property
     def n_states(self) -> int:

@@ -19,12 +19,20 @@ from repro.experiments.configs import (
 )
 from repro.experiments.fig3 import AlgoRow, Fig3Result, best_symmetric, run_fig3
 from repro.experiments.reporting import (
+    format_campaign,
     format_convergence,
     format_dummies,
     format_fig3,
     format_hierarchy,
     format_linearity,
     format_table,
+    format_transfer,
+)
+from repro.experiments.transfer import (
+    TRANSFER_CIRCUITS,
+    RegimeStats,
+    TransferRow,
+    run_transfer,
 )
 
 __all__ = [
@@ -39,16 +47,22 @@ __all__ = [
     "HierarchyAblation",
     "LinearityAblation",
     "OTA_CONFIG",
+    "RegimeStats",
+    "TRANSFER_CIRCUITS",
+    "TransferRow",
     "best_symmetric",
+    "format_campaign",
     "format_convergence",
     "format_dummies",
     "format_fig3",
     "format_hierarchy",
     "format_linearity",
     "format_table",
+    "format_transfer",
     "run_convergence_ablation",
     "run_dummy_ablation",
     "run_fig3",
     "run_hierarchy_ablation",
     "run_linearity_ablation",
+    "run_transfer",
 ]

@@ -13,6 +13,8 @@ from repro.experiments.ablations import (
     LinearityAblation,
 )
 from repro.experiments.fig3 import Fig3Result
+from repro.experiments.transfer import TransferRow
+from repro.train import CampaignResult
 
 PRIMARY_LABEL = {
     "cm": "mismatch [%]",
@@ -93,6 +95,64 @@ def format_dummies(ab: DummyAblation) -> str:
             f"{vals['area_overhead'] * 100:.0f}%",
         ])
     return f"[{ab.circuit}] dummy ablation\n" + format_table(headers, rows)
+
+
+def format_campaign(result: CampaignResult) -> str:
+    """Render an island-training campaign round by round."""
+    headers = ["round", "best cost", "#sims", "#sims total",
+               "merged +new/~upd/=kept", "master entries", "target?"]
+    rows = []
+    for rep in result.rounds:
+        rows.append([
+            str(rep.index),
+            f"{rep.best_cost:.4f}",
+            str(rep.sims),
+            str(rep.sims_total),
+            f"+{rep.merge.added}/~{rep.merge.updated}/={rep.merge.kept}",
+            str(rep.master_entries),
+            "Y" if rep.reached_target else "-",
+        ])
+    target = "-" if result.target is None else f"{result.target:.4f}"
+    tt = ("-" if result.sims_to_target is None
+          else str(result.sims_to_target))
+    return (
+        f"[{result.circuit}] island campaign: {result.workers} workers x "
+        f"{result.rounds_run}/{result.rounds_planned} rounds, "
+        f"merge={result.merge_how}, placer={result.placer}\n"
+        + format_table(headers, rows)
+        + f"\nbest {result.best_cost:.4f} (initial {result.initial_cost:.4f}, "
+          f"improvement {result.improvement * 100:.1f}%)  target {target}  "
+          f"#sims to target {tt}  #sims total {result.total_sims}"
+    )
+
+
+def format_transfer(rows: list[TransferRow]) -> str:
+    """Render the cold/warm/island race, one block per circuit."""
+    headers = ["circuit", "regime", "best cost", "#sims to target",
+               "#sims total", "runs@target"]
+    cells = []
+    for row in rows:
+        for regime in (row.cold, row.warm, row.island):
+            cells.append([
+                row.circuit if regime is row.cold else "",
+                regime.name,
+                f"{regime.best_cost:.4f}",
+                "-" if regime.sims_to_target is None
+                else str(regime.sims_to_target),
+                str(regime.total_sims),
+                f"{regime.runs_reached}/{regime.runs}",
+            ])
+    verdicts = "  ".join(
+        f"{row.circuit}={'Y' if row.island_beats_cold else 'N'}"
+        for row in rows
+    )
+    return (
+        "transfer: cold (independent fixed-budget runs) vs warm "
+        "(sequential rounds) vs island (merged policies)\n"
+        + format_table(headers, cells)
+        + f"\nisland reaches target in fewer total sims than cold spends: "
+          f"{verdicts}"
+    )
 
 
 def format_linearity(ab: LinearityAblation) -> str:

@@ -19,13 +19,14 @@ drivers merge them deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
 
 from repro.core.annealing import SimulatedAnnealingPlacer
 from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
 from repro.core.optimizer import PlacerResult
 from repro.core.policy import EpsilonSchedule
+from repro.core.qlearning import MERGE_HOWS
 from repro.eval.evaluator import PlacementEvaluator
 from repro.eval.metrics import Metrics
 from repro.layout.env import PlacementEnv
@@ -99,6 +100,20 @@ class RunSpec:
             ``variation_kind`` is set.
         evaluate_best: also evaluate the best placement's full metrics
             inside the worker (one extra cached simulation).
+        stop_at_target: end the run as soon as the target cost is met
+            (island-training workers stop instead of burning the rest of
+            their round budget).
+        initial_tables: optional warm-start payload — an
+            ``export_tables()`` snapshot (agent address → Q-table) the
+            worker folds into its freshly built placer before
+            optimizing.  Q-learning placers only; plain picklable data,
+            excluded from the spec's hash.
+        warm_start_how: :meth:`QTable.merge` rule for ``initial_tables``
+            (the default ``"theirs"`` simply loads the snapshot into the
+            cold agents).
+        return_tables: ship the placer's learned Q-tables back on the
+            outcome (``RunOutcome.tables``) so a driver can merge them
+            into a master policy.  Q-learning placers only.
     """
 
     key: Hashable
@@ -116,6 +131,10 @@ class RunSpec:
     variation_kind: str | None = None
     variation_with_lde: bool = True
     evaluate_best: bool = True
+    stop_at_target: bool = False
+    initial_tables: Any = field(default=None, hash=False)
+    warm_start_how: str = "theirs"
+    return_tables: bool = False
 
     def __post_init__(self) -> None:
         if self.placer not in PLACERS:
@@ -130,6 +149,18 @@ class RunSpec:
             )
         if not 0.0 < self.epsilon_decay_frac <= 1.0:
             raise ValueError("epsilon_decay_frac must be in (0, 1]")
+        if self.warm_start_how not in MERGE_HOWS:
+            raise ValueError(
+                f"warm_start_how must be one of {MERGE_HOWS}, "
+                f"got {self.warm_start_how!r}"
+            )
+        if self.placer == "sa" and (
+            self.initial_tables is not None or self.return_tables
+        ):
+            raise ValueError(
+                "initial_tables/return_tables need a Q-learning placer; "
+                "SA has no tables to share"
+            )
 
 
 @dataclass
@@ -143,12 +174,15 @@ class RunOutcome:
             spec set ``evaluate_best=False``).
         target: the target cost the run chased (worker-computed when the
             spec asked for ``target_from_symmetric``).
+        tables: the placer's learned Q-tables (an ``export_tables()``
+            snapshot), present when the spec set ``return_tables``.
     """
 
     key: Hashable
     result: PlacerResult
     metrics: Metrics | None = None
     target: float | None = None
+    tables: dict | None = None
 
 
 def build_block(spec: RunSpec) -> AnalogBlock:
@@ -224,9 +258,18 @@ def execute_run(spec: RunSpec) -> RunOutcome:
         block, evaluator.cost, objective_many=evaluator.cost_many
     )
     placer = _make_placer(spec, env, evaluator)
-    result = placer.optimize(max_steps=spec.max_steps, target=target)
+    if spec.initial_tables is not None:
+        placer.warm_start_from(spec.initial_tables, how=spec.warm_start_how)
+    result = placer.optimize(
+        max_steps=spec.max_steps, target=target,
+        stop_at_target=spec.stop_at_target,
+    )
     metrics = evaluator.evaluate(result.best_placement) if spec.evaluate_best else None
-    return RunOutcome(key=spec.key, result=result, metrics=metrics, target=target)
+    tables = placer.export_tables() if spec.return_tables else None
+    return RunOutcome(
+        key=spec.key, result=result, metrics=metrics, target=target,
+        tables=tables,
+    )
 
 
 def map_runs(

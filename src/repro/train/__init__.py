@@ -1,0 +1,24 @@
+"""Shared-policy training: island-model Q-learning campaigns.
+
+The parallel runtime (PR 1) made ``--jobs`` buy *seeds*: every worker
+was an island whose learned Q-tables died with it.  This package makes
+workers buy *learning* — a :class:`TrainingCampaign` runs workers in
+rounds over the existing runtime backends, folds their Q-tables into a
+master policy with :meth:`QTable.merge`, and seeds the next round from
+the merged policy.  Deterministic merge order makes serial and
+process-pool campaigns bit-identical.
+"""
+
+from repro.train.campaign import (
+    CampaignResult,
+    RoundReport,
+    TrainingCampaign,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignResult",
+    "RoundReport",
+    "TrainingCampaign",
+    "run_campaign",
+]

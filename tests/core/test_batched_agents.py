@@ -38,15 +38,21 @@ def make_env(builder=five_transistor_ota):
 
 
 # (best_cost, sims_used, steps, history) of the pre-refactor placers:
-# five_transistor_ota, wirelength objective, seed=7, max_steps=80.
+# five_transistor_ota, wirelength objective, seed=7, max_steps=80.  The
+# trackers now seed every history with the starting sample, so each
+# golden history gains the (1, initial_cost) point the pre-refactor
+# trackers silently dropped; every later sample is bit-identical.
 GOLDEN_OTA5T = {
     MultiLevelPlacer: (8.5, 81, 80, [
+        (1, 11.999999999999998),
         (64, 11.499999999999998), (65, 11.0), (67, 10.500000000000002),
         (69, 9.5), (76, 8.999999999999998), (77, 8.5)]),
     FlatQPlacer: (10.0, 81, 80, [
+        (1, 11.999999999999998),
         (6, 11.499999999999998), (9, 10.999999999999998), (11, 10.5),
         (26, 10.0)]),
     SimulatedAnnealingPlacer: (4.000000000000001, 81, 80, [
+        (1, 11.999999999999998),
         (6, 11.999999999999996), (11, 11.500000000000002), (14, 10.5),
         (22, 8.5), (26, 8.0), (38, 6.999999999999999),
         (42, 6.499999999999999), (49, 5.0), (64, 4.000000000000001)]),

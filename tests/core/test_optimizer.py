@@ -1,0 +1,70 @@
+"""Tests for the shared optimizer bookkeeping (BudgetTracker)."""
+
+from repro.core import BudgetTracker, FlatQPlacer
+from repro.layout import PlacementEnv
+from repro.layout.generators import banded_placement
+from repro.netlist import five_transistor_ota
+
+
+def make_tracker(initial=10.0):
+    placement = banded_placement(five_transistor_ota(), "sequential")
+    tracker = BudgetTracker(
+        target=None, sim_budget=None,
+        best_cost=initial, best_placement=placement.copy(),
+    )
+    return tracker, placement
+
+
+class TestBudgetTrackerHistory:
+    def test_initial_sample_recorded(self):
+        # The seeding update(initial, ...) fails the cost < best_cost
+        # test, but the starting point must still land in the history —
+        # convergence plots would otherwise silently drop it.
+        tracker, placement = make_tracker(10.0)
+        tracker.update(10.0, placement, 1)
+        assert tracker.history == [(1, 10.0)]
+        assert tracker.best_cost == 10.0
+
+    def test_run_that_never_improves_has_nonempty_history(self):
+        tracker, placement = make_tracker(10.0)
+        tracker.update(10.0, placement, 1)
+        for sims in (2, 3, 4):
+            tracker.update(12.0, placement, sims)
+        assert tracker.history == [(1, 10.0)]
+
+    def test_improvements_append_after_seed(self):
+        tracker, placement = make_tracker(10.0)
+        tracker.update(10.0, placement, 1)
+        tracker.update(8.0, placement, 5)
+        tracker.update(9.0, placement, 6)   # worse: not recorded
+        tracker.update(7.5, placement, 9)
+        assert tracker.history == [(1, 10.0), (5, 8.0), (9, 7.5)]
+        assert tracker.best_cost == 7.5
+
+    def test_first_sample_worse_than_seeded_best_still_recorded(self):
+        # Degenerate but possible: the tracker is seeded with a better
+        # cost than the first update sees; history still gets a seed
+        # sample holding the best-so-far.
+        tracker, placement = make_tracker(5.0)
+        tracker.update(10.0, placement, 1)
+        assert tracker.history == [(1, 5.0)]
+
+    def test_target_bookkeeping_unchanged(self):
+        placement = banded_placement(five_transistor_ota(), "sequential")
+        tracker = BudgetTracker(
+            target=8.0, sim_budget=None,
+            best_cost=10.0, best_placement=placement.copy(),
+        )
+        tracker.update(10.0, placement, 1)
+        assert not tracker.reached_target
+        tracker.update(7.0, placement, 4)
+        assert tracker.reached_target
+        assert tracker.sims_to_target == 4
+
+    def test_placer_history_starts_at_initial_cost(self):
+        env = PlacementEnv(
+            five_transistor_ota(), lambda p: float(p.area_cells()))
+        result = FlatQPlacer(env, seed=3).optimize(max_steps=15)
+        sims0, cost0 = result.history[0]
+        assert sims0 == 1
+        assert cost0 == result.initial_cost

@@ -1,20 +1,55 @@
 """Tests for Q-table save/load round trips."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.core import MultiLevelPlacer, QTable
 from repro.core.persistence import (
     load_placer_tables,
+    load_tables_snapshot,
     qtable_from_dict,
     qtable_to_dict,
     save_placer_tables,
+    save_tables_snapshot,
+    tables_from_payload,
+    tables_to_payload,
 )
 from repro.layout import PlacementEnv
-from repro.netlist import current_mirror, five_transistor_ota
+from repro.netlist import (
+    AnalogBlock,
+    Group,
+    GroupKind,
+    MatchedPair,
+    Mosfet,
+    Circuit,
+    current_mirror,
+    five_transistor_ota,
+)
 
 
 def area_objective(placement):
     return float(placement.area_cells())
+
+
+def hostile_block() -> AnalogBlock:
+    """A block whose first group is literally named ``top`` — the name
+    that used to collide with the top agent's entries in flat payloads."""
+    ckt = Circuit("hostile")
+    kw = dict(polarity=+1, width=1e-6, length=0.5e-6, n_units=2)
+    ckt.add(Mosfet("m1", {"d": "a", "g": "b", "s": "gnd", "b": "gnd"}, **kw))
+    ckt.add(Mosfet("m2", {"d": "b", "g": "a", "s": "gnd", "b": "gnd"}, **kw))
+    return AnalogBlock(
+        name="HOSTILE", kind="cm", circuit=ckt,
+        groups=(
+            Group("top", GroupKind.SINGLE, ("m1",)),
+            Group("steps", GroupKind.SINGLE, ("m2",)),
+        ),
+        pairs=(MatchedPair("m1", "m2"),),
+        canvas=(4, 4),
+        input_nets=("a",),
+    )
 
 
 class TestQTableRoundTrip:
@@ -146,3 +181,140 @@ class TestPlacerRoundTrip:
         other = MultiLevelPlacer(other_env, seed=1)
         with pytest.raises(ValueError, match="groups"):
             load_placer_tables(other, path)
+
+
+class TestNumpyScalars:
+    def test_numpy_values_and_keys_round_trip(self, tmp_path):
+        table = QTable()
+        table.set((np.int64(1), np.int64(2)), (np.int64(0), np.int64(3)),
+                  np.float64(1.25))
+        payload = qtable_to_dict(table)
+        json.dumps(payload)  # must not raise
+        restored = qtable_from_dict(payload)
+        assert restored.get((1, 2), (0, 3)) == 1.25
+
+    def test_table_trained_through_batched_path_saves(self, tmp_path):
+        # Batched pricing hands numpy arrays back to the agents, so
+        # rewards (hence Q-values) can arrive as np.float64 — the whole
+        # snapshot must still serialise.
+        def np_objective(placement):
+            return np.float64(placement.area_cells())
+
+        def np_objective_many(placements):
+            return np.asarray([float(p.area_cells()) for p in placements])
+
+        env = PlacementEnv(five_transistor_ota(), np_objective,
+                           objective_many=np_objective_many)
+        placer = MultiLevelPlacer(env, batch=3, seed=2)
+        placer.optimize(max_steps=30)
+        assert placer.top_agent.table.n_entries > 0
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)  # json.dumps under the hood
+        twin = MultiLevelPlacer(
+            PlacementEnv(five_transistor_ota(), area_objective), seed=2)
+        load_placer_tables(twin, path)
+        assert (sorted(twin.top_agent.table.items())
+                == sorted(placer.top_agent.table.items()))
+
+
+class TestHostileGroupNames:
+    def test_group_named_top_does_not_corrupt_top_agent(self, tmp_path):
+        env = PlacementEnv(hostile_block(), area_objective)
+        placer = MultiLevelPlacer(env, seed=5)
+        placer.optimize(max_steps=40)
+        group_agent = placer.bottom_agents["top"]
+        assert placer.top_agent.steps != group_agent.steps  # distinct counters
+
+        path = tmp_path / "tables.json"
+        save_placer_tables(placer, path)
+        twin = MultiLevelPlacer(
+            PlacementEnv(hostile_block(), area_objective), seed=99)
+        load_placer_tables(twin, path)
+
+        assert twin.top_agent.steps == placer.top_agent.steps
+        assert twin.bottom_agents["top"].steps == group_agent.steps
+        assert (twin.top_agent.rng.bit_generator.state
+                == placer.top_agent.rng.bit_generator.state)
+        assert (twin.bottom_agents["top"].rng.bit_generator.state
+                == group_agent.rng.bit_generator.state)
+
+    def test_hostile_resume_reproduces_trajectory(self, tmp_path):
+        env_a = PlacementEnv(hostile_block(), area_objective)
+        uninterrupted = MultiLevelPlacer(env_a, seed=8)
+        uninterrupted.optimize(max_steps=30)
+        second_leg = uninterrupted.optimize(max_steps=30)
+
+        env_b = PlacementEnv(hostile_block(), area_objective)
+        first = MultiLevelPlacer(env_b, seed=8)
+        first.optimize(max_steps=30)
+        path = tmp_path / "snapshot.json"
+        save_placer_tables(first, path)
+        resumed_placer = MultiLevelPlacer(
+            PlacementEnv(hostile_block(), area_objective), seed=1234)
+        load_placer_tables(resumed_placer, path)
+        resumed = resumed_placer.optimize(max_steps=30)
+
+        assert resumed.best_cost == second_leg.best_cost
+        # sims counters restart on the resumed placer; costs must match.
+        assert [c for __, c in resumed.history] == [
+            c for __, c in second_leg.history]
+
+    def test_legacy_flat_payload_still_loads(self, tmp_path):
+        """Version-1 snapshots (flat steps/rng keyed by group name beside
+        'top') load with the historical lookup."""
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=3)
+        placer.optimize(max_steps=25)
+        payload = {
+            "top": qtable_to_dict(placer.top_agent.table),
+            "bottom": {
+                name: qtable_to_dict(agent.table)
+                for name, agent in placer.bottom_agents.items()
+            },
+            "steps": {
+                "top": placer.top_agent.steps,
+                **{name: agent.steps
+                   for name, agent in placer.bottom_agents.items()},
+            },
+            "rng": {
+                "top": placer.top_agent.rng.bit_generator.state,
+                **{name: agent.rng.bit_generator.state
+                   for name, agent in placer.bottom_agents.items()},
+            },
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+
+        twin = MultiLevelPlacer(
+            PlacementEnv(five_transistor_ota(), area_objective), seed=3)
+        load_placer_tables(twin, path)
+        assert twin.top_agent.steps == placer.top_agent.steps
+        for name, agent in placer.bottom_agents.items():
+            assert twin.bottom_agents[name].steps == agent.steps
+
+
+class TestTablesSnapshots:
+    def test_snapshot_payload_round_trip(self):
+        table = QTable()
+        table.set((0, 1), (2, 3), 1.5)
+        other = QTable()
+        other.set("s", "a", -0.5)
+        tables = {("top",): table, ("bottom", "input_pair"): other}
+        restored = tables_from_payload(tables_to_payload(tables))
+        assert set(restored) == set(tables)
+        assert sorted(restored[("top",)].items()) == sorted(table.items())
+        assert (sorted(restored[("bottom", "input_pair")].items())
+                == sorted(other.items()))
+
+    def test_snapshot_file_round_trip_with_meta(self, tmp_path):
+        env = PlacementEnv(five_transistor_ota(), area_objective)
+        placer = MultiLevelPlacer(env, seed=1)
+        placer.optimize(max_steps=30)
+        tables = placer.export_tables()
+        path = tmp_path / "master.json"
+        save_tables_snapshot(tables, path, round=2, merge_how="max")
+        restored, meta = load_tables_snapshot(path)
+        assert meta == {"round": 2, "merge_how": "max"}
+        assert set(restored) == set(tables)
+        for key in tables:
+            assert sorted(restored[key].items()) == sorted(tables[key].items())

@@ -2,8 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.core import EpsilonSchedule, QAgent, QTable
+from repro.core import EpsilonSchedule, MergeStats, QAgent, QTable
 
 
 class TestQTable:
@@ -134,3 +135,98 @@ class TestTableItemsAndMerge:
     def test_merge_rejects_unknown_rule(self):
         with pytest.raises(ValueError, match="how"):
             QTable().merge(QTable(), how="average")
+
+    def test_merge_reports_statistics(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 1.0)   # updated by theirs
+        ours.set("s", "b", 5.0)   # kept (identical value)
+        theirs.set("s", "a", 2.0)
+        theirs.set("s", "b", 5.0)
+        theirs.set("t", "c", 3.0)  # added
+        stats = ours.merge(theirs)
+        assert (stats.added, stats.updated, stats.kept) == (1, 1, 1)
+        assert stats.total == 3
+
+    def test_merge_max_counts_losing_entries_as_kept(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 9.0)
+        theirs.set("s", "a", 2.0)
+        stats = ours.merge(theirs, how="max")
+        assert (stats.added, stats.updated, stats.kept) == (0, 0, 1)
+
+    def test_merge_stats_accumulate(self):
+        total = MergeStats()
+        total += MergeStats(added=2, updated=1, kept=3)
+        total += MergeStats(added=1)
+        assert (total.added, total.updated, total.kept) == (3, 1, 3)
+
+    def test_set_coerces_numpy_scalars(self):
+        table = QTable()
+        table.set("s", "a", np.float64(1.5))
+        value = table.get("s", "a")
+        assert type(value) is float and value == 1.5
+
+    def test_copy_is_independent(self):
+        table = QTable()
+        table.set("s", "a", 1.0)
+        dup = table.copy()
+        dup.set("s", "a", 9.0)
+        dup.set("t", "b", 2.0)
+        assert table.get("s", "a") == 1.0
+        assert table.n_entries == 1
+
+
+def _entries(table):
+    return sorted(table.items())
+
+
+def _table_from(entries):
+    table = QTable()
+    for state, action, value in entries:
+        table.set(state, action, value)
+    return table
+
+
+# Small discrete key space so tables genuinely collide.
+_entry = st.tuples(
+    st.integers(min_value=0, max_value=3),   # state
+    st.integers(min_value=0, max_value=2),   # action
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+_tables = st.lists(_entry, max_size=12).map(_table_from)
+
+
+class TestMergeProperties:
+    @given(table=_tables, how=st.sampled_from(["theirs", "ours", "max"]))
+    @settings(max_examples=60, deadline=None)
+    def test_self_merge_is_idempotent(self, table, how):
+        before = _entries(table)
+        stats = table.merge(table.copy(), how=how)
+        assert _entries(table) == before
+        assert stats.added == 0 and stats.updated == 0
+        assert stats.kept == len(before)
+
+    @given(a=_tables, b=_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_max_merge_commutes(self, a, b):
+        ab, ba = a.copy(), b.copy()
+        ab.merge(b, how="max")
+        ba.merge(a, how="max")
+        assert _entries(ab) == _entries(ba)
+
+    @given(a=_tables, b=_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_theirs_merge_absorbs_other(self, a, b):
+        merged = a.copy()
+        merged.merge(b, how="theirs")
+        for state, action, value in b.items():
+            assert merged.get(state, action) == value
+
+    @given(a=_tables, b=_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_never_loses_entries(self, a, b):
+        keys = {(s, x) for s, x, __ in a.items()}
+        keys |= {(s, x) for s, x, __ in b.items()}
+        merged = a.copy()
+        merged.merge(b, how="max")
+        assert merged.n_entries == len(keys)

@@ -1,0 +1,102 @@
+"""Tests for the placers' shared-policy API (export/warm-start)."""
+
+import pytest
+
+from repro.core import FlatQPlacer, MultiLevelPlacer, QTable
+from repro.layout import PlacementEnv
+from repro.netlist import five_transistor_ota
+
+
+def area_objective(placement):
+    return float(placement.area_cells())
+
+
+def make_placer(cls=MultiLevelPlacer, seed=1):
+    env = PlacementEnv(five_transistor_ota(), area_objective)
+    return cls(env, seed=seed)
+
+
+class TestExportTables:
+    def test_addresses_cover_all_agents(self):
+        placer = make_placer()
+        placer.optimize(max_steps=30)
+        tables = placer.export_tables()
+        assert ("top",) in tables
+        groups = {name for kind, *rest in tables for name in rest
+                  if kind == "bottom"}
+        assert groups == set(placer.bottom_agents)
+
+    def test_export_is_a_copy(self):
+        placer = make_placer()
+        placer.optimize(max_steps=30)
+        tables = placer.export_tables()
+        tables[("top",)].set("poison", "x", 99.0)
+        assert placer.top_agent.table.get("poison", "x") == 0.0
+
+    def test_flat_placer_single_address(self):
+        placer = make_placer(FlatQPlacer)
+        placer.optimize(max_steps=20)
+        tables = placer.export_tables()
+        assert set(tables) == {("agent",)}
+        assert sorted(tables[("agent",)].items()) == sorted(
+            placer.agent.table.items())
+
+
+class TestWarmStartFrom:
+    def test_round_trip_reproduces_tables(self):
+        trained = make_placer()
+        trained.optimize(max_steps=40)
+        snapshot = trained.export_tables()
+
+        fresh = make_placer(seed=7)
+        stats = fresh.warm_start_from(snapshot)
+        assert sorted(fresh.top_agent.table.items()) == sorted(
+            trained.top_agent.table.items())
+        for name, agent in trained.bottom_agents.items():
+            assert sorted(fresh.bottom_agents[name].table.items()) == sorted(
+                agent.table.items())
+        assert sum(s.added for s in stats.values()) == sum(
+            t.n_entries for t in snapshot.values())
+
+    def test_partial_snapshot_allowed(self):
+        trained = make_placer()
+        trained.optimize(max_steps=30)
+        snapshot = {("top",): trained.export_tables()[("top",)]}
+        fresh = make_placer(seed=2)
+        stats = fresh.warm_start_from(snapshot)
+        assert set(stats) == {("top",)}
+        assert all(a.table.n_entries == 0
+                   for a in fresh.bottom_agents.values())
+
+    def test_unknown_address_rejected(self):
+        fresh = make_placer()
+        bogus = QTable()
+        bogus.set("s", "a", 1.0)
+        with pytest.raises(ValueError, match="unknown agents"):
+            fresh.warm_start_from({("bottom", "no_such_group"): bogus})
+        with pytest.raises(ValueError, match="unknown agents"):
+            make_placer(FlatQPlacer).warm_start_from({("top",): bogus})
+
+    def test_merge_how_forwarded(self):
+        fresh = make_placer()
+        fresh.top_agent.table.set("s", "a", 5.0)
+        snapshot = {("top",): QTable()}
+        snapshot[("top",)].set("s", "a", 1.0)
+        fresh.warm_start_from(snapshot, how="max")
+        assert fresh.top_agent.table.get("s", "a") == 5.0
+        fresh.warm_start_from(snapshot, how="theirs")
+        assert fresh.top_agent.table.get("s", "a") == 1.0
+
+    def test_warm_started_run_is_deterministic(self):
+        trained = make_placer()
+        trained.optimize(max_steps=40)
+        snapshot = trained.export_tables()
+
+        a = make_placer(seed=3)
+        a.warm_start_from(snapshot)
+        ra = a.optimize(max_steps=40)
+        b = make_placer(seed=3)
+        b.warm_start_from(snapshot)
+        rb = b.optimize(max_steps=40)
+        assert ra.best_cost == rb.best_cost
+        assert ra.history == rb.history

@@ -1,0 +1,68 @@
+"""Tests for the cold/warm/island transfer experiment."""
+
+import pytest
+
+from repro.experiments import (
+    TRANSFER_CIRCUITS,
+    format_transfer,
+    run_transfer,
+)
+
+
+class TestTransferOta2s:
+    """The PR's acceptance claim, on a fixed seed set: the island-merged
+    campaign reaches the symmetric target in fewer total simulations
+    than 4 independent cold runs spend."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_transfer(circuits=("ota2s",), workers=4, rounds=3,
+                            steps_per_round=50, seed=0)
+
+    def test_island_reaches_target(self, rows):
+        island = rows[0].island
+        assert island.sims_to_target is not None
+        assert island.best_cost <= rows[0].target
+
+    def test_island_beats_cold_fanout(self, rows):
+        row = rows[0]
+        assert row.island_beats_cold
+        assert row.island.sims_to_target < row.cold.total_sims
+
+    def test_regimes_share_target(self, rows):
+        row = rows[0]
+        assert row.target > 0
+        assert row.cold.runs == 4
+        assert row.warm.runs >= 1
+        assert row.island.runs >= 1
+
+    def test_format_transfer(self, rows):
+        text = format_transfer(rows)
+        assert "ota2s" in text
+        for regime in ("cold", "warm", "island"):
+            assert regime in text
+        assert "ota2s=Y" in text
+
+
+class TestTransferStructure:
+    def test_default_sweep_covers_all_five_blocks(self):
+        assert TRANSFER_CIRCUITS == ("cm", "comp", "ota", "ota5t", "ota2s")
+
+    def test_single_cheap_circuit(self):
+        rows = run_transfer(circuits=("ota5t",), workers=2, rounds=2,
+                            steps_per_round=20, seed=1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.circuit == "ota5t"
+        for regime in (row.cold, row.warm, row.island):
+            assert regime.total_sims > 0
+            assert regime.best_cost <= row.target * 50  # sane scale
+
+    def test_cold_sims_to_target_charges_prior_runs(self):
+        # Cold accounting cumulates full budgets of earlier seeds before
+        # the first reaching run's own sims-to-target.
+        rows = run_transfer(circuits=("ota5t",), workers=2, rounds=1,
+                            steps_per_round=15, seed=1)
+        cold = rows[0].cold
+        if cold.sims_to_target is not None:
+            assert cold.sims_to_target <= cold.total_sims

@@ -105,6 +105,54 @@ class TestRunSpec:
         assert by_callable.name == block.name
 
 
+class TestSharedPolicySpecs:
+    def test_sa_with_tables_rejected(self):
+        with pytest.raises(ValueError, match="Q-learning"):
+            RunSpec(key=1, builder="cm", placer="sa", return_tables=True)
+        with pytest.raises(ValueError, match="Q-learning"):
+            RunSpec(key=1, builder="cm", placer="sa", initial_tables={})
+
+    def test_bad_warm_start_how_rejected(self):
+        with pytest.raises(ValueError, match="warm_start_how"):
+            RunSpec(key=1, builder="cm", warm_start_how="average")
+
+    def test_return_tables_ships_snapshot(self):
+        spec = RunSpec(key="t", builder="ota5t", placer="ql", seed=1,
+                       max_steps=15, evaluate_best=False, return_tables=True)
+        outcome = execute_run(spec)
+        assert outcome.tables is not None
+        assert ("top",) in outcome.tables
+        assert sum(t.n_entries for t in outcome.tables.values()) > 0
+
+    def test_tables_not_shipped_by_default(self):
+        spec = RunSpec(key="t", builder="ota5t", placer="ql", seed=1,
+                       max_steps=10, evaluate_best=False)
+        assert execute_run(spec).tables is None
+
+    def test_initial_tables_warm_start_worker(self):
+        trained = execute_run(RunSpec(
+            key="a", builder="ota5t", placer="ql", seed=1, max_steps=20,
+            evaluate_best=False, return_tables=True))
+        warm = execute_run(RunSpec(
+            key="b", builder="ota5t", placer="ql", seed=2, max_steps=1,
+            evaluate_best=False, return_tables=True,
+            initial_tables=trained.tables))
+        # Tables only grow, so every seeded (state, action) entry must
+        # still exist in the warm worker's export (values may update).
+        for key, table in trained.tables.items():
+            got = warm.tables[key]
+            seeded = {(s, a) for s, a, __ in table.items()}
+            kept = {(s, a) for s, a, __ in got.items()}
+            assert seeded <= kept
+
+    def test_stop_at_target_stops_early(self):
+        generous = execute_run(RunSpec(
+            key="s", builder="ota5t", placer="ql", seed=1, max_steps=400,
+            target=1e9, stop_at_target=True, evaluate_best=False))
+        assert generous.result.reached_target
+        assert generous.result.steps < 400
+
+
 class TestExecuteRun:
     def test_produces_outcome_with_metrics_and_target(self):
         spec = RunSpec(key="r", builder="ota5t", placer="sa", seed=1,

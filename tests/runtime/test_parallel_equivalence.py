@@ -61,6 +61,51 @@ class TestFig3Equivalence:
             [r.primary for r in serial.rows]
 
 
+class TestIslandCampaignEquivalence:
+    """Serial and process-pool island campaigns must be bit-identical:
+    the master policy is folded in spec order, never completion order."""
+
+    @pytest.fixture(scope="class")
+    def campaigns(self):
+        from repro.train import run_campaign
+
+        kwargs = dict(workers=3, rounds=2, steps_per_round=25, seed=4,
+                      stop_at_target=False)
+        serial = run_campaign("ota5t", backend=SerialBackend(), **kwargs)
+        parallel = run_campaign(
+            "ota5t", backend=ProcessPoolBackend(jobs=3), **kwargs)
+        return serial, parallel
+
+    def test_best_cost_and_history_identical(self, campaigns):
+        serial, parallel = campaigns
+        assert serial.best_cost == parallel.best_cost
+        assert serial.history == parallel.history
+        assert serial.total_sims == parallel.total_sims
+        assert serial.sims_to_target == parallel.sims_to_target
+
+    def test_master_tables_identical(self, campaigns):
+        serial, parallel = campaigns
+        assert list(serial.master_tables) == list(parallel.master_tables)
+        for key in serial.master_tables:
+            assert (list(serial.master_tables[key].items())
+                    == list(parallel.master_tables[key].items())), key
+
+    def test_best_placement_identical(self, campaigns):
+        serial, parallel = campaigns
+        assert (serial.best_placement.as_dict()
+                == parallel.best_placement.as_dict())
+
+    def test_round_reports_identical(self, campaigns):
+        serial, parallel = campaigns
+        for a, b in zip(serial.rounds, parallel.rounds):
+            assert (a.index, a.best_cost, a.best_worker, a.sims,
+                    a.master_entries) == \
+                (b.index, b.best_cost, b.best_worker, b.sims,
+                 b.master_entries)
+            assert (a.merge.added, a.merge.updated, a.merge.kept) == \
+                (b.merge.added, b.merge.updated, b.merge.kept)
+
+
 class TestMonteCarloEquivalence:
     def test_statistics_identical(self):
         block = current_mirror()

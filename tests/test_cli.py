@@ -104,6 +104,40 @@ class TestFig3:
             main(["fig3", "--circuit", "cm", "--scale", "0"])
 
 
+class TestTrain:
+    def test_train_quick_campaign(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        svg = tmp_path / "best.svg"
+        code = main(["train", "ota5t", "--workers", "2", "--rounds", "2",
+                     "--steps", "25", "--run-to-budget",
+                     "--checkpoint-dir", str(ckpt), "--svg", str(svg)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "island campaign" in out
+        assert "2 workers x 2/2 rounds" in out
+        assert "merged +new/~upd/=kept" in out
+        assert len(list(ckpt.glob("round_*.json"))) == 2
+        assert svg.read_text().startswith("<svg")
+
+    def test_train_jobs_flag_accepted(self, capsys):
+        code = main(["train", "ota5t", "--workers", "2", "--rounds", "1",
+                     "--steps", "20", "--jobs", "2"])
+        assert code == 0
+        assert "island campaign" in capsys.readouterr().out
+
+    def test_train_merge_how_validated(self):
+        with pytest.raises(SystemExit):
+            main(["train", "ota5t", "--merge-how", "average"])
+
+    def test_train_requires_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["train"])
+
+    def test_train_rejects_bad_workers(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["train", "ota5t", "--workers", "0"])
+
+
 class TestProfile:
     def test_profile_default_engine(self, capsys):
         assert main(["profile", "ota5t", "--repeats", "1"]) == 0
