@@ -74,30 +74,57 @@ def test_island_campaign_merge_overhead(benchmark):
     )
 
 
+#: Symmetric-target multipliers the race sweeps.  1.0 is the paper's
+#: reference race; the sub-1.0 scales demand placements strictly better
+#: than the symmetric layout, so easy blocks stop saturating in round 1
+#: and multi-round policy compounding shows up in the recorded
+#: rounds-run / sims-to-target trends.  On ota2s at these budgets the
+#: 0.25 race is ~3x more simulations to the target and the 0.02 race
+#: needs all three rounds of compounding.
+TARGET_SCALES = (1.0, 0.25, 0.02)
+
+
 @pytest.mark.benchmark(group="train")
 def test_island_sims_to_target_vs_cold(benchmark):
     def race():
-        return run_transfer(circuits=("ota2s",), workers=WORKERS,
-                            rounds=ROUNDS, steps_per_round=STEPS, seed=0)
+        return {
+            scale: run_transfer(circuits=("ota2s",), workers=WORKERS,
+                                rounds=ROUNDS, steps_per_round=STEPS,
+                                seed=0, target_scale=scale)[0]
+            for scale in TARGET_SCALES
+        }
 
     rows = benchmark.pedantic(race, rounds=1, iterations=1)
-    row = rows[0]
-    benchmark.extra_info.update({
-        "block": "ota2s",
-        "target": round(row.target, 6),
-        "cold_total_sims": row.cold.total_sims,
-        "cold_sims_to_target": row.cold.sims_to_target,
-        "warm_sims_to_target": row.warm.sims_to_target,
-        "island_sims_to_target": row.island.sims_to_target,
-        "island_best_cost": round(row.island.best_cost, 6),
-        "speedup_vs_cold_budget": (
-            None if row.island.sims_to_target is None
-            else round(row.cold.total_sims / row.island.sims_to_target, 2)
-        ),
-    })
+    for scale, row in rows.items():
+        tag = f"scale_{scale:g}"
+        benchmark.extra_info.update({
+            f"{tag}_target": round(row.target, 6),
+            f"{tag}_cold_total_sims": row.cold.total_sims,
+            f"{tag}_cold_sims_to_target": row.cold.sims_to_target,
+            f"{tag}_warm_sims_to_target": row.warm.sims_to_target,
+            f"{tag}_island_sims_to_target": row.island.sims_to_target,
+            f"{tag}_island_rounds_run": row.island.runs,
+            f"{tag}_island_best_cost": round(row.island.best_cost, 6),
+            f"{tag}_speedup_vs_cold_budget": (
+                None if row.island.sims_to_target is None
+                else round(row.cold.total_sims / row.island.sims_to_target, 2)
+            ),
+        })
+    benchmark.extra_info["block"] = "ota2s"
+    benchmark.extra_info["target_scales"] = list(TARGET_SCALES)
 
-    # The PR's acceptance shape: the shared-policy campaign reaches the
-    # symmetric target spending fewer total simulations than the cold
-    # fan-out burns on its fixed budgets.
-    assert row.island.sims_to_target is not None
-    assert row.island.sims_to_target < row.cold.total_sims
+    # The PR-4 acceptance shape, at the reference scale: the shared-
+    # policy campaign reaches the symmetric target spending fewer total
+    # simulations than the cold fan-out burns on its fixed budgets.
+    reference = rows[1.0]
+    assert reference.island.sims_to_target is not None
+    assert reference.island.sims_to_target < reference.cold.total_sims
+    # The harder races may or may not be won inside the budget — that is
+    # exactly the trend BENCH_4 tracks — but they must cost at least as
+    # many rounds as the reference race, and the hardest one must leave
+    # round-1 saturation behind (the point of sweeping below 1.0).
+    for scale, row in rows.items():
+        if scale < 1.0:
+            assert row.target < reference.target
+            assert row.island.runs >= reference.island.runs
+    assert rows[min(TARGET_SCALES)].island.runs > 1

@@ -1,0 +1,130 @@
+"""BENCH 5 / serve — placement-service throughput through HTTP + jobs.
+
+Measures end-to-end serving: N placement requests POSTed to a live
+``/place`` endpoint, drained through the async :class:`JobManager`, each
+executing over the service's :class:`ExecutionBackend`.  Two
+configurations run — ``--jobs 1`` (serial backend, 1 job worker) and
+``--jobs 4`` (process-pool backend, 4 job workers) — and the recorded
+numbers are jobs/second for each plus their ratio.
+
+Two shapes are asserted:
+
+* **determinism through the serving stack** — the per-seed result
+  payloads of the 1-job and 4-job services are bit-identical (the
+  acceptance criterion: queueing and process fan-out must never leak
+  into results);
+* **parallel speedup** — 4 workers beat 1.  Only asserted on machines
+  that can physically parallelise (>= 4 usable cores) and when
+  ``SERVICE_THROUGHPUT_SMOKE`` is unset — single-core boxes (this
+  repo's container, small CI runners) pay process startup for nothing,
+  the same caveat ``test_parallel_speedup.py`` documents.
+
+Raw numbers land in ``extra_info`` → ``BENCH_5.json`` (a CI artifact),
+tracking the serving-throughput trajectory across PRs.
+"""
+
+import json
+import os
+import time
+import urllib.request
+
+import pytest
+
+from repro.service import PlacementRequest
+from repro.service.http import make_server, server_thread
+from repro.service.service import PlacementService
+
+#: Tiny-but-real placement jobs: the cm block converges in seconds.
+N_REQUESTS = 6
+STEPS = 300
+
+SMOKE = os.environ.get("SERVICE_THROUGHPUT_SMOKE") == "1"
+
+try:
+    USABLE_CORES = len(os.sched_getaffinity(0))
+except AttributeError:  # platforms without affinity (macOS)
+    USABLE_CORES = os.cpu_count() or 1
+
+
+def _requests():
+    return [
+        PlacementRequest(circuit="cm", steps=STEPS, seed=seed)
+        for seed in range(1, N_REQUESTS + 1)
+    ]
+
+
+def _drain_served(jobs: int, tmp_path) -> tuple[float, list[dict]]:
+    """POST every request over HTTP, wait for all; (seconds, payloads)."""
+    service = PlacementService(
+        policies=tmp_path / f"policies-{jobs}",
+        backend=jobs, job_workers=jobs,
+    )
+    server = make_server(service)
+    server_thread(server)
+    try:
+        start = time.perf_counter()
+        job_ids = []
+        for request in _requests():
+            body = json.dumps(request.to_json_dict()).encode()
+            http_request = urllib.request.Request(
+                server.url + "/place", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(http_request) as resp:
+                assert resp.status == 202
+                job_ids.append(json.loads(resp.read())["job"])
+        payloads = []
+        for job_id in job_ids:
+            service.result(job_id, timeout=600)
+            with urllib.request.urlopen(
+                server.url + f"/jobs/{job_id}"
+            ) as resp:
+                record = json.loads(resp.read())
+            assert record["state"] == "done"
+            payloads.append(record["result"])
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return elapsed, payloads
+
+
+@pytest.mark.benchmark(group="serve")
+def test_served_jobs_per_second_1_vs_4(benchmark, tmp_path):
+    def both():
+        serial = _drain_served(1, tmp_path)
+        parallel = _drain_served(4, tmp_path)
+        return serial, parallel
+
+    (serial_s, serial_payloads), (parallel_s, parallel_payloads) = (
+        benchmark.pedantic(both, rounds=1, iterations=1)
+    )
+
+    serial_rate = N_REQUESTS / serial_s
+    parallel_rate = N_REQUESTS / parallel_s
+    benchmark.extra_info.update({
+        "block": "cm",
+        "requests": N_REQUESTS,
+        "steps": STEPS,
+        "jobs1_s": round(serial_s, 3),
+        "jobs4_s": round(parallel_s, 3),
+        "jobs1_rate": round(serial_rate, 3),
+        "jobs4_rate": round(parallel_rate, 3),
+        "speedup": round(parallel_rate / serial_rate, 2),
+        "usable_cores": USABLE_CORES,
+        "smoke_mode": SMOKE,
+    })
+
+    # Determinism through HTTP + JobManager + backend: same requests,
+    # bit-identical result payloads whatever the parallelism.
+    assert serial_payloads == parallel_payloads
+    # Every served run converged below its symmetric target's scale.
+    for payload in serial_payloads:
+        assert payload["best_cost"] <= payload["target"] * 50
+
+    if not SMOKE and USABLE_CORES >= 4:
+        assert parallel_rate > serial_rate, (
+            f"4-way serving ({parallel_rate:.2f} jobs/s) no faster than "
+            f"serial ({serial_rate:.2f} jobs/s) on {USABLE_CORES} cores"
+        )

@@ -1,0 +1,144 @@
+"""Serve a placement job over HTTP: submit, poll, fetch the layout SVG.
+
+The end-to-end serving loop a downstream user runs:
+
+1. start the service (``python -m repro serve``) — or let this script
+   spawn one on a free port;
+2. POST a :class:`PlacementRequest` JSON body to ``/place`` (202 + job id);
+3. poll ``GET /jobs/<id>`` until the job is ``done``;
+4. read the unified ``PlacementResult`` payload and fetch the layout as
+   SVG from ``GET /jobs/<id>/svg``.
+
+Everything below is stdlib ``urllib`` + ``json`` — the wire format needs
+no client library.
+
+Run:
+    python examples/service_client.py                     # self-hosted server
+    python examples/service_client.py --url http://127.0.0.1:8000
+    python examples/service_client.py --circuit ota5t --steps 120 --svg out.svg
+
+Exits non-zero if any request fails or the job does not converge below
+50x its symmetric target (a loose sanity bound; CI uses this as the
+``repro serve`` smoke test).
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        assert resp.status == 200, f"GET {url} -> {resp.status}"
+        return json.loads(resp.read())
+
+
+def _post_json(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _spawn_server(port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port)],
+        env=env,
+    )
+
+
+def _wait_healthy(url: str, deadline_s: float = 60.0) -> dict:
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        try:
+            return _get_json(url + "/healthz")
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.2)
+    raise SystemExit(f"server at {url} never became healthy")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", help="running service URL; when omitted, "
+                                      "a server is spawned on a free port")
+    parser.add_argument("--circuit", default="cm")
+    parser.add_argument("--steps", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--svg", default="served_placement.svg",
+                        help="where to write the fetched layout SVG")
+    args = parser.parse_args()
+
+    server = None
+    url = args.url
+    if url is None:
+        port = _free_port()
+        server = _spawn_server(port)
+        url = f"http://127.0.0.1:{port}"
+    try:
+        health = _wait_healthy(url)
+        print(f"service healthy at {url}; circuits: "
+              f"{', '.join(health['circuits'])}")
+
+        request = {"circuit": args.circuit, "steps": args.steps,
+                   "seed": args.seed, "batch": args.batch}
+        status, payload = _post_json(url + "/place", request)
+        assert status == 202, f"POST /place -> {status}"
+        job = payload["job"]
+        print(f"submitted {job} ({args.circuit}, {args.steps} steps)")
+
+        deadline = time.time() + 600
+        while True:
+            record = _get_json(url + f"/jobs/{job}")
+            if record["state"] in ("done", "failed", "cancelled"):
+                break
+            if time.time() > deadline:
+                raise SystemExit(f"job {job} still {record['state']}")
+            time.sleep(0.3)
+        if record["state"] != "done":
+            raise SystemExit(f"job {job} ended {record['state']}: "
+                             f"{record.get('error')}")
+
+        result = record["result"]
+        print(f"done: best cost {result['best_cost']:.4f} vs symmetric "
+              f"target {result['target']:.4f} "
+              f"({result['sims_used']} simulations, "
+              f"{result['sims_to_target']} to target)")
+        converged = result["best_cost"] <= result["target"] * 50
+        assert converged, "served placement did not converge"
+
+        with urllib.request.urlopen(url + f"/jobs/{job}/svg",
+                                    timeout=30) as resp:
+            assert resp.status == 200
+            svg = resp.read().decode("utf-8")
+        assert svg.startswith("<svg")
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"layout SVG -> {args.svg}")
+        return 0
+    finally:
+        if server is not None:
+            server.terminate()
+            server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

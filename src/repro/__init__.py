@@ -24,8 +24,12 @@ Subpackages: :mod:`repro.core` (the RL framework + SA baseline),
 :mod:`repro.netlist`, :mod:`repro.tech`, :mod:`repro.variation`,
 :mod:`repro.sim`, :mod:`repro.layout`, :mod:`repro.route`,
 :mod:`repro.eval`, :mod:`repro.experiments`, :mod:`repro.runtime`
-(the parallel execution backends behind ``--jobs``) and
-:mod:`repro.train` (island-model shared-policy training campaigns).
+(the parallel execution backends behind ``--jobs``),
+:mod:`repro.train` (island-model shared-policy training campaigns) and
+:mod:`repro.service` (the unified placement service: typed JSON
+request/result schemas, the shared circuit registry, the versioned
+policy store, the async job manager and the ``repro serve`` HTTP
+layer).
 """
 
 from repro.core import (

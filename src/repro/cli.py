@@ -8,7 +8,15 @@ Commands:
 * ``spice``    — print a circuit's SPICE deck;
 * ``place``    — optimize one circuit and print/export the placement;
 * ``train``    — island-model shared-policy training campaign;
+* ``serve``    — run the placement service's HTTP JSON layer;
 * ``profile``  — per-stage timing breakdown of one evaluation.
+
+``place``, ``train`` and ``fig3`` are thin clients of the
+:class:`~repro.service.service.PlacementService` facade: they build
+typed requests, execute them through the service, and render the unified
+:class:`~repro.service.requests.PlacementResult` — exactly what a POST
+to the served ``/place``/``/train`` endpoints does, so CLI runs and
+served jobs with the same parameters are bit-identical.
 """
 
 from __future__ import annotations
@@ -28,7 +36,6 @@ from repro.experiments import (
     format_linearity,
     run_convergence_ablation,
     run_dummy_ablation,
-    run_fig3,
     run_hierarchy_ablation,
     run_linearity_ablation,
 )
@@ -41,26 +48,25 @@ from repro.layout.generators import (
 )
 from repro.layout.render import render_placement
 from repro.layout.svg import save_placement_svg
-from repro.netlist.library import (
-    comparator,
-    current_mirror,
-    five_transistor_ota,
-    folded_cascode_ota,
-    two_stage_ota,
-)
 from repro.netlist.spice import to_spice
 from repro.route.parasitics import annotate_parasitics
-from repro.runtime import RunSpec, map_runs, resolve_backend
+from repro.runtime import resolve_backend
+from repro.service import PlacementRequest, TrainRequest, default_registry
 from repro.sim import ENGINES, solve_ac, solve_dc, use_engine
 from repro.tech import generic_tech_40
 
-CIRCUITS = {
-    "cm": current_mirror,
-    "comp": comparator,
-    "ota": folded_cascode_ota,
-    "ota5t": five_transistor_ota,
-    "ota2s": two_stage_ota,
-}
+#: The shared circuit table (a live view of the service registry).
+CIRCUITS = default_registry().builders
+
+
+def _make_service(args):
+    """A :class:`PlacementService` configured from common CLI flags."""
+    from repro.service.service import PlacementService
+
+    return PlacementService(
+        backend=getattr(args, "jobs", 1),
+        policies=getattr(args, "policy_dir", None),
+    )
 
 
 def _jobs_arg(value: str) -> int:
@@ -125,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "shared runtime either way)")
     place.add_argument("--batch", type=_batch_arg, default=1,
                        help="candidate placements priced per agent turn")
+    place.add_argument("--warm-policy", metavar="REF",
+                       help="policy-store snapshot ('name' or 'name@N') "
+                            "to warm-start the placer from")
+    place.add_argument("--policy-dir", metavar="DIR",
+                       help="policy store directory (default: ./policies)")
 
     train = sub.add_parser(
         "train",
@@ -147,6 +158,10 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--jobs", type=_jobs_arg, default=1,
                        help="worker processes the islands fan over "
                             "(results are identical at any job count)")
+    train.add_argument("--target-scale", type=float, default=1.0,
+                       help="multiplier on the symmetric-derived target "
+                            "(< 1.0 demands beating the symmetric "
+                            "reference, exposing multi-round compounding)")
     train.add_argument("--checkpoint-dir", metavar="DIR",
                        help="write the merged master policy there after "
                             "every round")
@@ -155,6 +170,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             "instead of stopping early")
     train.add_argument("--svg", metavar="PATH",
                        help="write the campaign's best placement as SVG")
+    train.add_argument("--warm-policy", metavar="REF",
+                       help="policy-store snapshot to warm-start the "
+                            "master policy from")
+    train.add_argument("--save-policy", metavar="NAME",
+                       help="store the final master policy under this "
+                            "name (a new version is written)")
+    train.add_argument("--policy-dir", metavar="DIR",
+                       help="policy store directory (default: ./policies)")
+    train.add_argument("--prune-min-visits", type=int, default=0,
+                       help="drop master entries with fewer visits before "
+                            "the policy-store snapshot")
+    train.add_argument("--prune-min-abs-q", type=float, default=0.0,
+                       help="drop master entries with |Q| below this "
+                            "before the policy-store snapshot")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the placement service's HTTP JSON layer",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes each request fans over")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="concurrent jobs in the async job manager")
+    serve.add_argument("--policy-dir", metavar="DIR",
+                       help="policy store directory (default: ./policies)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request to stderr")
 
     profile = sub.add_parser(
         "profile",
@@ -195,11 +240,10 @@ def _cmd_fig3(args) -> int:
             f"vs --circuit {args.circuit!r}"
         )
     circuit = args.circuit_pos or args.circuit or "cm"
-    config = ALL_CONFIGS[circuit]
-    if args.scale != 1.0:
-        config = config.scaled(args.scale)
-    config = config.with_jobs(max(1, args.jobs)).with_batch(args.batch)
-    print(format_fig3(run_fig3(config)))
+    service = _make_service(args)  # carries the --jobs backend already
+    print(format_fig3(service.fig3(
+        circuit, scale=args.scale, batch=args.batch,
+    )))
     return 0
 
 
@@ -237,55 +281,76 @@ def _cmd_spice(args) -> int:
 
 def _cmd_place(args) -> int:
     block = CIRCUITS[args.circuit]()
-    spec = RunSpec(key="place", builder=args.circuit, placer="ql",
-                   seed=args.seed, max_steps=args.steps, batch=args.batch,
-                   target_from_symmetric=True, share_target_evaluator=True)
-    outcome = map_runs([spec], resolve_backend(args.jobs))[0]
-    result = outcome.result
-    print(outcome.metrics.summary())
-    print(f"target (best symmetric): {outcome.target:.4f}  "
+    try:
+        request = PlacementRequest(
+            circuit=args.circuit, steps=args.steps, seed=args.seed,
+            batch=args.batch, warm_policy=args.warm_policy,
+        )
+        result = _make_service(args).place(request)
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"place: {exc}")
+    placement = result.placement_object()
+    print(result.metrics_object().summary())
+    print(f"target (best symmetric): {result.target:.4f}  "
           f"reached after {result.sims_to_target} simulations "
           f"({result.sims_used} total)")
-    print(render_placement(result.best_placement, block.circuit))
+    print(render_placement(placement, block.circuit))
     if args.svg:
-        save_placement_svg(result.best_placement, block.circuit, args.svg)
+        save_placement_svg(placement, block.circuit, args.svg)
         print(f"wrote {args.svg}")
     return 0
 
 
 def _cmd_train(args) -> int:
     from repro.experiments import format_campaign
-    from repro.train import run_campaign
 
-    if args.workers < 1:
-        raise SystemExit("train: --workers must be >= 1")
-    if args.rounds < 1:
-        raise SystemExit("train: --rounds must be >= 1")
-    if args.steps < 1:
-        raise SystemExit("train: --steps must be >= 1")
-    result = run_campaign(
-        args.circuit,
-        workers=args.workers,
-        rounds=args.rounds,
-        steps_per_round=args.steps,
-        placer=args.placer,
-        merge_how=args.merge_how,
-        seed=args.seed,
-        batch=args.batch,
-        stop_at_target=not args.run_to_budget,
-        checkpoint_dir=args.checkpoint_dir,
-        jobs=args.jobs,
-    )
-    print(format_campaign(result))
+    try:
+        request = TrainRequest(
+            circuit=args.circuit,
+            workers=args.workers,
+            rounds=args.rounds,
+            steps=args.steps,
+            placer=args.placer,
+            merge_how=args.merge_how,
+            seed=args.seed,
+            batch=args.batch,
+            target_scale=args.target_scale,
+            stop_at_target=not args.run_to_budget,
+            warm_policy=args.warm_policy,
+            save_policy=args.save_policy,
+            prune_min_visits=args.prune_min_visits,
+            prune_min_abs_q=args.prune_min_abs_q,
+        )
+        result = _make_service(args).train(
+            request, checkpoint_dir=args.checkpoint_dir
+        )
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"train: {exc}")
+    print(format_campaign(result.detail))
     block = CIRCUITS[args.circuit]()
-    metrics = PlacementEvaluator(block).evaluate(result.best_placement)
-    print(metrics.summary())
-    print(render_placement(result.best_placement, block.circuit))
+    placement = result.placement_object()
+    print(result.metrics_object().summary())
+    print(render_placement(placement, block.circuit))
     if args.checkpoint_dir:
         print(f"checkpoints in {args.checkpoint_dir}")
+    if result.policy:
+        print(f"stored policy {result.policy}")
     if args.svg:
-        save_placement_svg(result.best_placement, block.circuit, args.svg)
+        save_placement_svg(placement, block.circuit, args.svg)
         print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.http import serve
+    from repro.service.service import PlacementService
+
+    service = PlacementService(
+        backend=args.jobs,
+        policies=args.policy_dir,
+        job_workers=args.job_workers,
+    )
+    serve(service, host=args.host, port=args.port, quiet=not args.verbose)
     return 0
 
 
@@ -377,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         "spice": _cmd_spice,
         "place": _cmd_place,
         "train": _cmd_train,
+        "serve": _cmd_serve,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

@@ -14,10 +14,13 @@ continues *exactly* the trajectory the saved one would have taken (see
 
 Payload format history:
 
-* **version 2** (written now): ``steps`` and ``rng`` namespace the top
-  agent under ``"top"`` and the group agents under a nested
-  ``"bottom"`` mapping, so a group literally named ``top`` can no
-  longer corrupt the top agent's counters on load.
+* **version 3** (written now): each Q-table entry serialises as a
+  ``[value, visits]`` pair, carrying the per-entry visit counts behind
+  the ``"visits"`` merge rule and :meth:`QTable.prune`.
+* **version 2**: ``steps`` and ``rng`` namespace the top agent under
+  ``"top"`` and the group agents under a nested ``"bottom"`` mapping, so
+  a group literally named ``top`` can no longer corrupt the top agent's
+  counters on load.  Entries are bare floats (visits load as 0).
 * **version 1** (legacy, still read): flat ``steps``/``rng`` dicts that
   mixed the top agent's entry with group names.
 
@@ -41,7 +44,7 @@ from repro.core.hierarchy import MultiLevelPlacer
 from repro.core.qlearning import QAgent, QTable
 
 #: Payload schema version written by :func:`save_placer_tables`.
-PAYLOAD_VERSION = 2
+PAYLOAD_VERSION = 3
 
 
 def _plain(obj: Any) -> Any:
@@ -62,21 +65,35 @@ def _plain(obj: Any) -> Any:
     return obj
 
 
-def qtable_to_dict(table: QTable) -> dict[str, dict[str, float]]:
-    """JSON-compatible representation of a Q-table."""
-    out: dict[str, dict[str, float]] = {}
-    for state, action, value in table.items():
-        out.setdefault(repr(_plain(state)), {})[repr(_plain(action))] = value
+def qtable_to_dict(table: QTable) -> dict[str, dict[str, list]]:
+    """JSON-compatible representation of a Q-table.
+
+    Each entry serialises as a ``[value, visits]`` pair (version 3).
+    """
+    out: dict[str, dict[str, list]] = {}
+    for state, action, value, visits in table.entries():
+        out.setdefault(repr(_plain(state)), {})[repr(_plain(action))] = [
+            value, visits,
+        ]
     return out
 
 
-def qtable_from_dict(data: dict[str, dict[str, float]]) -> QTable:
-    """Rebuild a Q-table from :func:`qtable_to_dict` output."""
+def qtable_from_dict(data: dict[str, dict]) -> QTable:
+    """Rebuild a Q-table from :func:`qtable_to_dict` output.
+
+    Accepts both the version-3 ``[value, visits]`` pairs and the bare
+    floats of version-1/2 payloads (whose visits load as 0).
+    """
     table = QTable()
     for state_repr, actions in data.items():
         state = ast.literal_eval(state_repr)
-        for action_repr, value in actions.items():
-            table.set(state, ast.literal_eval(action_repr), float(value))
+        for action_repr, entry in actions.items():
+            action = ast.literal_eval(action_repr)
+            if isinstance(entry, (list, tuple)):
+                value, visits = entry
+                table.set(state, action, float(value), visits=int(visits))
+            else:
+                table.set(state, action, float(entry))
     return table
 
 
@@ -199,6 +216,21 @@ def tables_from_payload(payload: dict[str, dict]) -> dict[tuple, QTable]:
     }
 
 
+def tables_snapshot_payload(
+    tables: dict[tuple, QTable], **meta: Any
+) -> dict:
+    """The JSON-compatible document :func:`save_tables_snapshot` writes.
+
+    Exposed so callers with their own write discipline (e.g. the policy
+    store's exclusive-create versioning) produce the same format.
+    """
+    return {
+        "version": PAYLOAD_VERSION,
+        "tables": tables_to_payload(tables),
+        "meta": dict(meta),
+    }
+
+
 def save_tables_snapshot(
     tables: dict[tuple, QTable], path: str | Path, **meta: Any
 ) -> None:
@@ -208,12 +240,7 @@ def save_tables_snapshot(
     through this; ``meta`` lands beside the tables (round index, merge
     rule, best cost, ...).
     """
-    payload = {
-        "version": PAYLOAD_VERSION,
-        "tables": tables_to_payload(tables),
-        "meta": dict(meta),
-    }
-    Path(path).write_text(json.dumps(payload))
+    Path(path).write_text(json.dumps(tables_snapshot_payload(tables, **meta)))
 
 
 def load_tables_snapshot(

@@ -21,7 +21,10 @@ from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_to
 
 #: Conflict rules :meth:`QTable.merge` understands — the single source
 #: every merge-rule validation (specs, campaigns, CLI choices) refers to.
-MERGE_HOWS = ("theirs", "ours", "max")
+#: ``"visits"`` is the visit-count-weighted average (smarter policy
+#: synchronisation: heavily-updated entries dominate lightly-explored
+#: ones instead of a blind max).
+MERGE_HOWS = ("theirs", "ours", "max", "visits")
 
 
 @dataclass
@@ -49,11 +52,35 @@ class MergeStats:
         return self
 
 
+@dataclass
+class PruneStats:
+    """What one :meth:`QTable.prune` call removed.
+
+    Attributes:
+        kept: entries that survived compaction.
+        dropped: entries removed (stale or negligible).
+    """
+
+    kept: int = 0
+    dropped: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.kept + self.dropped
+
+
 class QTable:
-    """Sparse state → (action → value) table."""
+    """Sparse state → (action → value) table.
+
+    Every entry also carries a **visit count** — how many Bellman updates
+    (:meth:`record` calls) produced its current value.  Visits never
+    change values or action selection; they are evidence weights for the
+    ``"visits"`` merge rule and staleness markers for :meth:`prune`.
+    """
 
     def __init__(self):
         self._table: dict = {}
+        self._visits: dict = {}
 
     def actions(self, state) -> dict:
         """Action-value mapping of a state ({} if unvisited)."""
@@ -62,16 +89,29 @@ class QTable:
     def get(self, state, action) -> float:
         return self._table.get(state, {}).get(action, 0.0)
 
-    def set(self, state, action, value: float) -> None:
+    def set(self, state, action, value: float, visits: int | None = None) -> None:
         # Coerce so numpy scalars (rewards flowing out of batched
         # ``cost_many`` arrays) never reach the table: entries stay plain
         # floats and always survive json serialization.
         self._table.setdefault(state, {})[action] = float(value)
+        if visits is not None:
+            self._visits.setdefault(state, {})[action] = int(visits)
+
+    def record(self, state, action, value: float) -> None:
+        """Set an entry *and* bump its visit count — one learning update."""
+        self.set(state, action, value)
+        entries = self._visits.setdefault(state, {})
+        entries[action] = entries.get(action, 0) + 1
+
+    def visits(self, state, action) -> int:
+        """Visit count of an entry (0 for unvisited / loaded-cold entries)."""
+        return self._visits.get(state, {}).get(action, 0)
 
     def copy(self) -> "QTable":
         """An independent copy (entries are immutable, so one level deep)."""
         dup = QTable()
         dup._table = {state: dict(actions) for state, actions in self._table.items()}
+        dup._visits = {state: dict(counts) for state, counts in self._visits.items()}
         return dup
 
     def state_value(self, state) -> float:
@@ -91,6 +131,13 @@ class QTable:
             for action, value in actions.items():
                 yield state, action, value
 
+    def entries(self) -> Iterator[tuple]:
+        """Iterate ``(state, action, value, visits)`` in insertion order."""
+        for state, actions in self._table.items():
+            visit_row = self._visits.get(state, {})
+            for action, value in actions.items():
+                yield state, action, value, visit_row.get(action, 0)
+
     def merge(self, other: "QTable", how: str = "theirs") -> MergeStats:
         """Fold another table's entries into this one, in place.
 
@@ -99,7 +146,14 @@ class QTable:
             how: conflict rule for entries both tables hold —
                 ``"theirs"`` (the other table wins; use when ``other`` is
                 newer, e.g. a resumed snapshot), ``"ours"`` (keep local
-                values), or ``"max"`` (optimistic: keep the larger Q).
+                values), ``"max"`` (optimistic: keep the larger Q), or
+                ``"visits"`` (visit-count-weighted average — the entry
+                with more Bellman updates behind it carries more weight;
+                two zero-visit entries fall back to ``"theirs"``).
+
+        Visit counts always *sum* across a merge, whatever the rule:
+        they count the learning updates that informed the surviving
+        table, so merged evidence accumulates.
 
         Returns:
             Per-entry accounting of what happened — the island-training
@@ -111,10 +165,13 @@ class QTable:
                 f"how must be one of {MERGE_HOWS}, got {how!r}"
             )
         stats = MergeStats()
-        for state, action, value in other.items():
+        for state, action, value, theirs_visits in other.entries():
             entries = self._table.get(state)
-            if entries is None or action not in entries:
-                self.set(state, action, value)
+            new = entries is None or action not in entries
+            ours_visits = 0 if new else self.visits(state, action)
+            total_visits = ours_visits + theirs_visits
+            if new:
+                self.set(state, action, value, visits=theirs_visits)
                 stats.added += 1
                 continue
             current = entries[action]
@@ -122,13 +179,53 @@ class QTable:
                 merged = float(value)
             elif how == "ours":
                 merged = current
-            else:
+            elif how == "max":
                 merged = max(current, float(value))
+            elif total_visits == 0:
+                merged = float(value)
+            else:
+                merged = (
+                    current * ours_visits + float(value) * theirs_visits
+                ) / total_visits
             if merged != current:
-                self.set(state, action, merged)
+                self.set(state, action, merged, visits=total_visits)
                 stats.updated += 1
             else:
+                self.set(state, action, merged, visits=total_visits)
                 stats.kept += 1
+        return stats
+
+    def prune(self, min_visits: int = 0, min_abs_q: float = 0.0) -> PruneStats:
+        """Drop stale / negligible entries in place — Q-table compaction.
+
+        An entry is removed when its visit count is below ``min_visits``
+        **or** its ``|Q|`` is below ``min_abs_q``; states left with no
+        actions disappear entirely.  The defaults remove nothing, so
+        ``prune()`` is always safe to call unconditionally (e.g. before a
+        policy-store snapshot).
+
+        Returns:
+            How many entries survived and how many were dropped.
+        """
+        if min_visits < 0:
+            raise ValueError(f"min_visits must be >= 0, got {min_visits}")
+        if min_abs_q < 0:
+            raise ValueError(f"min_abs_q must be >= 0, got {min_abs_q}")
+        stats = PruneStats()
+        for state in list(self._table):
+            actions = self._table[state]
+            visit_row = self._visits.get(state, {})
+            for action in list(actions):
+                if (visit_row.get(action, 0) < min_visits
+                        or abs(actions[action]) < min_abs_q):
+                    del actions[action]
+                    visit_row.pop(action, None)
+                    stats.dropped += 1
+                else:
+                    stats.kept += 1
+            if not actions:
+                del self._table[state]
+                self._visits.pop(state, None)
         return stats
 
     @property
@@ -204,5 +301,5 @@ class QAgent:
         old = self.table.get(state, action)
         target = reward + self.gamma * self.table.state_value(next_state)
         new = (1.0 - self.alpha) * old + self.alpha * target
-        self.table.set(state, action, new)
+        self.table.record(state, action, new)
         return new

@@ -10,12 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
-from repro.netlist.library import (
-    AnalogBlock,
-    comparator,
-    current_mirror,
-    folded_cascode_ota,
-)
+from repro.netlist.library import AnalogBlock
+from repro.service.registry import default_registry
 
 
 @dataclass(frozen=True)
@@ -77,15 +73,21 @@ class ExperimentConfig:
         return replace(self, batch=batch)
 
 
+# Builders come from the shared circuit registry, so experiments, the
+# CLI and the placement service resolve the same table.
+_REGISTRY = default_registry()
+
 CM_CONFIG = ExperimentConfig(
-    name="CM", builder=current_mirror, max_steps=500, seeds=(1, 2, 3, 4, 5),
-    ql_worse_tolerance=0.2,
+    name="CM", builder=_REGISTRY.builder("cm"), max_steps=500,
+    seeds=(1, 2, 3, 4, 5), ql_worse_tolerance=0.2,
 )
 COMP_CONFIG = ExperimentConfig(
-    name="COMP", builder=comparator, max_steps=500, seeds=(1, 2, 3, 4, 5),
+    name="COMP", builder=_REGISTRY.builder("comp"), max_steps=500,
+    seeds=(1, 2, 3, 4, 5),
 )
 OTA_CONFIG = ExperimentConfig(
-    name="OTA", builder=folded_cascode_ota, max_steps=400, seeds=(1, 2, 3),
+    name="OTA", builder=_REGISTRY.builder("ota"), max_steps=400,
+    seeds=(1, 2, 3),
 )
 
 ALL_CONFIGS = {"cm": CM_CONFIG, "comp": COMP_CONFIG, "ota": OTA_CONFIG}

@@ -29,10 +29,12 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.runtime import ExecutionBackend, RunSpec, map_runs, resolve_backend
+from repro.service.registry import default_registry
 from repro.train import CampaignResult, run_campaign
 
-#: Circuits the full experiment sweeps — all five evaluation blocks.
-TRANSFER_CIRCUITS = ("cm", "comp", "ota", "ota5t", "ota2s")
+#: Circuits the full experiment sweeps — every registered evaluation
+#: block, in the shared registry's canonical order.
+TRANSFER_CIRCUITS = default_registry().keys()
 
 
 @dataclass
@@ -139,6 +141,7 @@ def run_transfer(
     seed: int = 0,
     batch: int = 1,
     merge_how: str = "max",
+    target_scale: float = 1.0,
     backend: int | ExecutionBackend | None = None,
 ) -> list[TransferRow]:
     """Race cold, warm and island training to the symmetric target.
@@ -154,6 +157,11 @@ def run_transfer(
             the campaign seeding rule from the same base.
         batch: candidate placements per agent turn, all regimes.
         merge_how: island merge rule.
+        target_scale: multiplier on the symmetric target, for every
+            regime.  Below 1.0 the race demands a placement strictly
+            better than the symmetric reference — easy blocks stop
+            saturating in round 1 and multi-round policy compounding
+            becomes visible.
         backend: execution backend (or int jobs) every regime fans over.
     """
     backend = resolve_backend(backend)
@@ -163,6 +171,7 @@ def run_transfer(
             circuit, workers=workers, rounds=rounds,
             steps_per_round=steps_per_round, seed=seed, batch=batch,
             merge_how=merge_how, target_from_symmetric=True,
+            target_scale=target_scale,
             stop_at_target=True, backend=backend,
         )
         warm = run_campaign(

@@ -20,7 +20,7 @@ drivers merge them deterministically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 from repro.core.annealing import SimulatedAnnealingPlacer
 from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
@@ -31,30 +31,25 @@ from repro.eval.evaluator import PlacementEvaluator
 from repro.eval.metrics import Metrics
 from repro.layout.env import PlacementEnv
 from repro.layout.generators import banded_placement
-from repro.netlist.library import (
-    AnalogBlock,
-    comparator,
-    current_mirror,
-    five_transistor_ota,
-    folded_cascode_ota,
-    two_stage_ota,
-)
+from repro.netlist.library import AnalogBlock
 from repro.runtime.backend import ExecutionBackend, SerialBackend
+from repro.service.registry import (
+    BUILTIN_CIRCUITS,
+    CircuitRegistry,
+    default_registry,
+)
+from repro.service.requests import PLACER_KINDS, PlacementRequest
 from repro.tech import generic_tech_40
 from repro.variation import default_variation_model
 
 #: Named circuit builders a spec may reference by key instead of shipping
-#: a callable.  Mirrors the CLI's circuit table.
-BUILDERS: dict[str, Callable[..., AnalogBlock]] = {
-    "cm": current_mirror,
-    "comp": comparator,
-    "ota": folded_cascode_ota,
-    "ota5t": five_transistor_ota,
-    "ota2s": two_stage_ota,
-}
+#: a callable — a live view of the shared circuit registry
+#: (:func:`repro.service.registry.default_registry`), so the CLI, specs
+#: and the placement service all resolve the same table.
+BUILDERS: Mapping[str, Callable[..., AnalogBlock]] = default_registry().builders
 
-#: Placer kinds a spec may request.
-PLACERS = ("ql", "flat", "sa")
+#: Placer kinds a spec may request (the request schema's vocabulary).
+PLACERS = PLACER_KINDS
 
 #: Symmetric styles that define the SOTA reference target.
 SYMMETRIC_STYLES = ("ysym", "common_centroid")
@@ -161,6 +156,112 @@ class RunSpec:
                 "initial_tables/return_tables need a Q-learning placer; "
                 "SA has no tables to share"
             )
+
+    # ----------------------------------------------------- request bridge
+
+    @classmethod
+    def from_request(
+        cls,
+        request: PlacementRequest,
+        *,
+        key: Hashable = "place",
+        registry: CircuitRegistry | None = None,
+        initial_tables: Any = None,
+    ) -> "RunSpec":
+        """Build the spec a :class:`PlacementRequest` describes.
+
+        Specs and requests are two views of one schema: the spec is the
+        in-process execution form, the request the JSON wire form.  The
+        mapping reproduces ``repro place`` exactly — an omitted target
+        means *derive it from the best symmetric layout inside the
+        worker, sharing the run's evaluator* — so a served ``/place``
+        job and the CLI produce bit-identical results.
+
+        Args:
+            request: the wire-form job description.
+            key: merge key for the produced spec.
+            registry: circuit registry for inline-SPICE requests
+                (default: the shared one).
+            initial_tables: resolved warm-start tables (the service
+                resolves ``request.warm_policy`` against its policy
+                store before building the spec).
+        """
+        reg = registry if registry is not None else default_registry()
+        if request.spice is not None:
+            builder: Any = reg.block_from_spice(
+                request.spice, **request.spice_kwargs()
+            )
+        elif (reg is default_registry()
+                and request.circuit in BUILTIN_CIRCUITS):
+            builder = request.circuit
+        else:
+            # Custom registries — and runtime registrations on the
+            # default one — are not visible to a freshly spawned
+            # worker's BUILDERS table, so ship the resolved builder
+            # callable instead of a key only this process knows.
+            builder = reg.builder(request.circuit)
+        return cls(
+            key=key,
+            builder=builder,
+            placer=request.placer,
+            seed=request.seed,
+            max_steps=request.steps,
+            target=request.target,
+            target_from_symmetric=request.target is None,
+            share_target_evaluator=request.target is None,
+            batch=request.batch,
+            epsilon_decay_frac=request.epsilon_decay_frac,
+            ql_worse_tolerance=request.ql_worse_tolerance,
+            stop_at_target=request.stop_at_target,
+            initial_tables=initial_tables,
+            warm_start_how=request.warm_start_how,
+        )
+
+    def to_request(self) -> PlacementRequest:
+        """The :class:`PlacementRequest` view of this spec.
+
+        Only registry-keyed specs convert (callable/inline builders have
+        no wire form), and ``RunSpec.from_request(spec.to_request())``
+        is the identity on the request-shaped spec family — the
+        round-trip the service API relies on.
+
+        Raises:
+            ValueError: the spec's builder is not a registry key, or the
+                spec carries behavior-bearing fields the request schema
+                does not model (silently dropping them would make the
+                wire form execute a *different* run).
+        """
+        if not isinstance(self.builder, str):
+            raise ValueError(
+                "only registry-keyed specs convert to requests; this one "
+                f"carries {type(self.builder).__name__!r}"
+            )
+        outside = [
+            name for name, off_schema in (
+                ("builder_kwargs", bool(self.builder_kwargs)),
+                ("variation_kind", self.variation_kind is not None),
+                ("evaluate_best", not self.evaluate_best),
+                ("return_tables", self.return_tables),
+                ("initial_tables", self.initial_tables is not None),
+            ) if off_schema
+        ]
+        if outside:
+            raise ValueError(
+                f"spec fields {outside} have no request-schema form; "
+                "a converted request would execute a different run"
+            )
+        return PlacementRequest(
+            circuit=self.builder,
+            placer=self.placer,
+            steps=self.max_steps,
+            seed=self.seed,
+            batch=self.batch,
+            target=None if self.target_from_symmetric else self.target,
+            stop_at_target=self.stop_at_target,
+            epsilon_decay_frac=self.epsilon_decay_frac,
+            ql_worse_tolerance=self.ql_worse_tolerance,
+            warm_start_how=self.warm_start_how,
+        )
 
 
 @dataclass

@@ -1,0 +1,220 @@
+"""Stdlib HTTP JSON layer over the :class:`PlacementService`.
+
+No framework, no dependencies — :class:`ThreadingHTTPServer` plus a
+request handler speaking the typed JSON schemas of
+:mod:`repro.service.requests`.  Endpoints:
+
+========  =======================  =========================================
+method    path                     does
+========  =======================  =========================================
+GET       ``/healthz``             liveness + registry/job counts
+POST      ``/place``               submit a :class:`PlacementRequest`;
+                                   returns ``{"job": id}`` (202), or the
+                                   finished result with ``?wait=1`` (200)
+POST      ``/train``               submit a :class:`TrainRequest`; same
+                                   async/wait contract
+GET       ``/jobs/<id>``           job status, result inlined when done
+GET       ``/jobs/<id>/svg``       the finished job's layout as SVG
+POST      ``/jobs/<id>/cancel``    cancel a queued job
+GET       ``/policies``            stored policy snapshots
+GET       ``/circuits``            registered circuit keys
+========  =======================  =========================================
+
+Error contract: schema violations are 400 with ``{"error": ...}``,
+unknown jobs/paths 404, SVG of an unfinished job 409, handler crashes
+500.  Responses are ``application/json`` except the SVG endpoint.
+
+``repro serve`` wraps :func:`serve`; tests and the throughput benchmark
+use :func:`make_server` with port 0 and drive the server from a thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.requests import (
+    SCHEMA_VERSION,
+    PlacementRequest,
+    TrainRequest,
+)
+from repro.service.service import PlacementService
+
+#: Largest request body accepted (inline SPICE decks are small).
+MAX_BODY_BYTES = 1 << 20
+
+
+class PlacementHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`PlacementService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: PlacementService,
+                 quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PlacementHTTPServer
+
+    # ----------------------------------------------------------- plumbing
+
+    def log_message(self, fmt, *args):  # noqa: D102 — quiet by default
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+        data = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # ------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        try:
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            service = self.server.service
+            if parts == ["healthz"]:
+                self._send_json(200, {
+                    "status": "ok",
+                    "schema_version": SCHEMA_VERSION,
+                    "circuits": list(service.registry.keys()),
+                    "jobs": service.jobs.counts(),
+                })
+            elif parts == ["circuits"]:
+                self._send_json(200, {"circuits": list(service.registry.keys())})
+            elif parts == ["policies"]:
+                self._send_json(200, {"policies": [
+                    {"name": p.name, "version": p.version, "ref": p.ref,
+                     "entries": p.entries, "meta": p.meta}
+                    for p in service.policies.list()
+                ]})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, service.status(parts[1]).status_dict())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "svg":
+                record = service.status(parts[1])
+                if record.state != "done":
+                    self._send_error_json(
+                        409, f"job {parts[1]} is {record.state}, not done"
+                    )
+                    return
+                svg = service.render_svg(
+                    record.result, request=record.request
+                ).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "image/svg+xml")
+                self.send_header("Content-Length", str(len(svg)))
+                self.end_headers()
+                self.wfile.write(svg)
+            else:
+                self._send_error_json(404, f"no route for GET {parsed.path}")
+        except KeyError as exc:
+            self._send_error_json(404, str(exc))
+        except Exception as exc:  # noqa: BLE001 — surface, don't kill thread
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            service = self.server.service
+            if parts == ["place"] or parts == ["train"]:
+                cls = PlacementRequest if parts == ["place"] else TrainRequest
+                try:
+                    request = cls.from_json_dict(self._read_json_body())
+                except (ValueError, TypeError, json.JSONDecodeError) as exc:
+                    self._send_error_json(400, str(exc))
+                    return
+                wait = parse_qs(parsed.query).get("wait", ["0"])[0]
+                try:
+                    if wait in ("1", "true", "yes"):
+                        result = service.execute(request)
+                        self._send_json(200,
+                                        {"result": result.to_json_dict()})
+                        return
+                    job_id = service.submit(request)
+                except (ValueError, KeyError) as exc:
+                    # Async submits reject unknown circuit keys up front;
+                    # ``?wait=1`` executions additionally surface
+                    # resolution errors (e.g. a missing warm_policy)
+                    # here instead of as a failed job.
+                    self._send_error_json(400, str(exc))
+                    return
+                self._send_json(202, {
+                    "job": job_id,
+                    "status_url": f"/jobs/{job_id}",
+                })
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                cancelled = service.cancel(parts[1])
+                self._send_json(200, {"job": parts[1], "cancelled": cancelled})
+            else:
+                self._send_error_json(404, f"no route for POST {parsed.path}")
+        except KeyError as exc:
+            self._send_error_json(404, str(exc))
+        except Exception as exc:  # noqa: BLE001
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+
+def make_server(
+    service: PlacementService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> PlacementHTTPServer:
+    """Bind (but do not run) a server; ``port=0`` picks a free port."""
+    return PlacementHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    service: PlacementService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    quiet: bool = False,
+) -> None:
+    """Run the HTTP layer until interrupted (the ``repro serve`` body)."""
+    service = service if service is not None else PlacementService()
+    server = make_server(service, host=host, port=port, quiet=quiet)
+    print(f"repro service listening on {server.url} "
+          f"(circuits: {', '.join(service.registry.keys())})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close(wait=False)
+
+
+def server_thread(server: PlacementHTTPServer) -> threading.Thread:
+    """Start ``serve_forever`` on a daemon thread (tests/benchmarks)."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,214 @@
+"""The async job manager: submit/status/result/cancel over any backend.
+
+A job is one typed request (:class:`PlacementRequest` /
+:class:`TrainRequest`) executed by a runner callable the owning
+:class:`~repro.service.service.PlacementService` provides.  Jobs run on
+a thread pool — threads because the heavy lifting inside a request
+already fans out over the service's :class:`ExecutionBackend` (process
+pool or serial), so job threads spend their lives waiting on it.  This
+split is what makes the manager deterministic: a request's *result*
+depends only on the request (specs rebuild everything in the worker),
+never on which thread ran it or how many jobs were in flight, so
+``SerialBackend`` ≡ ``ProcessPoolBackend`` survives the queueing layer.
+
+Job ids are sequential (``job-1``, ``job-2``, ...) in submission order.
+Cancellation is queue-level: a job that has not started is marked
+cancelled and never runs; a running job finishes (placement runs are
+seconds-to-minutes, and killing a worker mid-simulation would poison the
+backend pool).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can no longer leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's lifecycle snapshot.
+
+    Attributes:
+        id: sequential job id (``"job-3"``).
+        kind: request kind (``"place"`` / ``"train"``).
+        request: the typed request, as submitted.
+        state: one of queued/running/done/failed/cancelled.
+        result: the :class:`PlacementResult` once ``done``.
+        error: stringified exception once ``failed``.
+        submitted_at / started_at / finished_at: wall-clock timestamps
+            (``time.time()``; ``None`` until reached).
+    """
+
+    id: str
+    kind: str
+    request: Any
+    state: str = QUEUED
+    result: Any = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def status_dict(self) -> dict:
+        """JSON-plain status payload (result included when done)."""
+        out = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.result is not None:
+            out["result"] = self.result.to_json_dict()
+        return out
+
+
+class JobManager:
+    """Thread-pooled execution of typed requests with a job-table front.
+
+    Args:
+        runner: ``request -> PlacementResult`` callable (the service's
+            synchronous ``execute``); must be thread-safe.
+        workers: concurrent jobs (queue depth is unbounded).
+    """
+
+    def __init__(self, runner: Callable[[Any], Any], workers: int = 2):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._runner = runner
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._futures: dict[str, Future] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------ internal
+
+    def _record(self, job_id: str) -> JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return record
+
+    def _run(self, job_id: str) -> Any:
+        with self._lock:
+            record = self._records[job_id]
+            if record.state == CANCELLED:
+                raise CancelledError(job_id)
+            record.state = RUNNING
+            record.started_at = time.time()
+        try:
+            result = self._runner(record.request)
+        except Exception as exc:  # noqa: BLE001 — stored, not swallowed
+            with self._lock:
+                record.state = FAILED
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.finished_at = time.time()
+            raise
+        with self._lock:
+            record.state = DONE
+            record.result = result
+            record.finished_at = time.time()
+        return result
+
+    # -------------------------------------------------------------- public
+
+    def submit(self, request: Any) -> str:
+        """Queue a request; returns its job id immediately."""
+        kind = "train" if type(request).__name__ == "TrainRequest" else "place"
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter}"
+            self._records[job_id] = JobRecord(
+                id=job_id, kind=kind, request=request
+            )
+            # Publish record and future atomically: job ids are
+            # predictable, so a concurrent cancel()/result() must never
+            # see the record without its future.  (submit() only queues
+            # — the pooled thread blocks on this same lock in _run, so
+            # no deadlock.)
+            self._futures[job_id] = self._pool.submit(self._run, job_id)
+        return job_id
+
+    def status(self, job_id: str) -> JobRecord:
+        """Current lifecycle snapshot of one job.
+
+        Raises:
+            KeyError: unknown job id.
+        """
+        with self._lock:
+            return self._record(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None) -> Any:
+        """Block until a job finishes and return its result.
+
+        Raises:
+            KeyError: unknown job id.
+            RuntimeError: the job failed or was cancelled.
+            TimeoutError: ``timeout`` elapsed first.
+        """
+        future = self._futures.get(job_id)
+        if future is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        try:
+            return future.result(timeout=timeout)
+        except CancelledError as exc:
+            raise RuntimeError(f"job {job_id} was cancelled") from exc
+        except FutureTimeoutError:
+            # On 3.10 this is not the builtin TimeoutError; unify them.
+            raise TimeoutError(
+                f"job {job_id} still running after {timeout}s"
+            ) from None
+        except Exception as exc:
+            raise RuntimeError(f"job {job_id} failed: {exc}") from exc
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/finished jobs are not touched.
+
+        Returns:
+            ``True`` if the job will never run, ``False`` otherwise.
+        """
+        with self._lock:
+            record = self._record(job_id)
+            if record.state != QUEUED:
+                return record.state == CANCELLED
+            record.state = CANCELLED
+            record.finished_at = time.time()
+        # Best-effort: also drop it from the pool queue if still there.
+        self._futures[job_id].cancel()
+        return True
+
+    def jobs(self) -> list[JobRecord]:
+        """All job records, submission order."""
+        with self._lock:
+            return list(self._records.values())
+
+    def counts(self) -> dict[str, int]:
+        """State → job count (for health endpoints)."""
+        out = {s: 0 for s in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
+        with self._lock:
+            for record in self._records.values():
+                out[record.state] += 1
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._pool.shutdown(wait=wait)

@@ -1,0 +1,263 @@
+"""The :class:`PlacementService` facade — every entry point's back end.
+
+The service owns the three shared registries/stores (circuits, policies,
+jobs) and executes typed requests over one :class:`ExecutionBackend`:
+
+* ``place(request)`` / ``train(request)`` — synchronous execution,
+  returning the unified :class:`PlacementResult`;
+* ``submit(request)`` → ``status``/``result``/``cancel`` — the async
+  path through the :class:`JobManager` (what ``/place`` and ``/train``
+  serve);
+* ``fig3(...)`` — the paper's three-way comparison, driven through the
+  same registries.
+
+``repro place``/``repro train`` and the HTTP server are thin clients of
+this facade, so a CLI run and a served job with the same request
+parameters produce bit-identical results: both build the same
+:class:`RunSpec` (via ``RunSpec.from_request``) and execute it through
+:func:`map_runs`, where determinism is already guaranteed spec-by-spec.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.eval.evaluator import PlacementEvaluator
+from repro.layout.svg import placement_to_svg
+from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.spec import RunSpec, map_runs
+from repro.service.jobs import JobManager, JobRecord
+from repro.service.policies import PolicyStore
+from repro.service.registry import CircuitRegistry, default_registry
+from repro.service.requests import (
+    PlacementRequest,
+    PlacementResult,
+    TrainRequest,
+)
+
+#: Where a service stores policies when the caller does not say.
+DEFAULT_POLICY_DIR = "policies"
+
+
+class PlacementService:
+    """Facade over the circuit registry, policy store and job manager.
+
+    Args:
+        registry: circuit registry (default: the process-wide shared one).
+        policies: a :class:`PolicyStore`, or a directory path for one
+            (default: ``./policies``, created lazily on first save).
+        backend: execution backend, or an int job count
+            (:func:`resolve_backend` semantics) every request fans over.
+        job_workers: concurrent async jobs in the :class:`JobManager`.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: CircuitRegistry | None = None,
+        policies: PolicyStore | str | Path | None = None,
+        backend: int | ExecutionBackend | None = None,
+        job_workers: int = 2,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        if isinstance(policies, PolicyStore):
+            self.policies = policies
+        else:
+            self.policies = PolicyStore(policies or DEFAULT_POLICY_DIR)
+        self.backend = resolve_backend(backend)
+        self.job_workers = job_workers
+        self._jobs: JobManager | None = None
+
+    @property
+    def jobs(self) -> JobManager:
+        """The async job manager, created on first use.
+
+        Lazy so synchronous clients (every CLI command) never spin up a
+        thread pool they will not touch.
+        """
+        if self._jobs is None:
+            self._jobs = JobManager(self.execute, workers=self.job_workers)
+        return self._jobs
+
+    # ------------------------------------------------------------ internal
+
+    def _warm_tables(self, ref: str | None):
+        if ref is None:
+            return None
+        tables, __ = self.policies.load(ref)
+        return tables
+
+    def _check_circuit(self, request: Any) -> None:
+        circuit = getattr(request, "circuit", None)
+        if circuit is not None and circuit not in self.registry:
+            raise ValueError(
+                f"unknown circuit {circuit!r}; "
+                f"registered: {sorted(self.registry.keys())}"
+            )
+
+    # ----------------------------------------------------- sync execution
+
+    def execute(self, request: Any) -> PlacementResult:
+        """Run any typed request synchronously (the job-manager runner)."""
+        if isinstance(request, TrainRequest):
+            return self.train(request)
+        if isinstance(request, PlacementRequest):
+            return self.place(request)
+        raise TypeError(
+            f"expected PlacementRequest or TrainRequest, got {type(request)!r}"
+        )
+
+    def place(self, request: PlacementRequest) -> PlacementResult:
+        """Execute one placement request over the service backend."""
+        self._check_circuit(request)
+        spec = RunSpec.from_request(
+            request,
+            registry=self.registry,
+            initial_tables=self._warm_tables(request.warm_policy),
+        )
+        outcome = map_runs([spec], self.backend)[0]
+        return PlacementResult.from_outcome(request, outcome)
+
+    def train(
+        self,
+        request: TrainRequest,
+        *,
+        checkpoint_dir: str | Path | None = None,
+    ) -> PlacementResult:
+        """Execute one training campaign over the service backend.
+
+        ``checkpoint_dir`` is a driver-side concern (server filesystem),
+        so it is an argument here rather than a request field.
+        """
+        # Local import: the train layer sits above the runtime this
+        # module shares a file with dependency-wise.
+        from repro.train import run_campaign
+
+        self._check_circuit(request)
+        campaign = run_campaign(
+            request.circuit,
+            workers=request.workers,
+            rounds=request.rounds,
+            steps_per_round=request.steps,
+            placer=request.placer,
+            merge_how=request.merge_how,
+            seed=request.seed,
+            batch=request.batch,
+            target=request.target,
+            target_from_symmetric=request.target is None,
+            target_scale=request.target_scale,
+            stop_at_target=request.stop_at_target,
+            warm_start=self._warm_tables(request.warm_policy),
+            checkpoint_dir=checkpoint_dir,
+            backend=self.backend,
+        )
+        block = self.registry.build(request.circuit)
+        metrics = PlacementEvaluator(block).evaluate(campaign.best_placement)
+        policy_ref = None
+        if request.save_policy:
+            policy_ref = self.policies.save(
+                request.save_policy,
+                campaign.master_tables,
+                prune_min_visits=request.prune_min_visits,
+                prune_min_abs_q=request.prune_min_abs_q,
+                circuit=request.circuit,
+                placer=request.placer,
+                merge_how=request.merge_how,
+                rounds_run=campaign.rounds_run,
+                best_cost=campaign.best_cost,
+            )
+        return PlacementResult.from_campaign(
+            request, campaign, metrics=metrics, policy=policy_ref
+        )
+
+    def fig3(
+        self,
+        circuit: str,
+        *,
+        scale: float = 1.0,
+        jobs: int | None = None,
+        batch: int = 1,
+    ):
+        """Run the paper's Fig. 3 comparison for one configured circuit.
+
+        Returns the full :class:`~repro.experiments.fig3.Fig3Result`
+        (thin CLI clients render it; rows normalize into
+        :class:`PlacementResult` via ``PlacementResult.from_fig3_row``).
+        """
+        from repro.experiments import ALL_CONFIGS, run_fig3
+
+        if circuit not in ALL_CONFIGS:
+            raise ValueError(
+                f"no fig3 config for {circuit!r}; have {sorted(ALL_CONFIGS)}"
+            )
+        config = ALL_CONFIGS[circuit]
+        if scale != 1.0:
+            config = config.scaled(scale)
+        if batch != 1:
+            config = config.with_batch(batch)
+        backend = self.backend if jobs is None else resolve_backend(jobs)
+        return run_fig3(config, backend=backend)
+
+    # ----------------------------------------------------------- rendering
+
+    def block_for(self, result: PlacementResult, request: Any = None):
+        """The :class:`AnalogBlock` behind a result.
+
+        Registry-keyed results resolve by their circuit label; inline-
+        SPICE results need the originating ``request`` (the deck is not
+        in the result payload) — the HTTP layer passes the job record's
+        request so served SPICE jobs can render too.
+        """
+        if request is not None and getattr(request, "spice", None):
+            return self.registry.block_from_spice(
+                request.spice, **request.spice_kwargs()
+            )
+        label = result.circuit
+        if label in self.registry:
+            return self.registry.build(label)
+        raise ValueError(
+            f"result circuit {label!r} is not in this service's registry "
+            "(inline-SPICE results render via the original request)"
+        )
+
+    def render_svg(self, result: PlacementResult, request: Any = None,
+                   **kwargs) -> str:
+        """Render a result's best placement as an SVG document."""
+        block = self.block_for(result, request=request)
+        return placement_to_svg(result.placement_object(), block.circuit,
+                                **kwargs)
+
+    # --------------------------------------------------------------- async
+
+    def submit(self, request: Any) -> str:
+        """Queue a request on the job manager; returns the job id.
+
+        Unknown circuit keys are rejected here, synchronously — a typo
+        should be a 400 at submit time, not a failed job later.  Policy
+        references are *not* resolved until the job executes: a queued
+        pipeline may submit ``train(save_policy="x")`` followed by
+        ``place(warm_policy="x")`` before ``x@1`` exists.
+        """
+        self._check_circuit(request)
+        return self.jobs.submit(request)
+
+    def status(self, job_id: str) -> JobRecord:
+        return self.jobs.status(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None) -> PlacementResult:
+        return self.jobs.result(job_id, timeout=timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.jobs.cancel(job_id)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the job manager down (running jobs finish when ``wait``)."""
+        if self._jobs is not None:
+            self._jobs.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlacementService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -144,6 +144,27 @@ def merge_tables(
     return stats
 
 
+def strip_visits(tables: dict) -> dict:
+    """Copy a tables snapshot with every visit count zeroed.
+
+    Workers warm-start from this, not from the raw master: visit counts
+    are *evidence* (Bellman updates performed), and merges sum them.  A
+    worker that inherited the master's counts would ship them straight
+    back, double-counting the master's evidence ``workers`` times per
+    round and drowning genuinely new updates under the ``"visits"``
+    merge rule.  Stripping makes a returned worker table's counts mean
+    exactly "updates this worker performed this round", so the round-end
+    weighted average weighs master history against fresh learning.
+    """
+    out: dict = {}
+    for key, table in tables.items():
+        dup = QTable()
+        for state, action, value in table.items():
+            dup.set(state, action, value)
+        out[key] = dup
+    return out
+
+
 class TrainingCampaign:
     """Driver for island-model shared-policy training on one circuit.
 
@@ -166,6 +187,11 @@ class TrainingCampaign:
             symmetric-style cost (the paper's SOTA reference) when no
             explicit target is given.  The two reference evaluations are
             not charged to the campaign, mirroring fig3 accounting.
+        target_scale: multiplier applied to the *symmetric-derived*
+            target (explicit targets are taken literally).  Values below
+            1.0 demand a placement strictly better than the symmetric
+            reference — the harder races that expose multi-round policy
+            compounding instead of round-1 saturation.
         stop_at_target: stop scheduling rounds (and let workers stop
             mid-round) once the target is met.
         warm_start: optional master-policy snapshot to start from (e.g.
@@ -199,6 +225,7 @@ class TrainingCampaign:
         batch: int = 1,
         target: float | None = None,
         target_from_symmetric: bool = True,
+        target_scale: float = 1.0,
         stop_at_target: bool = True,
         warm_start: dict | None = None,
         checkpoint_dir: str | Path | None = None,
@@ -224,6 +251,10 @@ class TrainingCampaign:
             raise ValueError(
                 f"merge_how must be one of {MERGE_HOWS}, got {merge_how!r}"
             )
+        if target_scale <= 0:
+            raise ValueError(
+                f"target_scale must be positive, got {target_scale}"
+            )
         self.circuit = circuit
         self.workers = workers
         self.rounds = rounds
@@ -234,6 +265,7 @@ class TrainingCampaign:
         self.batch = batch
         self.target = target
         self.target_from_symmetric = target_from_symmetric
+        self.target_scale = target_scale
         self.stop_at_target = stop_at_target
         self.warm_start = warm_start
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
@@ -254,7 +286,7 @@ class TrainingCampaign:
         probe = RunSpec(key="target", builder=self.circuit,
                         builder_kwargs=self.builder_kwargs)
         block = build_block(probe)
-        return symmetric_target(block, PlacementEvaluator(block))
+        return symmetric_target(block, PlacementEvaluator(block)) * self.target_scale
 
     def _round_specs(
         self, round_index: int, master: dict, target: float | None
@@ -274,7 +306,7 @@ class TrainingCampaign:
                 ql_worse_tolerance=self.ql_worse_tolerance,
                 evaluate_best=False,
                 stop_at_target=self.stop_at_target,
-                initial_tables=master if master else None,
+                initial_tables=strip_visits(master) if master else None,
                 warm_start_how="theirs",
                 return_tables=True,
             ))

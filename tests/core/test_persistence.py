@@ -318,3 +318,29 @@ class TestTablesSnapshots:
         assert set(restored) == set(tables)
         for key in tables:
             assert sorted(restored[key].items()) == sorted(tables[key].items())
+
+
+class TestVisitCountPersistence:
+    def test_visits_round_trip_through_payload(self):
+        table = QTable()
+        table.set("s", "a", 1.5, visits=4)
+        table.set("s", "b", 2.5)
+        payload = qtable_to_dict(table)
+        json.dumps(payload)  # must stay JSON-plain
+        restored = qtable_from_dict(payload)
+        assert restored.get("s", "a") == 1.5
+        assert restored.visits("s", "a") == 4
+        assert restored.visits("s", "b") == 0
+
+    def test_version2_bare_float_entries_still_load(self):
+        # Pre-visit payloads store bare floats; they load with visits 0.
+        payload = {"'s'": {"'a'": 1.25}}
+        restored = qtable_from_dict(payload)
+        assert restored.get("s", "a") == 1.25
+        assert restored.visits("s", "a") == 0
+
+    def test_snapshot_round_trip_keeps_visits(self):
+        table = QTable()
+        table.set((1, 2), (0,), -0.5, visits=9)
+        restored = tables_from_payload(tables_to_payload({("top",): table}))
+        assert restored[("top",)].visits((1, 2), (0,)) == 9

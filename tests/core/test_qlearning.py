@@ -230,3 +230,123 @@ class TestMergeProperties:
         merged = a.copy()
         merged.merge(b, how="max")
         assert merged.n_entries == len(keys)
+
+
+class TestVisitCounts:
+    def test_record_bumps_visits_set_does_not(self):
+        table = QTable()
+        table.record("s", "a", 1.0)
+        table.record("s", "a", 2.0)
+        table.set("s", "a", 3.0)
+        assert table.visits("s", "a") == 2
+        assert table.get("s", "a") == 3.0
+        assert table.visits("s", "b") == 0
+
+    def test_set_with_explicit_visits(self):
+        table = QTable()
+        table.set("s", "a", 1.0, visits=7)
+        assert table.visits("s", "a") == 7
+
+    def test_entries_carry_visits(self):
+        table = QTable()
+        table.record("s", "a", 1.0)
+        table.set("s", "b", 2.0)
+        assert sorted(table.entries()) == [
+            ("s", "a", 1.0, 1), ("s", "b", 2.0, 0)]
+
+    def test_copy_is_visit_independent(self):
+        table = QTable()
+        table.record("s", "a", 1.0)
+        dup = table.copy()
+        dup.record("s", "a", 2.0)
+        assert table.visits("s", "a") == 1
+        assert dup.visits("s", "a") == 2
+
+    def test_agent_learn_counts_visits(self):
+        agent = QAgent()
+        agent.learn("s", "a", reward=1.0, next_state="t")
+        agent.learn("s", "a", reward=1.0, next_state="t")
+        assert agent.table.visits("s", "a") == 2
+
+
+class TestVisitsMerge:
+    def test_weighted_average(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 1.0, visits=3)
+        theirs.set("s", "a", 5.0, visits=1)
+        stats = ours.merge(theirs, how="visits")
+        assert ours.get("s", "a") == (1.0 * 3 + 5.0 * 1) / 4
+        assert ours.visits("s", "a") == 4
+        assert (stats.added, stats.updated, stats.kept) == (0, 1, 0)
+
+    def test_zero_visits_fall_back_to_theirs(self):
+        ours, theirs = QTable(), QTable()
+        ours.set("s", "a", 1.0)
+        theirs.set("s", "a", 5.0)
+        ours.merge(theirs, how="visits")
+        assert ours.get("s", "a") == 5.0
+
+    def test_added_entries_keep_their_visits(self):
+        ours, theirs = QTable(), QTable()
+        theirs.set("s", "a", 5.0, visits=4)
+        ours.merge(theirs, how="visits")
+        assert ours.get("s", "a") == 5.0
+        assert ours.visits("s", "a") == 4
+
+    def test_visits_sum_under_every_rule(self):
+        for how in ("theirs", "ours", "max", "visits"):
+            ours, theirs = QTable(), QTable()
+            ours.set("s", "a", 1.0, visits=2)
+            theirs.set("s", "a", 2.0, visits=3)
+            ours.merge(theirs, how=how)
+            assert ours.visits("s", "a") == 5, how
+
+    @given(a=_tables, b=_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_visits_merge_of_two_tables_commutes(self, a, b):
+        # record() every entry once so weights are non-trivial.
+        for table in (a, b):
+            for state, action, value in list(table.items()):
+                table.record(state, action, value)
+        ab, ba = a.copy(), b.copy()
+        ab.merge(b, how="visits")
+        ba.merge(a, how="visits")
+        assert _entries(ab) == _entries(ba)
+
+
+class TestPrune:
+    def _table(self):
+        table = QTable()
+        table.set("s", "hot", 5.0, visits=10)
+        table.set("s", "stale", 4.0, visits=1)
+        table.set("t", "tiny", 1e-9, visits=10)
+        return table
+
+    def test_default_prune_keeps_everything(self):
+        table = self._table()
+        stats = table.prune()
+        assert (stats.kept, stats.dropped) == (3, 0)
+        assert table.n_entries == 3
+
+    def test_min_visits_drops_stale(self):
+        table = self._table()
+        stats = table.prune(min_visits=2)
+        assert (stats.kept, stats.dropped) == (2, 1)
+        assert table.get("s", "stale") == 0.0
+
+    def test_min_abs_q_drops_negligible_and_empties_states(self):
+        table = self._table()
+        stats = table.prune(min_abs_q=1e-6)
+        assert (stats.kept, stats.dropped) == (2, 1)
+        assert table.n_states == 1  # state "t" vanished entirely
+
+    def test_negative_q_survives_abs_threshold(self):
+        table = QTable()
+        table.set("s", "a", -3.0, visits=5)
+        assert table.prune(min_abs_q=1.0).kept == 1
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="min_visits"):
+            QTable().prune(min_visits=-1)
+        with pytest.raises(ValueError, match="min_abs_q"):
+            QTable().prune(min_abs_q=-0.5)

@@ -66,3 +66,12 @@ class TestTransferStructure:
         cold = rows[0].cold
         if cold.sims_to_target is not None:
             assert cold.sims_to_target <= cold.total_sims
+
+
+class TestTargetScale:
+    def test_scaled_race_tightens_every_regime_target(self):
+        easy = run_transfer(circuits=("ota5t",), workers=2, rounds=1,
+                            steps_per_round=10, seed=1)
+        hard = run_transfer(circuits=("ota5t",), workers=2, rounds=1,
+                            steps_per_round=10, seed=1, target_scale=0.5)
+        assert hard[0].target == easy[0].target * 0.5

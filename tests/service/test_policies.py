@@ -1,0 +1,137 @@
+"""Policy store: naming, versioning, prune-on-save, persistence format."""
+
+import pytest
+
+from repro.core.persistence import load_tables_snapshot
+from repro.core.qlearning import QTable
+from repro.service import PolicyStore
+
+
+def _tables(entries):
+    """{address: [(state, action, value, visits), ...]} → snapshot."""
+    out = {}
+    for address, rows in entries.items():
+        table = QTable()
+        for state, action, value, visits in rows:
+            table.set(state, action, value, visits=visits)
+        out[address] = table
+    return out
+
+
+class TestPolicyStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        tables = _tables({("top",): [("s", "a", 1.5, 3)]})
+        ref = store.save("base", tables, circuit="cm")
+        assert ref == "base@1"
+        loaded, meta = store.load("base")
+        assert loaded[("top",)].get("s", "a") == 1.5
+        assert loaded[("top",)].visits("s", "a") == 3
+        assert meta["circuit"] == "cm"
+        assert meta["name"] == "base"
+
+    def test_versions_increment_and_pin(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        t1 = _tables({("top",): [("s", "a", 1.0, 1)]})
+        t2 = _tables({("top",): [("s", "a", 2.0, 1)]})
+        assert store.save("base", t1) == "base@1"
+        assert store.save("base", t2) == "base@2"
+        latest, __ = store.load("base")
+        pinned, __ = store.load("base@1")
+        assert latest[("top",)].get("s", "a") == 2.0
+        assert pinned[("top",)].get("s", "a") == 1.0
+
+    def test_prune_runs_before_snapshot_without_mutating_caller(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        tables = _tables({("top",): [
+            ("keep", "a", 5.0, 10),
+            ("stale", "a", 5.0, 1),     # too few visits
+            ("tiny", "a", 1e-9, 10),    # |Q| negligible
+        ]})
+        ref = store.save("compact", tables,
+                         prune_min_visits=2, prune_min_abs_q=1e-6)
+        loaded, meta = store.load(ref)
+        assert [s for s, __, __ in loaded[("top",)].items()] == ["keep"]
+        assert meta["pruned_dropped"] == 2
+        assert meta["pruned_kept"] == 1
+        # Caller's snapshot untouched.
+        assert tables[("top",)].n_entries == 3
+
+    def test_fully_pruned_tables_disappear(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        tables = _tables({
+            ("top",): [("s", "a", 1.0, 5)],
+            ("bottom", "g"): [("s", "a", 1.0, 1)],
+        })
+        loaded, __ = store.load(store.save("p", tables, prune_min_visits=3))
+        assert list(loaded) == [("top",)]
+
+    def test_list_reports_every_version(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.save("a", _tables({("top",): [("s", "x", 1.0, 1)]}))
+        store.save("a", _tables({("top",): [("s", "x", 2.0, 1)]}))
+        store.save("b", _tables({("top",): [("s", "x", 3.0, 1)]}))
+        infos = store.list()
+        assert [(p.name, p.version) for p in infos] == [
+            ("a", 1), ("a", 2), ("b", 1)]
+        assert all(p.entries == 1 for p in infos)
+        assert infos[0].ref == "a@1"
+
+    def test_unknown_refs_raise(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        with pytest.raises(KeyError, match="no stored policy"):
+            store.load("ghost")
+        store.save("real", _tables({("top",): [("s", "a", 1.0, 1)]}))
+        with pytest.raises(KeyError, match="no version 9"):
+            store.load("real@9")
+
+    def test_bad_names_rejected(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        for bad in ("", "../evil", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="policy name"):
+                store.save(bad, _tables({("top",): [("s", "a", 1.0, 1)]}))
+
+    def test_files_readable_by_persistence_layer_alone(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.save("plain", _tables({("top",): [("s", "a", 1.0, 2)]}))
+        tables, meta = load_tables_snapshot(tmp_path / "plain" / "v0001.json")
+        assert tables[("top",)].get("s", "a") == 1.0
+        assert meta["version"] == 1
+
+
+class TestConcurrentSaves:
+    def test_racing_saves_get_distinct_versions(self, tmp_path):
+        """Two saves that both observed the same latest version must not
+        clobber each other (exclusive-create + retry)."""
+        import threading
+
+        store = PolicyStore(tmp_path)
+        barrier = threading.Barrier(2)
+        refs = []
+
+        def save(value):
+            barrier.wait()
+            refs.append(store.save(
+                "raced", _tables({("top",): [("s", "a", value, 1)]})))
+
+        threads = [threading.Thread(target=save, args=(float(v),))
+                   for v in (1, 2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(refs) == ["raced@1", "raced@2"]
+        assert store.versions("raced") == [1, 2]
+        values = sorted(
+            store.load(f"raced@{v}")[0][("top",)].get("s", "a")
+            for v in (1, 2)
+        )
+        assert values == [1.0, 2.0]
+
+
+class TestRefParsing:
+    def test_non_numeric_version_is_a_key_error(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.save("base", _tables({("top",): [("s", "a", 1.0, 1)]}))
+        with pytest.raises(KeyError, match="bad policy version"):
+            store.load("base@latest")

@@ -1,0 +1,106 @@
+"""RunSpec ⇄ PlacementRequest: two views of one schema."""
+
+import pytest
+
+from repro.runtime.spec import BUILDERS, RunSpec
+from repro.service import PlacementRequest, default_registry
+
+
+class TestSpecRequestBridge:
+    def test_from_request_reproduces_the_place_spec(self):
+        """The served ``/place`` spec is exactly what ``repro place``
+        historically built — the bit-identical-serving precondition."""
+        request = PlacementRequest(circuit="ota5t", steps=60, seed=3,
+                                   batch=2)
+        spec = RunSpec.from_request(request)
+        assert spec == RunSpec(
+            key="place", builder="ota5t", placer="ql", seed=3,
+            max_steps=60, batch=2, target_from_symmetric=True,
+            share_target_evaluator=True,
+        )
+
+    def test_round_trip_identity_from_request(self):
+        request = PlacementRequest(circuit="cm", placer="flat", steps=77,
+                                   seed=9, batch=3, epsilon_decay_frac=0.5,
+                                   ql_worse_tolerance=0.1,
+                                   stop_at_target=True)
+        assert RunSpec.from_request(request).to_request() == request
+
+    def test_round_trip_identity_from_spec(self):
+        spec = RunSpec(
+            key="place", builder="ota2s", placer="ql", seed=5,
+            max_steps=40, batch=2, target_from_symmetric=True,
+            share_target_evaluator=True, stop_at_target=True,
+            ql_worse_tolerance=0.2,
+        )
+        assert RunSpec.from_request(spec.to_request()) == spec
+
+    def test_explicit_target_survives(self):
+        request = PlacementRequest(circuit="cm", target=0.125, steps=20)
+        spec = RunSpec.from_request(request)
+        assert spec.target == 0.125
+        assert not spec.target_from_symmetric
+        assert spec.to_request().target == 0.125
+
+    def test_warm_tables_are_injected(self):
+        tables = {("top",): object()}
+        spec = RunSpec.from_request(
+            PlacementRequest(circuit="cm", steps=10),
+            initial_tables=tables,
+        )
+        assert spec.initial_tables is tables
+
+    def test_callable_builder_has_no_wire_form(self):
+        spec = RunSpec(key="x", builder=BUILDERS["cm"])
+        with pytest.raises(ValueError, match="registry-keyed"):
+            spec.to_request()
+
+    def test_inline_spice_builds_a_block(self):
+        deck = (
+            "m1 d vg gnd gnd nmos40 w=1e-6 l=0.15e-6 m=2\n"
+            "m2 o vg gnd gnd nmos40 w=1e-6 l=0.15e-6 m=2\n"
+            "vdd vddn 0 dc 1.1\n"
+        )
+        request = PlacementRequest(spice=deck, spice_kind="cm",
+                                   spice_name="mini", steps=10)
+        spec = RunSpec.from_request(request)
+        block = spec.builder
+        assert block.name == "mini"
+        assert block.kind == "cm"
+        assert block.circuit.total_units() == 4
+        cols, rows = block.canvas
+        assert cols * rows >= 8  # auto-sized with slack
+
+
+class TestRegistryIsShared:
+    def test_spec_builders_are_the_registry_view(self):
+        registry = default_registry()
+        assert set(BUILDERS) == set(registry.keys())
+        for key in registry.keys():
+            assert BUILDERS[key] is registry.builder(key)
+
+    def test_registration_is_visible_everywhere(self):
+        registry = default_registry()
+        marker = "test-shared-registry-key"
+        registry.register(marker, registry.builder("cm"))
+        try:
+            assert marker in BUILDERS
+            RunSpec(key="x", builder=marker)  # validates against BUILDERS
+        finally:
+            del registry._builders[marker]
+
+
+class TestOffSchemaSpecs:
+    def test_behavior_bearing_fields_refuse_to_convert(self):
+        """Fields the request schema cannot express must fail loudly —
+        a silently narrowed request would execute a different run."""
+        for kwargs in (
+            dict(variation_kind="linear"),
+            dict(builder_kwargs=(("units_per_device", 2),)),
+            dict(evaluate_best=False),
+            dict(return_tables=True),
+            dict(initial_tables={}),
+        ):
+            spec = RunSpec(key="x", builder="cm", **kwargs)
+            with pytest.raises(ValueError, match="request-schema"):
+                spec.to_request()

@@ -164,3 +164,37 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrainServiceFlags:
+    def test_train_visits_merge_scale_and_policy_store(self, capsys, tmp_path):
+        code = main([
+            "train", "ota5t", "--workers", "2", "--rounds", "1",
+            "--steps", "15", "--merge-how", "visits",
+            "--target-scale", "0.9", "--run-to-budget",
+            "--save-policy", "ota5t-cli", "--policy-dir", str(tmp_path),
+            "--prune-min-visits", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merge=visits" in out
+        assert "stored policy ota5t-cli@1" in out
+        assert (tmp_path / "ota5t-cli" / "v0001.json").exists()
+
+    def test_place_warm_policy_round_trip(self, capsys, tmp_path):
+        assert main([
+            "train", "ota5t", "--workers", "2", "--rounds", "1",
+            "--steps", "15", "--run-to-budget",
+            "--save-policy", "warm", "--policy-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "place", "--circuit", "ota5t", "--steps", "20",
+            "--warm-policy", "warm", "--policy-dir", str(tmp_path),
+        ]) == 0
+        assert "target" in capsys.readouterr().out
+
+    def test_place_missing_policy_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no stored policy"):
+            main(["place", "--circuit", "ota5t", "--steps", "10",
+                  "--warm-policy", "ghost", "--policy-dir", str(tmp_path)])

@@ -148,3 +148,86 @@ class TestValidation:
     def test_jobs_and_backend_exclusive(self):
         with pytest.raises(ValueError, match="jobs"):
             run_campaign("ota5t", jobs=2, backend=2)
+
+
+class TestVisitsMergeCampaign:
+    def test_visits_merge_how_runs_and_accumulates_evidence(self):
+        result = run_campaign("ota5t", workers=2, rounds=2,
+                              steps_per_round=15, seed=3,
+                              merge_how="visits", stop_at_target=False)
+        assert result.merge_how == "visits"
+        assert result.master_entries > 0
+        visited = [
+            entry
+            for table in result.master_tables.values()
+            for entry in table.entries() if entry[3] > 0
+        ]
+        assert visited, "merged master carries no visit counts"
+
+    def test_visits_campaign_deterministic_across_backends(self):
+        kwargs = dict(workers=2, rounds=2, steps_per_round=12, seed=5,
+                      merge_how="visits", stop_at_target=False)
+        serial = run_campaign("ota5t", **kwargs)
+        parallel = run_campaign("ota5t", backend=2, **kwargs)
+        assert serial.best_cost == parallel.best_cost
+        assert serial.total_sims == parallel.total_sims
+        for key, table in serial.master_tables.items():
+            assert sorted(table.entries()) == sorted(
+                parallel.master_tables[key].entries())
+
+
+class TestTargetScale:
+    def test_scale_multiplies_symmetric_target(self):
+        easy = run_campaign("ota5t", workers=1, rounds=1,
+                            steps_per_round=5, seed=0)
+        hard = run_campaign("ota5t", workers=1, rounds=1,
+                            steps_per_round=5, seed=0, target_scale=0.5)
+        assert hard.target == easy.target * 0.5
+
+    def test_explicit_target_not_scaled(self):
+        result = run_campaign("ota5t", workers=1, rounds=1,
+                              steps_per_round=5, seed=0, target=0.25,
+                              target_from_symmetric=False,
+                              target_scale=0.5)
+        assert result.target == 0.25
+
+    def test_bad_scale_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="target_scale"):
+            run_campaign("ota5t", target_scale=0.0)
+
+
+class TestVisitEvidenceAccounting:
+    def test_round_warm_start_does_not_double_count_evidence(self):
+        """Workers warm-start from a visit-stripped master: counts they
+        ship back mean 'updates performed this round', so the round-end
+        merge sums genuine evidence instead of re-counting the master's
+        own history once per worker."""
+        from repro.core.qlearning import QTable
+        from repro.train.campaign import merge_tables, strip_visits
+
+        master = {("top",): QTable()}
+        master[("top",)].set("s", "a", 1.0, visits=5)
+
+        shipped = strip_visits(master)
+        assert shipped[("top",)].get("s", "a") == 1.0
+        assert shipped[("top",)].visits("s", "a") == 0
+        # The worker performs two genuine Bellman updates on top.
+        shipped[("top",)].record("s", "a", 2.0)
+        shipped[("top",)].record("s", "a", 3.0)
+
+        merge_tables(master, shipped, how="visits")
+        # 5 historical + 2 new — not 5 + (5 inherited + 2) = 12.
+        assert master[("top",)].visits("s", "a") == 7
+
+    def test_strip_visits_does_not_mutate_the_master(self):
+        from repro.core.qlearning import QTable
+        from repro.train.campaign import strip_visits
+
+        master = {("top",): QTable()}
+        master[("top",)].set("s", "a", 1.0, visits=3)
+        stripped = strip_visits(master)
+        stripped[("top",)].record("s", "a", 9.0)
+        assert master[("top",)].get("s", "a") == 1.0
+        assert master[("top",)].visits("s", "a") == 3
