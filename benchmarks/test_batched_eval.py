@@ -18,6 +18,12 @@ Set ``EVAL_THROUGHPUT_SMOKE=1`` (the CI benchmark-smoke job does) to run
 in shape-only mode: fewer rounds, and only agreement between batched and
 sequential metrics is asserted — wall-clock multipliers are meaningless
 on noisy shared runners.
+
+The throughput passes run with the solver fast path *disabled*: this
+benchmark isolates the batching win at the solver configuration it was
+written against, so its numbers stay comparable across revisions.  The
+fast path itself (Jacobian reuse, op cache) is measured separately by
+``benchmarks/test_solver_speed.py``.
 """
 
 import os
@@ -28,6 +34,7 @@ import pytest
 from repro.eval.evaluator import PlacementEvaluator
 from repro.layout.generators import random_walk_placements
 from repro.netlist.library import two_stage_ota
+from repro.sim.fastpath import solver_tuning
 
 SMOKE = os.environ.get("EVAL_THROUGHPUT_SMOKE", "") not in ("", "0")
 ROUNDS = 2 if SMOKE else 8
@@ -48,8 +55,9 @@ def test_batched_eval_throughput(benchmark):
     def run_pass(size):
         evaluator = evaluators[size]
         evaluator.clear_cache()
-        for i in range(0, N_CANDIDATES, size):
-            evaluator.evaluate_many(placements[i:i + size])
+        with solver_tuning(jacobian_reuse=False, op_cache=False):
+            for i in range(0, N_CANDIDATES, size):
+                evaluator.evaluate_many(placements[i:i + size])
 
     for size in BATCH_SIZES:  # warm: topology compile, warm-start vectors
         run_pass(size)

@@ -1,0 +1,167 @@
+"""BENCH_6 / solver — fast-path per-evaluation latency on the two-stage OTA.
+
+Prices one ``measure_ota`` call (testbench build + compiled bind + DC
+operating point + stacked AC + metric extraction) on a fixed set of 16
+distinct two-stage-OTA candidates, each with its own Monte-Carlo
+variation draw, in two solver configurations:
+
+* **baseline** — a plain warm dict and
+  ``solver_tuning(jacobian_reuse=False, op_cache=False)``: the exact
+  pre-fast-path compiled-engine code path (PR 3's solver);
+* **fast** — a :class:`~repro.eval.warm.WarmStore` at the default
+  tuning: cross-placement operating-point reuse (the DC system is
+  independent of the capacitor-only parasitics, so matching deltas hit
+  bit-exactly), nearest-neighbour Newton seeding, per-stage compiled
+  bindings and cached placement geometry.
+
+Rounds of both configurations are interleaved and best-of timed so
+machine noise hits both equally; the acceptance target is **fast ≥ 2×
+baseline** per evaluation in the steady state (the placement loop's
+regime: the variation set recurs across candidates, so op-cache hits
+dominate).  A cold-library pass and steady-state solver statistics
+(Newton iterations, warm-hit rate) are recorded in ``extra_info``
+alongside batch-8 numbers from the placement-batched path.
+
+Set ``SOLVER_SPEED_SMOKE=1`` (CI does — shared runners are too noisy
+for hard wall-clock multipliers) to run in shape-only mode: fewer
+rounds, metric agreement asserted, the 2x multiplier only recorded.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.batch_suites import measure_ota_many
+from repro.eval.suites import measure_ota
+from repro.eval.warm import WarmStore
+from repro.layout.generators import random_walk_placements
+from repro.netlist.library import two_stage_ota
+from repro.route.parasitics import annotate_parasitics
+from repro.sim import reset_solver_stats, solver_stats
+from repro.sim.fastpath import solver_tuning
+from repro.tech import generic_tech_40
+from repro.variation import DeviceDelta
+
+SMOKE = os.environ.get("SOLVER_SPEED_SMOKE", "") not in ("", "0")
+ROUNDS = 2 if SMOKE else 9
+N_CANDIDATES = 16
+BASELINE = dict(jacobian_reuse=False, op_cache=False)
+
+
+def _workload():
+    """16 distinct candidates, each with its own variation draw."""
+    tech = generic_tech_40()
+    block = two_stage_ota()
+    placements = random_walk_placements(block, N_CANDIDATES, seed=3)
+    annotated = [
+        annotate_parasitics(block.circuit, p, tech) for p in placements
+    ]
+    rng = np.random.default_rng(11)
+    deltas_seq = [
+        {m.name: DeviceDelta(dvth=float(rng.normal(0.0, 5e-3)),
+                             dbeta_rel=float(rng.normal(0.0, 0.02)))
+         for m in block.circuit.mosfets()}
+        for __ in placements
+    ]
+    return block, tech, placements, annotated, deltas_seq
+
+
+@pytest.mark.benchmark(group="solver")
+def test_solver_fastpath_speedup(benchmark):
+    block, tech, placements, annotated, deltas_seq = _workload()
+
+    def run_pass(warm):
+        return [
+            measure_ota(block, circ, d, tech, p, warm)
+            for circ, p, d in zip(annotated, placements, deltas_seq)
+        ]
+
+    # Warm both configurations: topology compile, legacy warm vectors,
+    # and (fast only) the operating-point library.
+    base_warm, fast_warm = {}, WarmStore()
+    with solver_tuning(**BASELINE):
+        base_metrics = run_pass(base_warm)
+    cold_start = time.perf_counter()
+    fast_metrics = run_pass(WarmStore())  # cold library, recorded below
+    cold_s = time.perf_counter() - cold_start
+    run_pass(fast_warm)
+
+    base_times, fast_times = [], []
+
+    def interleaved_rounds():
+        for __ in range(ROUNDS):
+            with solver_tuning(**BASELINE):
+                start = time.perf_counter()
+                run_pass(base_warm)
+                base_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            run_pass(fast_warm)
+            fast_times.append(time.perf_counter() - start)
+
+    reset_solver_stats()
+    benchmark.pedantic(interleaved_rounds, rounds=1, iterations=1)
+    stats = solver_stats().as_dict()  # snapshot before the batch passes
+
+    base_ms = min(base_times) / N_CANDIDATES * 1e3
+    fast_ms = min(fast_times) / N_CANDIDATES * 1e3
+    speedup = base_ms / fast_ms
+
+    # Batch-8 through the placement-batched path, both configurations
+    # (recorded, not asserted — the batched win is priced by
+    # benchmarks/test_batched_eval.py).
+    def run_batched(warm, size=8):
+        for i in range(0, N_CANDIDATES, size):
+            s = slice(i, i + size)
+            measure_ota_many(block, annotated[s], deltas_seq[s], tech,
+                             placements[s], warm)
+
+    batch_times = {}
+    for label, factory, tuning in (
+        ("batch8_baseline_ms", dict, BASELINE),
+        ("batch8_fast_ms", WarmStore, {}),
+    ):
+        warm = factory()
+        with solver_tuning(**tuning):
+            run_batched(warm)  # warm pass
+            best = min(
+                _timed(run_batched, warm) for __ in range(max(2, ROUNDS // 2))
+            )
+        batch_times[label] = best / N_CANDIDATES * 1e3
+
+    benchmark.extra_info.update({
+        "block": "ota2s",
+        "candidates": N_CANDIDATES,
+        "rounds": ROUNDS,
+        "smoke": SMOKE,
+        "baseline_ms_per_eval": round(base_ms, 3),
+        "fast_ms_per_eval": round(fast_ms, 3),
+        "fast_cold_ms_per_eval": round(cold_s / N_CANDIDATES * 1e3, 3),
+        "fast_vs_baseline": round(speedup, 2),
+        "newton_iterations": stats["newton_iterations"],
+        "warm_exact_hits": stats["warm_exact_hits"],
+        "warm_near_hits": stats["warm_near_hits"],
+        "warm_hit_rate": round(stats["warm_hit_rate"], 3),
+        **{k: round(v, 3) for k, v in batch_times.items()},
+    })
+
+    # Shape: the fast path is a pure accelerator — cold- and warm-library
+    # fast metrics agree with the reference configuration.
+    for want, got in zip(base_metrics, fast_metrics):
+        for key, value in want.values.items():
+            assert got.values[key] == pytest.approx(value, rel=1e-8, abs=1e-12)
+
+    if not SMOKE:
+        # The acceptance target: >=2x per-evaluation speedup over the
+        # pre-fast-path compiled engine.
+        assert speedup >= 2.0, (
+            f"solver fast path only {speedup:.2f}x the baseline "
+            f"({fast_ms:.3f} vs {base_ms:.3f} ms/eval)"
+        )
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start

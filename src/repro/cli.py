@@ -52,7 +52,17 @@ from repro.netlist.spice import to_spice
 from repro.route.parasitics import annotate_parasitics
 from repro.runtime import resolve_backend
 from repro.service import PlacementRequest, TrainRequest, default_registry
-from repro.sim import ENGINES, solve_ac, solve_dc, use_engine
+from repro.sim import (
+    BACKEND_NAMES,
+    ENGINES,
+    BackendUnavailable,
+    reset_solver_stats,
+    solve_ac,
+    solve_dc,
+    solver_stats,
+    use_array_backend,
+    use_engine,
+)
 from repro.tech import generic_tech_40
 
 #: The shared circuit table (a live view of the service registry).
@@ -216,6 +226,9 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--batch", type=_batch_arg, default=8,
                          help="candidate count for the batched-vs-"
                               "sequential evaluation rows")
+    profile.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                         help="array backend for stacked solves (default: "
+                              "numpy; cupy/torch need the library installed)")
     return parser
 
 
@@ -363,7 +376,10 @@ def _cmd_profile(args) -> int:
     solves; the end-to-end row is one whole cache-miss evaluation.  The
     final two rows price ``--batch`` candidate placements sequentially
     vs through :meth:`PlacementEvaluator.evaluate_many` (the placement-
-    batched compiled solves), with the resulting speedup.
+    batched compiled solves), with the resulting speedup.  A trailing
+    solver-stage split reports the fast path's internals: Newton
+    iterations, Jacobian factorizations vs frozen-Jacobian reuses,
+    operating-point-cache hits, and stamp/factor/solve timer totals.
     """
     if args.repeats < 1:
         raise SystemExit("profile: --repeats must be >= 1")
@@ -380,7 +396,15 @@ def _cmd_profile(args) -> int:
             times.append(time.perf_counter() - start)
         return min(times)
 
-    with use_engine(args.engine):
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        stack.enter_context(use_engine(args.engine))
+        if args.backend is not None:
+            try:
+                stack.enter_context(use_array_backend(args.backend))
+            except BackendUnavailable as exc:
+                raise SystemExit(f"profile: {exc}")
         deltas = evaluator.deltas_for(placement)
         annotated = annotate_parasitics(block.circuit, placement, tech)
         op = solve_dc(annotated, tech, deltas=deltas)
@@ -412,8 +436,10 @@ def _cmd_profile(args) -> int:
             ("measures (full suite)", full_evaluate),
         ]
         engine_name = args.engine or "compiled (default)"
+        backend_name = args.backend or "numpy"
         print(f"profile: {block.name} ({args.circuit}), style={args.style}, "
-              f"engine={engine_name}, best of {args.repeats}")
+              f"engine={engine_name}, backend={backend_name}, "
+              f"best of {args.repeats}")
         total = 0.0
         for name, fn in stages:
             elapsed = best_of(fn)
@@ -429,6 +455,29 @@ def _cmd_profile(args) -> int:
         print(f"  {f'evaluate x{n} (sequential)':<24s} {seq * 1e3:9.3f} ms")
         print(f"  {f'evaluate_many x{n}':<24s} {many * 1e3:9.3f} ms"
               f"   ({seq / many:.2f}x)")
+
+        reset_solver_stats()
+        sequential_batch()
+        batched_batch()
+        stats = solver_stats()
+        warm_total = (stats.warm_exact_hits + stats.warm_near_hits
+                      + stats.warm_misses)
+        print(f"  solver split (sequential + batched pass over "
+              f"{n} candidates):")
+        print(f"    newton iterations     {stats.newton_iterations}")
+        print(f"    jacobian factor/reuse "
+              f"{stats.jacobian_factorizations}/{stats.jacobian_reuses}"
+              f"   (reuse rate {stats.factor_reuse_rate:.0%})")
+        print(f"    op-cache exact/near/miss "
+              f"{stats.warm_exact_hits}/{stats.warm_near_hits}/"
+              f"{stats.warm_misses}"
+              + (f"   (hit rate {stats.warm_hit_rate:.0%})"
+                 if warm_total else ""))
+        print(f"    sparse factorizations {stats.sparse_factorizations}")
+        print(f"    stamp/factor/solve    "
+              f"{stats.stamp_s * 1e3:.3f}/{stats.factor_s * 1e3:.3f}/"
+              f"{stats.solve_s * 1e3:.3f} ms")
+        print(f"    ac stacked solve      {stats.ac_solve_s * 1e3:.3f} ms")
     return 0
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.eval.metrics import Metrics
 from repro.eval.suites import (
     AC_FREQS,
@@ -43,10 +45,28 @@ from repro.sim.measures import (
     supply_power,
     unity_gain_frequency,
 )
+from repro.eval.warm import dc_features, geometry_for, seed_dc_rows, store_dc
 from repro.tech import Technology
 from repro.variation import DeviceDelta
 
 DeltasSeq = Sequence[Mapping[str, DeviceDelta]]
+
+
+def _batch_x0(seeds, shared):
+    """Per-row Newton seeds for one batched DC solve.
+
+    ``seeds`` are the op-cache lookups (exact result or nearest-neighbour
+    vector per row); rows the cache cannot seed fall back to the legacy
+    shared last-solution vector, and a fully cold batch degenerates to
+    exactly the pre-cache behavior (one shared vector or None).
+    """
+    rows = [exact.x if exact is not None else x0 for exact, x0 in seeds]
+    if all(row is None for row in rows):
+        return shared
+    if shared is None:
+        proto = next(row for row in rows if row is not None)
+        shared = np.zeros_like(proto)
+    return [shared if row is None else row for row in rows]
 
 
 # ---------------------------------------------------------------------- CM
@@ -65,8 +85,12 @@ def measure_cm_many(
     probes = block.params["probe_sources"]
     bsys = make_batched_system(
         annotated, tech, deltas_seq, check_signatures=False)
+    feats_rows = [dc_features(d) for d in deltas_seq]
+    x0 = _batch_x0(seed_dc_rows(warm, "cm", feats_rows), warm.get("cm"))
     results = solve_dc_many(
-        annotated, tech, deltas_seq, x0=warm.get("cm"), system=bsys)
+        annotated, tech, deltas_seq, x0=x0, system=bsys)
+    for feats, result in zip(feats_rows, results):
+        store_dc(warm, "cm", feats, result)
     warm["cm"] = results[-1].x
 
     out = []
@@ -79,7 +103,9 @@ def measure_cm_many(
         }
         for probe, current in zip(probes, currents):
             values[f"i_{probe}_ua"] = current * 1e6
-        values.update(_geometry_values(block, circuit, placement, tech))
+        values.update(geometry_for(
+        warm, placement,
+        lambda: _geometry_values(block, circuit, placement, tech)))
         out.append(Metrics(kind="cm", primary="mismatch_pct", values=values))
     return out
 
@@ -106,17 +132,25 @@ def measure_comp_many(
     bsys = make_batched_system(
         benches, tech, deltas_seq, check_signatures=False)
 
-    def imbalances(vdiff: float):
-        return solve_dc_many(
-            benches, tech, deltas_seq, x0=warm.get("comp"),
+    feats_rows = [dc_features(d) for d in deltas_seq]
+
+    def imbalances(vdiff: float, key: str):
+        stage = f"comp/{key}"
+        x0 = _batch_x0(
+            seed_dc_rows(warm, stage, feats_rows), warm.get("comp"))
+        results = solve_dc_many(
+            benches, tech, deltas_seq, x0=x0,
             source_values={"vvip": vcm + vdiff / 2, "vvin": vcm - vdiff / 2},
             system=bsys,
         )
+        for feats, result in zip(feats_rows, results):
+            store_dc(warm, stage, feats, result)
+        return results
 
-    ops = imbalances(0.0)
+    ops = imbalances(0.0, "balanced")
     warm["comp"] = ops[-1].x
-    plus = imbalances(+2 * OFFSET_PROBE_V)
-    minus = imbalances(-2 * OFFSET_PROBE_V)
+    plus = imbalances(+2 * OFFSET_PROBE_V, "plus")
+    minus = imbalances(-2 * OFFSET_PROBE_V, "minus")
 
     out = []
     for bench, circuit, placement, op, rp, rm, deltas in zip(
@@ -159,7 +193,9 @@ def measure_comp_many(
             "power_w": power_dynamic + power_static,
             "gm_latch_s": gm_latch,
         }
-        values.update(_geometry_values(block, circuit, placement, tech))
+        values.update(geometry_for(
+        warm, placement,
+        lambda: _geometry_values(block, circuit, placement, tech)))
         out.append(Metrics(kind="comp", primary="offset_mv", values=values))
     return out
 
@@ -186,8 +222,12 @@ def measure_ota_many(
     closed = [c.copy_with(replacements={"vvin": feedback}) for c in annotated]
     closed_sys = make_batched_system(
         closed, tech, deltas_seq, check_signatures=False)
+    feats_rows = [dc_features(d) for d in deltas_seq]
+    x0 = _batch_x0(seed_dc_rows(warm, "ota", feats_rows), warm.get("ota"))
     ops = solve_dc_many(
-        closed, tech, deltas_seq, x0=warm.get("ota"), system=closed_sys)
+        closed, tech, deltas_seq, x0=x0, system=closed_sys)
+    for feats, op in zip(feats_rows, ops):
+        store_dc(warm, "ota", feats, op)
     warm["ota"] = ops[-1].x
 
     ac_benches = []
@@ -219,7 +259,9 @@ def measure_ota_many(
             "pm_deg": pm if pm is not None else 0.0,
             "power_w": supply_power(params["vdd"], op.current("vvdd")),
         }
-        values.update(_geometry_values(block, circuit, placement, tech))
+        values.update(geometry_for(
+        warm, placement,
+        lambda: _geometry_values(block, circuit, placement, tech)))
         out.append(Metrics(kind="ota", primary="offset_mv", values=values))
     return out
 

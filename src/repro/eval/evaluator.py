@@ -23,6 +23,7 @@ import numpy as np
 from repro.eval.batch_suites import BATCH_SUITES
 from repro.eval.metrics import Metrics
 from repro.eval.suites import SUITES, Warm
+from repro.eval.warm import WarmStore
 from repro.layout.context import device_contexts_all, unit_context_arrays
 from repro.layout.placement import Placement
 from repro.netlist.library import AnalogBlock
@@ -83,7 +84,7 @@ class PlacementEvaluator:
         self.sim_failures = 0
         self._cache: OrderedDict[tuple, Metrics] = OrderedDict()
         self._cache_size = cache_size
-        self._warm: Warm = {}
+        self._warm: Warm = WarmStore()
         if block.kind not in SUITES:
             raise ValueError(f"no measurement suite for kind {block.kind!r}")
         self._suite = SUITES[block.kind]

@@ -22,6 +22,13 @@ from typing import Mapping
 import numpy as np
 
 from repro.eval.metrics import Metrics
+from repro.eval.warm import (
+    bind_system,
+    dc_features,
+    geometry_for,
+    seed_dc,
+    store_dc,
+)
 from repro.layout.placement import Placement
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import Capacitor, Mosfet, Vcvs, VoltageSource
@@ -112,7 +119,16 @@ def measure_cm(
     the worst-case percentage deviation of |I_probe| from I_ref.
     """
     iref = block.params["iref"]
-    result = solve_dc(annotated, tech, deltas=deltas, x0=warm.get("cm"))
+    feats = dc_features(deltas)
+    result, x0 = seed_dc(warm, "cm", feats)
+    if result is None:
+        if x0 is None:
+            x0 = warm.get("cm")
+        result = solve_dc(
+            annotated, tech, deltas=deltas, x0=x0,
+            system=bind_system(warm, "cm", annotated, tech, deltas),
+        )
+        store_dc(warm, "cm", feats, result)
     warm["cm"] = result.x
 
     probes = block.params["probe_sources"]
@@ -125,7 +141,9 @@ def measure_cm(
     }
     for probe, current in zip(probes, currents):
         values[f"i_{probe}_ua"] = current * 1e6
-    values.update(_geometry_values(block, annotated, placement, tech))
+    values.update(geometry_for(
+        warm, placement,
+        lambda: _geometry_values(block, annotated, placement, tech)))
     return Metrics(kind="cm", primary="mismatch_pct", values=values)
 
 
@@ -162,11 +180,21 @@ def measure_comp(
     ]
     bench = annotated.copy_with(extra=clamp)
 
+    feats = dc_features(deltas)
+
     def imbalance(vdiff: float, key: str) -> float:
-        result = solve_dc(
-            bench, tech, deltas=deltas, x0=warm.get("comp"),
-            source_values={"vvip": vcm + vdiff / 2, "vvin": vcm - vdiff / 2},
-        )
+        stage = f"comp/{key}"
+        result, x0 = seed_dc(warm, stage, feats)
+        if result is None:
+            if x0 is None:
+                x0 = warm.get("comp")
+            result = solve_dc(
+                bench, tech, deltas=deltas, x0=x0,
+                source_values={
+                    "vvip": vcm + vdiff / 2, "vvin": vcm - vdiff / 2},
+                system=bind_system(warm, "comp", bench, tech, deltas),
+            )
+            store_dc(warm, stage, feats, result)
         warm.setdefault("comp", result.x)
         if key == "balanced":
             warm["comp"] = result.x
@@ -210,7 +238,9 @@ def measure_comp(
         "power_w": power_dynamic + power_static,
         "gm_latch_s": gm_latch,
     }
-    values.update(_geometry_values(block, annotated, placement, tech))
+    values.update(geometry_for(
+        warm, placement,
+        lambda: _geometry_values(block, annotated, placement, tech)))
     return Metrics(kind="comp", primary="offset_mv", values=values)
 
 
@@ -237,10 +267,22 @@ def measure_ota(
     params = block.params
     vcm = params["vcm"]
 
-    feedback = Vcvs("vvin", {"p": "vin", "n": "gnd", "cp": "outp", "cn": "gnd"},
-                    gain=1.0)
-    closed = annotated.copy_with(replacements={"vvin": feedback})
-    op = solve_dc(closed, tech, deltas=deltas, x0=warm.get("ota"))
+    feats = dc_features(deltas)
+    op, x0 = seed_dc(warm, "ota", feats)
+    if op is None:
+        # Built only on an op-cache miss — an exact hit never touches
+        # the closed-loop bench.
+        feedback = Vcvs(
+            "vvin", {"p": "vin", "n": "gnd", "cp": "outp", "cn": "gnd"},
+            gain=1.0)
+        closed = annotated.copy_with(replacements={"vvin": feedback})
+        if x0 is None:
+            x0 = warm.get("ota")
+        op = solve_dc(
+            closed, tech, deltas=deltas, x0=x0,
+            system=bind_system(warm, "ota", closed, tech, deltas),
+        )
+        store_dc(warm, "ota", feats, op)
     warm["ota"] = op.x
     offset_v = op.voltage("outp") - vcm
 
@@ -251,7 +293,11 @@ def measure_ota(
         "vvip": dataclasses.replace(vip, ac=+0.5),
         "vvin": dataclasses.replace(vin, ac=-0.5),
     })
-    ac = solve_ac(ac_bench, tech, op.voltages, AC_FREQS, deltas=deltas)
+    ac = solve_ac(
+        ac_bench, tech, op.voltages, AC_FREQS, deltas=deltas,
+        system=bind_system(warm, "ota_ac", ac_bench, tech, deltas),
+        nets=("outp",),  # the suite only reads the output transfer
+    )
     h = ac.transfer("outp")
 
     gain = dc_gain(h)
@@ -266,7 +312,9 @@ def measure_ota(
         "pm_deg": pm if pm is not None else 0.0,
         "power_w": supply_power(params["vdd"], op.current("vvdd")),
     }
-    values.update(_geometry_values(block, annotated, placement, tech))
+    values.update(geometry_for(
+        warm, placement,
+        lambda: _geometry_values(block, annotated, placement, tech)))
     return Metrics(kind="ota", primary="offset_mv", values=values)
 
 

@@ -10,6 +10,16 @@ which this engine models faithfully.
 """
 
 from repro.sim.ac import AcResult, logspace_frequencies, solve_ac
+from repro.sim.backend import (
+    BACKEND_NAMES,
+    ArrayBackend,
+    BackendUnavailable,
+    available_backends,
+    get_array_backend,
+    set_array_backend,
+    stacked_solve,
+    use_array_backend,
+)
 from repro.sim.batch import solve_ac_many, solve_dc_many, solve_noise_many
 from repro.sim.compiled import (
     BatchedCompiledSystem,
@@ -30,6 +40,15 @@ from repro.sim.engine import (
     make_system,
     set_engine,
     use_engine,
+)
+from repro.sim.fastpath import (
+    SolverStats,
+    SolverTuning,
+    get_solver_tuning,
+    reset_solver_stats,
+    set_solver_tuning,
+    solver_stats,
+    solver_tuning,
 )
 from repro.sim.measures import (
     bandwidth_3db,
@@ -58,6 +77,9 @@ from repro.sim.transient import (
 
 __all__ = [
     "AcResult",
+    "ArrayBackend",
+    "BACKEND_NAMES",
+    "BackendUnavailable",
     "BatchedCompiledSystem",
     "CompiledSystem",
     "CompiledTopology",
@@ -69,7 +91,10 @@ __all__ = [
     "MosfetCaps",
     "NoiseResult",
     "OpPoint",
+    "SolverStats",
+    "SolverTuning",
     "TransientResult",
+    "available_backends",
     "bandwidth_3db",
     "batched_system",
     "clear_topology_cache",
@@ -80,12 +105,21 @@ __all__ = [
     "dc_sweep",
     "device_caps",
     "gain_margin_db",
+    "get_array_backend",
     "get_engine",
+    "get_solver_tuning",
     "logspace_frequencies",
     "make_batched_system",
     "make_system",
     "phase_margin",
+    "reset_solver_stats",
+    "set_array_backend",
     "set_engine",
+    "set_solver_tuning",
+    "solver_stats",
+    "solver_tuning",
+    "stacked_solve",
+    "use_array_backend",
     "solve_ac",
     "solve_ac_many",
     "solve_dc",

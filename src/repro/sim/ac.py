@@ -12,14 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.nets import is_ground
+from repro.sim.backend import stacked_solve
 from repro.sim.compiled import CompiledSystem
 from repro.sim.engine import make_system
+from repro.sim.mna import MnaSystem
 from repro.tech import Technology
 from repro.variation import DeviceDelta
 
@@ -64,6 +66,8 @@ def solve_ac(
     freqs: np.ndarray,
     deltas: Mapping[str, DeviceDelta] | None = None,
     engine: str | None = None,
+    system: CompiledSystem | MnaSystem | None = None,
+    nets: Sequence[str] | None = None,
 ) -> AcResult:
     """Solve the linearized system at each frequency.
 
@@ -81,22 +85,30 @@ def solve_ac(
         deltas: variation-resolved device parameter shifts (must match the
             ones used for the operating point).
         engine: assembler choice; ``None`` uses the process default.
+        system: prebuilt assembler for ``circuit`` — skips construction
+            (the measurement suites cache one binding per testbench).
+        nets: restrict response extraction to these nets (``None`` keeps
+            every net).  The system is solved in full either way; this
+            only trims the per-net response copies, so callers that read
+            a single transfer (the measurement suites) skip the rest.
     """
     freqs = np.asarray(freqs, dtype=float)
-    system = make_system(circuit, tech, deltas, engine=engine)
-    nets = [n for n in circuit.nets() if not is_ground(n)]
+    if system is None:
+        system = make_system(circuit, tech, deltas, engine=engine)
+    all_nets = circuit.nets() if nets is None else list(nets)
+    live = [n for n in all_nets if not is_ground(n)]
     if isinstance(system, CompiledSystem):
         X = system.solve_ac_batch(op_voltages, 2.0 * math.pi * freqs)
         out = {net: np.ascontiguousarray(X[:, system.node_index[net]])
-               for net in nets}
+               for net in live}
     else:
-        out = {net: np.zeros(len(freqs), dtype=complex) for net in nets}
+        out = {net: np.zeros(len(freqs), dtype=complex) for net in live}
         for k, f in enumerate(freqs):
             A, b = system.assemble_ac(op_voltages, omega=2.0 * math.pi * f)
-            x = np.linalg.solve(A, b)
-            for net in nets:
+            x = stacked_solve(A, b)
+            for net in live:
                 out[net][k] = x[system.node_index[net]]
-    for g in circuit.nets():
+    for g in all_nets:
         if is_ground(g):
             out[g] = np.zeros(len(freqs), dtype=complex)
     return AcResult(freqs=freqs, node_voltages=out)

@@ -1,0 +1,171 @@
+"""Pluggable array backend for the stacked linear solves.
+
+Every performance-critical linear solve in the simulator is a *stacked*
+dense solve — placements × frequencies × injections batches shaped
+``(..., n, n) @ (..., n, m)``.  This module is the single seam those
+solves go through, so the heavy lifting can be moved to another array
+library (CuPy on CUDA, torch on CUDA/MPS) without touching any caller:
+
+* :func:`stacked_solve` — the one entry point the solvers call;
+* :func:`set_array_backend` / :func:`use_array_backend` — select the
+  process-wide backend by name (``"numpy"``/``"cupy"``/``"torch"``) or
+  install a custom :class:`ArrayBackend` instance;
+* :func:`available_backends` — what the current environment can offer.
+
+GPU libraries are detected lazily at selection time; environments
+without them (like CI) keep the numpy default and selecting a missing
+backend raises :class:`BackendUnavailable` with an actionable message.
+Inputs and outputs are always numpy arrays — device transfer, if any,
+is the backend's private business.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+BACKEND_NAMES = ("numpy", "cupy", "torch")
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested array backend is not importable in this environment."""
+
+
+class ArrayBackend:
+    """Interface of one array backend (the numpy reference implementation).
+
+    Subclasses override :meth:`solve`; it receives numpy arrays of shape
+    ``(..., n, n)`` and ``(..., n, m)`` (or ``(..., n)``) and must return
+    a numpy array of the matching solution shape.
+    """
+
+    name = "numpy"
+
+    def solve(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Batched dense solve ``A x = B`` over the leading axes."""
+        return np.linalg.solve(A, B)
+
+
+class _CupyBackend(ArrayBackend):
+    name = "cupy"
+
+    def __init__(self):
+        import cupy  # noqa: F401 — availability probe
+
+        self._cp = cupy
+
+    def solve(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        cp = self._cp
+        x = cp.linalg.solve(cp.asarray(A), cp.asarray(B))
+        return cp.asnumpy(x)
+
+
+class _TorchBackend(ArrayBackend):
+    name = "torch"
+
+    def __init__(self):
+        import torch
+
+        self._torch = torch
+        if torch.cuda.is_available():
+            self._device = "cuda"
+        elif getattr(torch.backends, "mps", None) is not None and \
+                torch.backends.mps.is_available():
+            self._device = "mps"
+        else:
+            self._device = "cpu"
+
+    def solve(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        torch = self._torch
+        At = torch.as_tensor(A, device=self._device)
+        Bt = torch.as_tensor(B, device=self._device)
+        return torch.linalg.solve(At, Bt).cpu().numpy()
+
+
+_FACTORIES = {
+    "numpy": ArrayBackend,
+    "cupy": _CupyBackend,
+    "torch": _TorchBackend,
+}
+
+_backend: ArrayBackend = ArrayBackend()
+
+
+def _make_backend(name: str) -> ArrayBackend:
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown array backend {name!r}; choose from {BACKEND_NAMES}"
+        )
+    try:
+        return factory()
+    except ImportError as exc:
+        raise BackendUnavailable(
+            f"array backend {name!r} is not available: {exc}. "
+            f"Install the library or pick an available backend."
+        ) from exc
+
+
+def get_array_backend() -> ArrayBackend:
+    """The process-wide array backend the stacked solves route through."""
+    return _backend
+
+
+def set_array_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Select the process-wide array backend.
+
+    Args:
+        backend: a name from ``BACKEND_NAMES`` or a ready
+            :class:`ArrayBackend` instance (custom backends welcome).
+
+    Raises:
+        BackendUnavailable: named backend's library is not importable.
+    """
+    global _backend
+    if isinstance(backend, str):
+        backend = _make_backend(backend)
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"expected a backend name or ArrayBackend, got {type(backend)!r}"
+        )
+    _backend = backend
+    return backend
+
+
+@contextmanager
+def use_array_backend(backend: str | ArrayBackend | None) -> Iterator[None]:
+    """Scope the array backend to a ``with`` block (``None`` = no change)."""
+    if backend is None:
+        yield
+        return
+    previous = get_array_backend()
+    set_array_backend(backend)
+    try:
+        yield
+    finally:
+        set_array_backend(previous)
+
+
+def available_backends() -> list[str]:
+    """Names of the backends importable in this environment."""
+    out = []
+    for name in BACKEND_NAMES:
+        try:
+            _make_backend(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return out
+
+
+def stacked_solve(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Batched dense solve through the selected backend.
+
+    The one seam every stacked solve in the simulator goes through
+    (AC/noise frequency stacks, batched Newton steps).  ``A`` is
+    ``(..., n, n)``; ``B`` is ``(..., n)`` or ``(..., n, m)``; numpy in,
+    numpy out regardless of backend.
+    """
+    return _backend.solve(A, B)

@@ -34,6 +34,7 @@ import numpy as np
 from repro.netlist.circuit import Circuit
 from repro.netlist.nets import is_ground
 from repro.sim.ac import AcResult, solve_ac
+from repro.sim.backend import stacked_solve
 from repro.sim.compiled import BatchedCompiledSystem
 from repro.sim.dc import (
     ABSTOL_V,
@@ -44,6 +45,7 @@ from repro.sim.dc import (
     solve_dc,
 )
 from repro.sim.engine import make_batched_system
+from repro.sim.fastpath import STATS, get_solver_tuning
 from repro.sim.mna import GROUND
 from repro.sim.noise import (
     KF_DEFAULT,
@@ -102,7 +104,7 @@ def _package_row(
 def _solve_rows(J: np.ndarray, F: np.ndarray) -> np.ndarray:
     """Row-wise Newton steps ``-J \\ F``; singular rows come back as NaN."""
     try:
-        return np.linalg.solve(J, -F[..., None])[..., 0]
+        return stacked_solve(J, -F[..., None])[..., 0]
     except np.linalg.LinAlgError:
         out = np.full_like(F, np.nan)
         for i in range(len(F)):
@@ -123,29 +125,88 @@ def _newton_many(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Damped Newton over a placement batch with per-row convergence.
 
-    Per-row semantics are exactly :func:`repro.sim.dc._newton`: the same
+    Per-row semantics follow :func:`repro.sim.dc._newton`: the same
     damping rule, the same node/branch residual criteria, and each row
     stops updating the moment *its* criteria are met (converged rows are
     dropped from the active set).  Returns ``(X, iterations, converged)``.
+
+    Jacobian reuse is batch-level: once every active row's residual
+    contracts, iterations assemble residuals only and step against the
+    frozen Jacobian stack; any row stalling (or going non-finite)
+    refactors the whole active set at the current iterates.  Rows whose
+    criteria are met under a frozen Jacobian stay active for one
+    fresh-Jacobian confirm iteration — mirroring the scalar driver, so
+    accepted rows carry the same quadratic final error either way.
     """
+    tuning = get_solver_tuning()
+    reuse = tuning.jacobian_reuse
+    contraction = tuning.reuse_contraction
     X = X0.copy()
     n_rows = X.shape[0]
     n_nodes = bsys.n_nodes
     iters = np.zeros(n_rows, dtype=int)
     converged = np.zeros(n_rows, dtype=bool)
     active = np.arange(n_rows)
+    J_frozen = np.empty((n_rows, bsys.size, bsys.size)) if reuse else None
+    prev_resid = np.full(n_rows, np.inf)
+    frozen_mode = False
     for __ in range(max_iter):
-        J, F = bsys.assemble_dc_batch(
-            X[active], gmin=gmin, source_scale=source_scale,
-            source_values=source_values, rows=active,
-        )
+        fresh = True
+        if frozen_mode:
+            __f, F = bsys.assemble_dc_batch(
+                X[active], gmin=gmin, source_scale=source_scale,
+                source_values=source_values, rows=active,
+                want_jacobian=False,
+            )
+            resid = np.max(np.abs(F), axis=1) if F.shape[1] else \
+                np.zeros(active.size)
+            if np.any(resid > contraction * prev_resid[active]):
+                # A stalled row spoils the frozen stack for everyone:
+                # refactor the whole active set at the current iterates.
+                J, __f = bsys.assemble_dc_batch(
+                    X[active], gmin=gmin, source_scale=source_scale,
+                    source_values=source_values, rows=active,
+                )
+                J_frozen[active] = J
+                STATS.jacobian_factorizations += active.size
+            else:
+                fresh = False
+                STATS.jacobian_reuses += active.size
+            J = J_frozen[active]
+        else:
+            J, F = bsys.assemble_dc_batch(
+                X[active], gmin=gmin, source_scale=source_scale,
+                source_values=source_values, rows=active,
+            )
+            resid = np.max(np.abs(F), axis=1) if F.shape[1] else \
+                np.zeros(active.size)
+            if reuse:
+                J_frozen[active] = J
+            STATS.jacobian_factorizations += active.size
         iters[active] += 1
+        STATS.newton_iterations += active.size
+        contracting = resid <= contraction * prev_resid[active]
+        prev_resid[active] = resid
         dx = _solve_rows(J, F)
         good = np.isfinite(dx).all(axis=1)
+        if not good.all() and not fresh:
+            # Stale factors produced garbage for some rows; retry the
+            # whole active set against fresh Jacobians before giving up
+            # on any row.
+            J, __f = bsys.assemble_dc_batch(
+                X[active], gmin=gmin, source_scale=source_scale,
+                source_values=source_values, rows=active,
+            )
+            J_frozen[active] = J
+            STATS.jacobian_factorizations += active.size
+            fresh = True
+            dx = _solve_rows(J, F)
+            good = np.isfinite(dx).all(axis=1)
         if not good.all():
             # Singular / diverged rows keep their last state and leave the
             # batch; the caller sends them down the scalar homotopy chain.
             active, F, dx = active[good], F[good], dx[good]
+            contracting = contracting[good]
             if active.size == 0:
                 break
         if n_nodes:
@@ -169,10 +230,21 @@ def _newton_many(
             & (resid_i < RESIDTOL_I)
             & (resid_v < RESIDTOL_V)
         )
-        converged[active[done]] = True
-        active = active[~done]
-        if active.size == 0:
-            break
+        if fresh:
+            converged[active[done]] = True
+            active = active[~done]
+            if active.size == 0:
+                break
+            # Freeze only when every surviving row is contracting.
+            frozen_mode = reuse and bool(np.all(contracting[~done]))
+        else:
+            # Criteria met against a frozen Jacobian are not accepted
+            # yet: those rows stay active and the next iteration runs
+            # fresh to confirm them (matching the scalar driver).
+            frozen_mode = (
+                reuse and not bool(done.any())
+                and bool(np.all(contracting))
+            )
     return X, iters, converged
 
 

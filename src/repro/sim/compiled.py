@@ -39,6 +39,7 @@ as the equivalence-tested reference backend (see
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -53,6 +54,8 @@ from repro.netlist.devices import (
     VoltageSource,
 )
 from repro.netlist.nets import is_ground
+from repro.sim.backend import stacked_solve
+from repro.sim.fastpath import STATS
 from repro.sim.mna import GROUND
 from repro.sim.mosfet import (
     MosfetArrays,
@@ -269,6 +272,34 @@ class CompiledTopology:
         self.node_diag_flat = nodes * stride + nodes
 
         self._banks: dict[Technology, _DeviceBank] = {}
+        self._csc_pattern: tuple | None = None
+
+    def csc_pattern(self) -> tuple:
+        """Symbolic CSC structure of the DC Jacobian (cached).
+
+        The Jacobian's nonzero pattern is fixed per topology: the linear
+        conductance pattern, the per-MOSFET footprint and the gmin node
+        diagonal.  Returns ``(rows, cols, indices, indptr)`` where
+        ``J[rows, cols]`` gathers the data array of a
+        ``scipy.sparse.csc_matrix((data, indices, indptr))`` — the sparse
+        fast path builds each factorization with zero symbolic work.
+        """
+        if self._csc_pattern is None:
+            size = self.size
+            stride = size + 1
+            flat = np.concatenate((
+                self.lin_flat, self.mos_j_flat, self.node_diag_flat,
+            ))
+            flat = np.unique(flat)
+            rows, cols = np.divmod(flat, stride)
+            keep = (rows < size) & (cols < size)  # drop the ground spill
+            rows, cols = rows[keep], cols[keep]
+            order = np.lexsort((rows, cols))  # column-major for CSC
+            rows, cols = rows[order], cols[order]
+            indptr = np.searchsorted(cols, np.arange(size + 1))
+            self._csc_pattern = (rows, cols, rows.astype(np.int32),
+                                 indptr.astype(np.int32))
+        return self._csc_pattern
 
     def device_bank(self, tech: Technology) -> "_DeviceBank":
         """Nominal per-device parameter bank under one technology (cached).
@@ -490,19 +521,23 @@ class CompiledSystem:
         gmin: float = 1e-12,
         source_scale: float = 1.0,
         source_values: Mapping[str, float] | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        want_jacobian: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
         """Jacobian and residual of the DC system at state ``x``.
 
         Semantics identical to :meth:`MnaSystem.assemble_dc`; assembly is
         one matrix copy, one vectorized device-bank evaluation and two
-        index scatters.
+        index scatters.  ``want_jacobian=False`` skips the matrix copy
+        and Jacobian scatter and returns ``(None, F)`` — the
+        modified-Newton iterations that step against a frozen Jacobian
+        only need the residual.
         """
         t = self.topology
         size = self.size
         x_ext = np.zeros(size + 1)
         x_ext[:size] = x
 
-        J_ext = self._G_ext.copy()
+        J_ext = self._G_ext.copy() if want_jacobian else None
         F_ext = self._G_ext @ x_ext
         if t.src_rows.size:
             values = self._dc_source_vector(source_scale, source_values)
@@ -510,9 +545,12 @@ class CompiledSystem:
         if t.mos_names:
             ids, jvals = self._mos_stamps(x_ext)
             np.add.at(F_ext, t.mos_f_rows, np.concatenate((ids, -ids)))
-            np.add.at(J_ext.ravel(), t.mos_j_flat, jvals)
-        J_ext.ravel()[t.node_diag_flat] += gmin
+            if want_jacobian:
+                np.add.at(J_ext.ravel(), t.mos_j_flat, jvals)
         F_ext[: self.n_nodes] += gmin * x_ext[: self.n_nodes]
+        if not want_jacobian:
+            return None, F_ext[:size]
+        J_ext.ravel()[t.node_diag_flat] += gmin
         return J_ext[:size, :size], F_ext[:size]
 
     # ------------------------------------------------------------------ AC
@@ -579,15 +617,23 @@ class CompiledSystem:
         omegas = np.asarray(omegas, dtype=float)
         A = G[None, :, :] + 1j * omegas[:, None, None] * C[None, :, :]
         if rhs is None:
+            # LAPACK reads the broadcast (hence read-only) RHS fine — no
+            # per-call copy needed.
             B = np.broadcast_to(
                 b[None, :, None], (len(omegas), self.size, 1)
             )
-            return np.linalg.solve(A, B.copy())[..., 0]
+            start = perf_counter()
+            X = stacked_solve(A, B)[..., 0]
+            STATS.ac_solve_s += perf_counter() - start
+            return X
         B = np.broadcast_to(
             np.asarray(rhs, dtype=complex)[None, :, :],
             (len(omegas),) + rhs.shape,
         )
-        return np.linalg.solve(A, B.copy())
+        start = perf_counter()
+        X = stacked_solve(A, B)
+        STATS.ac_solve_s += perf_counter() - start
+        return X
 
 
 class BatchedCompiledSystem:
@@ -714,6 +760,11 @@ class BatchedCompiledSystem:
         self._C = np.ascontiguousarray(
             C.reshape(k, stride, stride)[:, : self.size, : self.size]
         )
+        # Reusable per-iteration DC workspaces keyed by active-set size
+        # (the batched Newton driver reassembles every iteration; the
+        # active set only ever shrinks, so a handful of buffers serve a
+        # whole solve).
+        self._dc_workspace: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------- helpers
 
@@ -801,13 +852,16 @@ class BatchedCompiledSystem:
         source_scale: float = 1.0,
         source_values: Mapping[str, float] | None = None,
         rows: np.ndarray | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        want_jacobian: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
         """Stacked Jacobians and residuals at states ``X`` of shape (A, size).
 
         ``rows`` selects the placement subset the states belong to (all
         placements by default) — the batched Newton driver shrinks the
         active set as placements converge.  Per-row semantics are exactly
-        :meth:`CompiledSystem.assemble_dc`.
+        :meth:`CompiledSystem.assemble_dc`, including the
+        ``want_jacobian=False`` residual-only form the frozen-Jacobian
+        iterations use.
         """
         t = self.topology
         size = self.size
@@ -816,10 +870,27 @@ class BatchedCompiledSystem:
         n_active = len(idx)
         arange = np.arange(n_active)
 
-        x_ext = np.zeros((n_active, stride))
+        ws = self._dc_workspace.get(n_active)
+        if ws is None:
+            ws = (np.zeros((n_active, stride)),
+                  np.empty((n_active, stride, stride)))
+            self._dc_workspace[n_active] = ws
+        x_ext, G_buf = ws
         x_ext[:, :size] = X
-        G = self._G_ext[idx]
-        J_ext = G.copy()
+        # The spill column of x_ext stays 0 (set at allocation, never
+        # written), exactly as a fresh zeros() would give.
+        if want_jacobian:
+            # The Jacobian is returned to (and may be held by) the
+            # caller, so it gets a fresh gather; F is formed from it
+            # before the device stamps land, saving the second
+            # (n, stride, stride) copy the old G→J_ext split paid.
+            J_ext = np.take(self._G_ext, idx, axis=0)
+            G = J_ext
+        else:
+            # Residual-only assembly: the linear matrix never escapes,
+            # so the reusable workspace buffer serves as scratch.
+            J_ext = None
+            G = np.take(self._G_ext, idx, axis=0, out=G_buf)
         F_ext = (G @ x_ext[..., None])[..., 0]
 
         if t.src_rows.size:
@@ -840,12 +911,15 @@ class BatchedCompiledSystem:
                 F_ext, (arange[:, None], t.mos_f_rows[None, :]),
                 np.concatenate((ids, -ids), axis=1),
             )
-            np.add.at(
-                J_ext.reshape(n_active, -1),
-                (arange[:, None], t.mos_j_flat[None, :]), jvals,
-            )
-        J_ext.reshape(n_active, -1)[:, t.node_diag_flat] += gmin
+            if want_jacobian:
+                np.add.at(
+                    J_ext.reshape(n_active, -1),
+                    (arange[:, None], t.mos_j_flat[None, :]), jvals,
+                )
         F_ext[:, : self.n_nodes] += gmin * x_ext[:, : self.n_nodes]
+        if not want_jacobian:
+            return None, F_ext[:, :size]
+        J_ext.reshape(n_active, -1)[:, t.node_diag_flat] += gmin
         return J_ext[:, :size, :size], F_ext[:, :size]
 
     # ------------------------------------------------------------------ AC
@@ -907,15 +981,22 @@ class BatchedCompiledSystem:
         A.real[...] = G[:, None, :, :]
         A.imag[...] = omegas[None, :, None, None] * C[:, None, :, :]
         if rhs is None:
+            # Broadcast (read-only) RHS solves fine — no per-call copy.
             B = np.broadcast_to(
                 b[:, None, :, None], (self.k, nfreq, self.size, 1)
             )
-            return np.linalg.solve(A, B.copy())[..., 0]
+            start = perf_counter()
+            X = stacked_solve(A, B)[..., 0]
+            STATS.ac_solve_s += perf_counter() - start
+            return X
         rhs = np.asarray(rhs, dtype=complex)
         B = np.broadcast_to(
             rhs[None, None, :, :], (self.k, nfreq) + rhs.shape
         )
-        return np.linalg.solve(A, B.copy())
+        start = perf_counter()
+        X = stacked_solve(A, B)
+        STATS.ac_solve_s += perf_counter() - start
+        return X
 
 
 def batched_system(

@@ -29,7 +29,11 @@ class TestSensitivities:
     def test_mirror_pair_sensitivities_oppose(self, cm_sens):
         # Raising the reference's Vth lowers its current sink capability;
         # raising an output's Vth acts the other way: opposite signs.
-        assert cm_sens["mref"] * cm_sens["mo2"] < 0
+        # The headline metric is a max() over output deviations, so only
+        # the dominant output branch has a resolved (non-noise)
+        # sensitivity — compare against that one.
+        dominant = max(("mo1", "mo2"), key=lambda n: abs(cm_sens[n]))
+        assert cm_sens["mref"] * cm_sens[dominant] < 0
 
     def test_comparator_input_pair_antisymmetric(self):
         block = comparator()
