@@ -1,0 +1,136 @@
+"""BENCH 7 / faults — served throughput under injected faults.
+
+Measures what fault tolerance costs: the same served placement workload
+(N requests POSTed to a live ``/place`` endpoint, drained through the
+:class:`JobManager`) runs twice —
+
+* **fault-free**: retry policy armed, no faults injected;
+* **10% fault rate**: a deterministic :class:`FaultPlan` kills the
+  worker process executing one request in ten (first attempt), forcing
+  a pool rebuild and a retry.
+
+Two shapes are asserted:
+
+* **recovery, not degradation** — every job completes on both runs, and
+  the per-seed result payloads are **bit-identical** across the
+  fault-free and faulted runs (retries must never leak into results);
+* **bounded overhead** — the faulted run pays only the lost attempts'
+  re-execution, not a collapse (asserted loosely: the faulted rate stays
+  within 20x of fault-free; the real number lands in the artifact).
+
+Raw numbers land in ``extra_info`` → ``BENCH_7.json`` (a CI artifact),
+tracking fault-tolerance overhead across PRs.  ``FAULT_BENCH_SMOKE=1``
+shrinks the workload for CI.
+"""
+
+import json
+import os
+import time
+import urllib.request
+
+import pytest
+
+from repro.runtime import FaultPlan, ProcessPoolBackend, RetryPolicy
+from repro.service import PlacementRequest
+from repro.service.http import make_server, server_thread
+from repro.service.service import PlacementService
+
+SMOKE = os.environ.get("FAULT_BENCH_SMOKE") == "1"
+
+#: Tiny-but-real placement jobs; 10 seeds → one faulted (10% rate).
+N_REQUESTS = 5 if SMOKE else 10
+STEPS = 60 if SMOKE else 200
+
+#: Seeds whose first attempt is killed (10% of the workload).
+KILLED_SEEDS = (3,)
+
+
+def _requests():
+    return [
+        PlacementRequest(circuit="cm", steps=STEPS, seed=seed)
+        for seed in range(1, N_REQUESTS + 1)
+    ]
+
+
+def _drain_served(tmp_path, tag, fault_plan) -> tuple[float, list[dict]]:
+    """POST every request over HTTP, wait for all; (seconds, payloads)."""
+    service = PlacementService(
+        policies=tmp_path / f"policies-{tag}",
+        backend=ProcessPoolBackend(jobs=1),
+        job_workers=1,
+        retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0,
+                          jitter_frac=0.0),
+        fault_plan=fault_plan,
+    )
+    server = make_server(service)
+    server_thread(server)
+    try:
+        start = time.perf_counter()
+        job_ids = []
+        for request in _requests():
+            body = json.dumps(request.to_json_dict()).encode()
+            http_request = urllib.request.Request(
+                server.url + "/place", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(http_request) as resp:
+                assert resp.status == 202
+                job_ids.append(json.loads(resp.read())["job"])
+        payloads = []
+        for job_id in job_ids:
+            service.result(job_id, timeout=600)
+            with urllib.request.urlopen(
+                server.url + f"/jobs/{job_id}"
+            ) as resp:
+                record = json.loads(resp.read())
+            assert record["state"] == "done", record.get("error")
+            payloads.append(record["result"])
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return elapsed, payloads
+
+
+@pytest.mark.benchmark(group="faults")
+def test_served_throughput_under_fault_injection(benchmark, tmp_path):
+    plan = FaultPlan.build({
+        (("place", seed), 1): "kill" for seed in KILLED_SEEDS
+    })
+
+    def both():
+        clean = _drain_served(tmp_path, "clean", None)
+        faulted = _drain_served(tmp_path, "faulted", plan)
+        return clean, faulted
+
+    (clean_s, clean_payloads), (faulted_s, faulted_payloads) = (
+        benchmark.pedantic(both, rounds=1, iterations=1)
+    )
+
+    clean_rate = N_REQUESTS / clean_s
+    faulted_rate = N_REQUESTS / faulted_s
+    benchmark.extra_info.update({
+        "block": "cm",
+        "requests": N_REQUESTS,
+        "steps": STEPS,
+        "fault_rate": round(len(KILLED_SEEDS) / N_REQUESTS, 2),
+        "clean_s": round(clean_s, 3),
+        "faulted_s": round(faulted_s, 3),
+        "clean_rate": round(clean_rate, 3),
+        "faulted_rate": round(faulted_rate, 3),
+        "throughput_ratio": round(faulted_rate / clean_rate, 3),
+        "smoke_mode": SMOKE,
+    })
+
+    # Recovery, not degradation: every faulted job still completed, and
+    # retried results are bit-identical to the fault-free run's.
+    assert faulted_payloads == clean_payloads
+    for payload in clean_payloads:
+        assert payload["best_cost"] <= payload["target"] * 50
+    # Bounded overhead: a 10% kill rate must not collapse throughput
+    # (loose bound — the artifact carries the real ratio).
+    assert faulted_rate > clean_rate / 20, (
+        f"faulted serving collapsed: {faulted_rate:.2f} vs "
+        f"{clean_rate:.2f} jobs/s"
+    )

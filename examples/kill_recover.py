@@ -1,0 +1,188 @@
+"""Kill -9 a serving process mid-job and recover it from the journal.
+
+The durability contract, exercised end-to-end:
+
+1. start ``repro serve --journal-dir <dir>`` and submit three placement
+   jobs (distinct seeds);
+2. wait until the first job is ``done`` (its result is journaled) while
+   at least one other job is still queued or running;
+3. **SIGKILL** the server — no drain, no flush, exactly a crash;
+4. restart ``repro serve`` on the same journal directory;
+5. verify the finished job's result is served *from the journal*
+   (without re-running anything) and the interrupted jobs are
+   re-enqueued and complete;
+6. compare every result payload against an uninterrupted in-process
+   baseline — deterministic execution makes them **bit-identical**, so
+   the crash is invisible in the data.
+
+Run:
+    python examples/kill_recover.py
+    python examples/kill_recover.py --circuit cm --steps 60
+
+Exits non-zero on any mismatch or lost job (CI runs this as the
+kill-and-recover serving smoke).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        assert resp.status == 200, f"GET {url} -> {resp.status}"
+        return json.loads(resp.read())
+
+
+def _post_json(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _spawn_server(port: int, journal_dir: str, policy_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--journal-dir", journal_dir, "--policy-dir", policy_dir,
+         "--job-workers", "1"],
+        env=env,
+    )
+
+
+def _wait_healthy(url: str, deadline_s: float = 60.0) -> dict:
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        try:
+            return _get_json(url + "/healthz")
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.2)
+    raise SystemExit(f"server at {url} never became healthy")
+
+
+def _wait_state(url: str, job: str, states: tuple[str, ...],
+                deadline_s: float = 600.0) -> dict:
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        record = _get_json(url + f"/jobs/{job}")
+        if record["state"] in states:
+            return record
+        time.sleep(0.2)
+    raise SystemExit(f"job {job} never reached {states}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="cm")
+    parser.add_argument("--steps", type=int, default=60)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="repro-kill-recover-")
+    journal_dir = os.path.join(workdir, "journal")
+    requests = [
+        {"circuit": args.circuit, "steps": args.steps, "seed": seed}
+        for seed in args.seeds
+    ]
+
+    # Uninterrupted baseline, in-process (same facade the server uses).
+    sys.path.insert(0, os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")))
+    from repro.service import PlacementRequest, PlacementService
+
+    baseline_service = PlacementService(
+        policies=os.path.join(workdir, "baseline-policies"))
+    baseline = [
+        baseline_service.place(
+            PlacementRequest.from_json_dict(req)).to_json_dict()
+        for req in requests
+    ]
+    print(f"baseline computed for seeds {args.seeds}")
+
+    server = None
+    try:
+        # ---- phase 1: serve, let job 1 finish, SIGKILL mid-workload
+        port = _free_port()
+        server = _spawn_server(port, journal_dir,
+                               os.path.join(workdir, "policies-a"))
+        url = f"http://127.0.0.1:{port}"
+        _wait_healthy(url)
+        jobs = []
+        for req in requests:
+            status, payload = _post_json(url + "/place", req)
+            assert status == 202, f"POST /place -> {status}"
+            jobs.append(payload["job"])
+        print(f"submitted {jobs}")
+        first = _wait_state(url, jobs[0], ("done",))
+        assert first["state"] == "done"
+        print(f"{jobs[0]} done; SIGKILL-ing the server mid-workload")
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        server = None
+
+        # ---- phase 2: restart on the same journal, verify recovery
+        port = _free_port()
+        server = _spawn_server(port, journal_dir,
+                               os.path.join(workdir, "policies-b"))
+        url = f"http://{'127.0.0.1'}:{port}"
+        _wait_healthy(url)
+        # The finished job must be immediately served from the journal.
+        record = _get_json(url + f"/jobs/{jobs[0]}")
+        assert record["state"] == "done", (
+            f"{jobs[0]} not served from journal: {record['state']}")
+        assert record.get("recovered"), f"{jobs[0]} was not a journal replay"
+        print(f"{jobs[0]} served from journal")
+        # Interrupted jobs re-run to completion under their original ids.
+        results = [record["result"]]
+        for job in jobs[1:]:
+            rec = _wait_state(url, job, ("done", "failed", "cancelled"))
+            if rec["state"] != "done":
+                raise SystemExit(
+                    f"{job} ended {rec['state']} after recovery: "
+                    f"{rec.get('error')}")
+            results.append(rec["result"])
+        print(f"interrupted jobs {jobs[1:]} completed after recovery")
+
+        # ---- phase 3: bit-identity against the uninterrupted baseline
+        for seed, served, expect in zip(args.seeds, results, baseline):
+            if served != expect:
+                diff = {k for k in expect if served.get(k) != expect[k]}
+                raise SystemExit(
+                    f"seed {seed}: served result differs from baseline "
+                    f"in fields {sorted(diff)}")
+        print("all recovered results bit-identical to the "
+              "uninterrupted baseline")
+        return 0
+    finally:
+        if server is not None:
+            server.terminate()
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -208,6 +208,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="concurrent jobs in the async job manager")
     serve.add_argument("--policy-dir", metavar="DIR",
                        help="policy store directory (default: ./policies)")
+    serve.add_argument("--journal-dir", metavar="DIR",
+                       help="durable job journal directory: every job "
+                            "transition is fsynced there, and restarting "
+                            "on the same directory recovers finished "
+                            "results and re-runs interrupted jobs")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       metavar="N",
+                       help="reject submissions (HTTP 429) once N jobs "
+                            "are queued (default: unbounded)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="reject a client's submissions (HTTP 429) "
+                            "once it has N jobs queued or running "
+                            "(default: unlimited)")
+    serve.add_argument("--dedup", action="store_true",
+                       help="identical in-flight requests share one job")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry failed/killed placement attempts up "
+                            "to N times with deterministic backoff "
+                            "(default: 0 = fail fast)")
+    serve.add_argument("--attempt-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-attempt time budget; stuck pool workers "
+                            "are killed and the attempt retried "
+                            "(needs --retries)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
 
@@ -355,14 +380,32 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.runtime.resilience import RetryPolicy
     from repro.service.http import serve
     from repro.service.service import PlacementService
 
+    retry = None
+    if args.retries > 0 or args.attempt_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=max(1, args.retries + 1),
+            timeout_s=args.attempt_timeout,
+        )
     service = PlacementService(
         backend=args.jobs,
         policies=args.policy_dir,
         job_workers=args.job_workers,
+        journal_dir=args.journal_dir,
+        retry=retry,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_client=args.max_inflight,
+        dedup=args.dedup,
     )
+    if service.recovery is not None:
+        print(
+            f"recovered journal {service.journal.path}: "
+            f"{len(service.recovery.served_from_journal)} served from "
+            f"journal, {len(service.recovery.requeued)} re-enqueued"
+        )
     serve(service, host=args.host, port=args.port, quiet=not args.verbose)
     return 0
 

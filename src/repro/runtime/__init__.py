@@ -10,10 +10,26 @@ without touching the drivers.
 """
 
 from repro.runtime.backend import (
+    AttemptResult,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    WorkerTaskError,
     resolve_backend,
+)
+from repro.runtime.faults import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    JournalCrash,
+    JournalFault,
+    WorkerKilled,
+)
+from repro.runtime.resilience import (
+    FailedRun,
+    RetryPolicy,
+    RunReport,
+    resilient_map_runs,
 )
 from repro.runtime.spec import (
     BUILDERS,
@@ -28,15 +44,27 @@ from repro.runtime.spec import (
 
 __all__ = [
     "BUILDERS",
+    "AttemptResult",
     "ExecutionBackend",
+    "FailedRun",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "JournalCrash",
+    "JournalFault",
     "ProcessPoolBackend",
+    "RetryPolicy",
     "RunOutcome",
+    "RunReport",
     "RunSpec",
     "SerialBackend",
+    "WorkerKilled",
+    "WorkerTaskError",
     "build_block",
     "execute_run",
     "map_runs",
     "outcomes_by_key",
+    "resilient_map_runs",
     "resolve_backend",
     "symmetric_target",
 ]

@@ -22,11 +22,104 @@ evaluators, environments, or closures.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, Sequence, TypeVar, runtime_checkable
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class WorkerTaskError(RuntimeError):
+    """A worker exception, annotated with the item that raised it.
+
+    A mid-batch failure inside a process pool used to surface as an
+    anonymous remote traceback; this wrapper names the originating item
+    (its index, and — for :class:`~repro.runtime.spec.RunSpec`-shaped
+    items — the circuit, placer and seed that died), so quarantine
+    reports and logs identify the run without archaeology.  Subclasses
+    :class:`RuntimeError` and keeps the original message, so existing
+    ``except``/``match`` sites keep working.
+    """
+
+
+def _item_label(item: Any, index: int) -> str:
+    """Human-readable identity of a mapped work item."""
+    describe = getattr(item, "describe", None)
+    if callable(describe):
+        try:
+            return f"item {index} ({describe()})"
+        except Exception:  # noqa: BLE001 — labels must never mask errors
+            pass
+    key = getattr(item, "key", None)
+    if key is not None:
+        return f"item {index} (key={key!r})"
+    return f"item {index}"
+
+
+class _IndexedCall:
+    """Picklable adapter: ``(index, item)`` in, annotated exceptions out."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, pair):
+        index, item = pair
+        try:
+            return self.fn(item)
+        except WorkerTaskError:
+            raise
+        except Exception as exc:
+            raise WorkerTaskError(
+                f"{_item_label(item, index)}: {type(exc).__name__}: {exc}"
+            ) from exc
+
+
+# ------------------------------------------------------- attempt results
+
+#: Statuses a single execution attempt can settle with.
+ATTEMPT_OK = "ok"            # fn returned a value
+ATTEMPT_ERROR = "error"      # fn raised an ordinary exception
+ATTEMPT_KILLED = "killed"    # the worker process died mid-task
+ATTEMPT_TIMEOUT = "timeout"  # the attempt outlived its time budget
+ATTEMPT_LOST = "lost"        # collateral of another item's worker death
+#                              (never executed — not a charged attempt)
+
+
+@dataclass
+class AttemptResult:
+    """How one execution attempt of one item settled.
+
+    ``ATTEMPT_LOST`` is the one non-final status: the item was queued
+    behind a worker that died (or a pool that was torn down) and never
+    ran, so no attempt is charged and the caller re-runs it for free.
+    :meth:`ProcessPoolBackend.map_attempts` already does that re-run
+    internally; callers only ever see final statuses.
+    """
+
+    status: str
+    value: Any = None
+    error: str | None = None
+    error_type: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == ATTEMPT_OK
+
+
+def _marked_call(fn, item, index, started):
+    """Worker-side wrapper: record "I started item i" before running it.
+
+    The marker (a Manager dict, visible to the driver even after this
+    process dies) is what attributes a ``BrokenProcessPool`` to the item
+    the dead worker was actually executing — items whose marker is
+    absent were still queued and are re-run without being charged an
+    attempt.
+    """
+    started[index] = True
+    return fn(item)
 
 
 @runtime_checkable
@@ -100,7 +193,129 @@ class ProcessPoolBackend:
         # Mild chunking amortises pickling without starving workers.
         chunksize = max(1, len(items) // (self.jobs * 4))
         with self._executor(len(items)) as executor:
-            return list(executor.map(fn, items, chunksize=chunksize))
+            return list(executor.map(
+                _IndexedCall(fn), enumerate(items), chunksize=chunksize
+            ))
+
+    def map_attempts(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        timeout_s: float | None = None,
+    ) -> tuple[list[AttemptResult], int]:
+        """Fault-tolerant map: settle every item instead of raising.
+
+        The resilient counterpart of :meth:`map` (and the seam
+        :func:`~repro.runtime.resilience.resilient_map_runs` drives):
+
+        * an item whose worker raises settles ``ATTEMPT_ERROR``;
+        * a worker *death* (``BrokenProcessPool``) settles only the
+          item(s) that worker was executing as ``ATTEMPT_KILLED`` — the
+          pool is rebuilt and every still-queued item re-runs in it,
+          uncharged, so one dead worker never poisons the batch;
+        * when ``timeout_s`` elapses (measured from each wave's
+          dispatch) the pool is torn down and in-flight items settle
+          ``ATTEMPT_TIMEOUT``; queued items re-run fresh.
+
+        Returns ``(results aligned with items, pool rebuild count)``.
+        Results never contain ``ATTEMPT_LOST`` — lost items are re-run
+        internally until they settle for a real reason.
+        """
+        import multiprocessing
+        from concurrent.futures.process import BrokenProcessPool
+
+        items = list(items)
+        if not items:
+            return [], 0
+        settled: dict[int, AttemptResult] = {}
+        pending = list(range(len(items)))
+        rebuilds = 0
+        with multiprocessing.Manager() as manager:
+            while pending:
+                started = manager.dict()
+                executor = self._executor(len(pending))
+                dispatched_at = time.monotonic()
+                futures = {
+                    i: executor.submit(_marked_call, fn, items[i], i, started)
+                    for i in pending
+                }
+                deadline = (
+                    None if timeout_s is None else dispatched_at + timeout_s
+                )
+                broke = timed_out = False
+                for i in pending:
+                    try:
+                        remaining = (
+                            None if deadline is None
+                            else max(0.0, deadline - time.monotonic())
+                        )
+                        value = futures[i].result(timeout=remaining)
+                        settled[i] = AttemptResult(ATTEMPT_OK, value=value)
+                    except FutureTimeoutError:
+                        timed_out = True
+                        break
+                    except BrokenProcessPool:
+                        broke = True
+                        break
+                    except Exception as exc:  # noqa: BLE001 — settled, not raised
+                        settled[i] = AttemptResult(
+                            ATTEMPT_ERROR,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                        )
+                if broke or timed_out:
+                    # Kill the pool: on timeout the stuck workers must
+                    # die for the batch to make progress; on a break
+                    # the executor is already unusable.
+                    for process in list(
+                        getattr(executor, "_processes", {}).values()
+                    ):
+                        process.kill()
+                    executor.shutdown(wait=True, cancel_futures=True)
+                    rebuilds += 1
+                    interrupted = (
+                        ATTEMPT_TIMEOUT if timed_out else ATTEMPT_KILLED
+                    )
+                    for i in pending:
+                        if i in settled:
+                            continue
+                        future = futures[i]
+                        if future.cancelled():
+                            continue  # never ran — re-run uncharged
+                        exc = future.exception()
+                        if exc is None:
+                            settled[i] = AttemptResult(
+                                ATTEMPT_OK, value=future.result()
+                            )
+                        elif isinstance(exc, BrokenProcessPool):
+                            if started.get(i):
+                                settled[i] = AttemptResult(
+                                    interrupted,
+                                    error=(
+                                        f"{_item_label(items[i], i)}: "
+                                        + (
+                                            "attempt exceeded "
+                                            f"{timeout_s}s time budget"
+                                            if timed_out else
+                                            "worker process died mid-task"
+                                        )
+                                    ),
+                                    error_type=(
+                                        "TimeoutError" if timed_out
+                                        else "WorkerKilled"
+                                    ),
+                                )
+                            # else: queued collateral — re-run uncharged.
+                        else:
+                            settled[i] = AttemptResult(
+                                ATTEMPT_ERROR,
+                                error=str(exc),
+                                error_type=type(exc).__name__,
+                            )
+                else:
+                    executor.shutdown(wait=True)
+                pending = [i for i in pending if i not in settled]
+        return [settled[i] for i in range(len(items))], rebuilds
 
     def __repr__(self) -> str:
         return f"ProcessPoolBackend(jobs={self.jobs})"

@@ -157,6 +157,25 @@ class RunSpec:
                 "SA has no tables to share"
             )
 
+    def describe(self) -> str:
+        """Human-readable identity: which circuit/placer/seed this is.
+
+        Used to label worker failures and quarantine reports — a spec
+        that dies mid-batch must name the run, not just an index.
+        """
+        if isinstance(self.builder, str):
+            circuit = self.builder
+        elif isinstance(self.builder, AnalogBlock):
+            circuit = self.builder.name
+        else:
+            circuit = getattr(
+                self.builder, "__name__", type(self.builder).__name__
+            )
+        return (
+            f"key={self.key!r} circuit={circuit!r} "
+            f"placer={self.placer} seed={self.seed}"
+        )
+
     # ----------------------------------------------------- request bridge
 
     @classmethod

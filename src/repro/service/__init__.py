@@ -10,8 +10,11 @@ Layers (bottom-up):
   :class:`PlacementResult` schemas;
 * :mod:`repro.service.policies` — the named/versioned Q-table snapshot
   store (warm starts in, trained masters out, pruned on save);
+* :mod:`repro.service.journal` — the append-only on-disk job journal
+  (crash recovery for served work);
 * :mod:`repro.service.jobs` — the async submit/status/result/cancel job
-  manager over any :class:`ExecutionBackend`;
+  manager over any :class:`ExecutionBackend`, with journaling,
+  backpressure (:class:`QueueFullError` → HTTP 429) and request dedup;
 * :mod:`repro.service.service` — the :class:`PlacementService` facade
   tying them together;
 * :mod:`repro.service.http` — the stdlib HTTP JSON layer
@@ -30,6 +33,8 @@ from repro.service.requests import (
     PlacementRequest,
     PlacementResult,
     TrainRequest,
+    canonical_request_hash,
+    canonical_request_json,
     metrics_from_dict,
     metrics_to_dict,
     placement_from_dict,
@@ -41,8 +46,13 @@ from repro.service.requests import (
 _LAZY = {
     "PolicyInfo": "repro.service.policies",
     "PolicyStore": "repro.service.policies",
+    "JobJournal": "repro.service.journal",
+    "ReplayedJob": "repro.service.journal",
+    "replay_journal": "repro.service.journal",
     "JobManager": "repro.service.jobs",
     "JobRecord": "repro.service.jobs",
+    "QueueFullError": "repro.service.jobs",
+    "RecoveryReport": "repro.service.jobs",
     "PlacementService": "repro.service.service",
     "PlacementHTTPServer": "repro.service.http",
     "make_server": "repro.service.http",
@@ -52,6 +62,7 @@ _LAZY = {
 __all__ = [
     "BLOCK_KINDS",
     "CircuitRegistry",
+    "JobJournal",
     "JobManager",
     "JobRecord",
     "PLACER_KINDS",
@@ -61,14 +72,20 @@ __all__ = [
     "PlacementService",
     "PolicyInfo",
     "PolicyStore",
+    "QueueFullError",
+    "RecoveryReport",
+    "ReplayedJob",
     "SCHEMA_VERSION",
     "TrainRequest",
+    "canonical_request_hash",
+    "canonical_request_json",
     "default_registry",
     "make_server",
     "metrics_from_dict",
     "metrics_to_dict",
     "placement_from_dict",
     "placement_to_dict",
+    "replay_journal",
     "request_from_json_dict",
     "serve",
 ]

@@ -22,19 +22,28 @@ GET       ``/circuits``            registered circuit keys
 
 Error contract: schema violations are 400 with ``{"error": ...}``,
 unknown jobs/paths 404, SVG of an unfinished job 409, handler crashes
-500.  Responses are ``application/json`` except the SVG endpoint.
+500.  Backpressure: when the service's queue-depth or per-client
+in-flight limit is hit, submissions get **429** with a ``Retry-After``
+header (seconds); while the server is draining (SIGTERM received) they
+get **503** + ``Retry-After``.  Client identity for the per-client
+limit comes from the ``X-Client-Id`` header, falling back to the remote
+address.  Responses are ``application/json`` except the SVG endpoint.
 
-``repro serve`` wraps :func:`serve`; tests and the throughput benchmark
-use :func:`make_server` with port 0 and drive the server from a thread.
+``repro serve`` wraps :func:`serve` — which installs a SIGTERM handler
+performing a graceful drain (stop accepting, finish running jobs, flush
+the journal); tests and the throughput benchmark use
+:func:`make_server` with port 0 and drive the server from a thread.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.service.jobs import QueueFullError
 from repro.service.requests import (
     SCHEMA_VERSION,
     PlacementRequest,
@@ -80,8 +89,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, code: int, message: str) -> None:
-        self._send_json(code, {"error": message})
+    def _send_error_json(self, code: int, message: str,
+                         retry_after_s: int | None = None) -> None:
+        payload = {"error": message}
+        if retry_after_s is not None:
+            payload["retry_after_s"] = retry_after_s
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(retry_after_s))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _client_id(self) -> str:
+        """Client identity for per-client backpressure: the explicit
+        ``X-Client-Id`` header, else the remote address."""
+        return self.headers.get("X-Client-Id") or self.client_address[0]
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -103,10 +128,11 @@ class _Handler(BaseHTTPRequestHandler):
             service = self.server.service
             if parts == ["healthz"]:
                 self._send_json(200, {
-                    "status": "ok",
+                    "status": "draining" if service.draining else "ok",
                     "schema_version": SCHEMA_VERSION,
                     "circuits": list(service.registry.keys()),
                     "jobs": service.jobs.counts(),
+                    "serving": dict(service.jobs.stats),
                 })
             elif parts == ["circuits"]:
                 self._send_json(200, {"circuits": list(service.registry.keys())})
@@ -146,6 +172,12 @@ class _Handler(BaseHTTPRequestHandler):
             parts = [p for p in parsed.path.split("/") if p]
             service = self.server.service
             if parts == ["place"] or parts == ["train"]:
+                if service.draining:
+                    self._send_error_json(
+                        503, "service is draining; retry on a fresh "
+                        "instance", retry_after_s=5,
+                    )
+                    return
                 cls = PlacementRequest if parts == ["place"] else TrainRequest
                 try:
                     request = cls.from_json_dict(self._read_json_body())
@@ -159,7 +191,12 @@ class _Handler(BaseHTTPRequestHandler):
                         self._send_json(200,
                                         {"result": result.to_json_dict()})
                         return
-                    job_id = service.submit(request)
+                    job_id = service.submit(request, client=self._client_id())
+                except QueueFullError as exc:
+                    self._send_error_json(
+                        429, str(exc), retry_after_s=exc.retry_after_s
+                    )
+                    return
                 except (ValueError, KeyError) as exc:
                     # Async submits reject unknown circuit keys up front;
                     # ``?wait=1`` executions additionally surface
@@ -198,9 +235,28 @@ def serve(
     port: int = 8000,
     quiet: bool = False,
 ) -> None:
-    """Run the HTTP layer until interrupted (the ``repro serve`` body)."""
+    """Run the HTTP layer until interrupted (the ``repro serve`` body).
+
+    SIGTERM triggers a graceful drain: the server flips to 503 for new
+    submissions, lets running jobs finish (each transition is already
+    journaled as it happens), then stops the accept loop and closes the
+    journal.  SIGKILL, by contrast, is what the journal exists for —
+    the next ``repro serve --journal-dir`` on the same directory
+    recovers everything the process had durably recorded.
+    """
     service = service if service is not None else PlacementService()
     server = make_server(service, host=host, port=port, quiet=quiet)
+
+    def _drain(signum, frame):  # noqa: ARG001 — signal-handler API
+        service.begin_drain()
+        # shutdown() blocks until serve_forever() exits, so it must run
+        # off the loop thread the signal interrupted.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass  # not the main thread (embedded/test use) — no handler
     print(f"repro service listening on {server.url} "
           f"(circuits: {', '.join(service.registry.keys())})")
     try:
@@ -208,9 +264,10 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
         server.server_close()
-        service.close(wait=False)
+        # A drain waits for running jobs (finish + journal them); an
+        # interactive ^C keeps the old fast exit.
+        service.close(wait=service.draining)
 
 
 def server_thread(server: PlacementHTTPServer) -> threading.Thread:

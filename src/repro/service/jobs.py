@@ -1,4 +1,4 @@
-"""The async job manager: submit/status/result/cancel over any backend.
+"""The async job manager: durable submit/status/result/cancel.
 
 A job is one typed request (:class:`PlacementRequest` /
 :class:`TrainRequest`) executed by a runner callable the owning
@@ -16,16 +16,37 @@ Cancellation is queue-level: a job that has not started is marked
 cancelled and never runs; a running job finishes (placement runs are
 seconds-to-minutes, and killing a worker mid-simulation would poison the
 backend pool).
+
+Durability and backpressure (both opt-in):
+
+* ``journal=`` — every state transition is durably appended to a
+  :class:`~repro.service.journal.JobJournal` *before* it takes effect
+  in memory; :meth:`recover` replays that journal after a crash,
+  serving terminal jobs from disk and re-enqueueing interrupted ones.
+* ``max_queue_depth=`` / ``max_inflight_per_client=`` — an overloaded
+  manager rejects new work with :class:`QueueFullError` (the HTTP
+  layer's 429 + ``Retry-After``) instead of accepting until it falls
+  over.
+* ``dedup=True`` — identical in-flight requests (by canonical request
+  hash) share one job: a thundering herd of equal ``PlacementRequest``
+  s costs one execution.  Deterministic results are what make this
+  sound — every duplicate would have produced the same payload.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.runtime.faults import JournalCrash
+from repro.service import journal as journal_mod
+from repro.service.journal import JobJournal, ReplayedJob, max_job_number
+from repro.service.requests import canonical_request_hash
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -36,6 +57,25 @@ CANCELLED = "cancelled"
 
 #: States a job can no longer leave.
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: In-flight states (count against queue and per-client limits).
+INFLIGHT_STATES = (QUEUED, RUNNING)
+
+
+class QueueFullError(RuntimeError):
+    """The manager is at capacity; retry after ``retry_after_s``.
+
+    Attributes:
+        retry_after_s: suggested client wait (the HTTP layer's
+            ``Retry-After`` header).
+        reason: ``"queue_depth"`` or ``"client_inflight"``.
+    """
+
+    def __init__(self, message: str, retry_after_s: int = 1,
+                 reason: str = "queue_depth"):
+        super().__init__(message)
+        self.retry_after_s = max(1, int(retry_after_s))
+        self.reason = reason
 
 
 @dataclass
@@ -49,6 +89,10 @@ class JobRecord:
         state: one of queued/running/done/failed/cancelled.
         result: the :class:`PlacementResult` once ``done``.
         error: stringified exception once ``failed``.
+        client: submitting client id (per-client backpressure), if any.
+        request_hash: canonical request hash (dedup + journal), if the
+            request serialises.
+        recovered: replayed from a journal rather than submitted live.
         submitted_at / started_at / finished_at: wall-clock timestamps
             (``time.time()``; ``None`` until reached).
     """
@@ -59,6 +103,9 @@ class JobRecord:
     state: str = QUEUED
     result: Any = None
     error: str | None = None
+    client: str | None = None
+    request_hash: str | None = None
+    recovered: bool = False
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -74,9 +121,29 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.recovered:
+            out["recovered"] = True
         if self.result is not None:
             out["result"] = self.result.to_json_dict()
         return out
+
+
+@dataclass
+class RecoveryReport:
+    """What one journal replay restored.
+
+    Attributes:
+        served_from_journal: terminal jobs (done/failed/cancelled)
+            whose results/errors now serve straight from disk.
+        requeued: interrupted jobs (queued/running at crash time)
+            re-enqueued for execution.
+        undecodable: jobs whose journaled request no longer parses —
+            registered as ``failed`` with the decode error.
+    """
+
+    served_from_journal: list[str] = field(default_factory=list)
+    requeued: list[str] = field(default_factory=list)
+    undecodable: list[str] = field(default_factory=list)
 
 
 class JobManager:
@@ -85,20 +152,62 @@ class JobManager:
     Args:
         runner: ``request -> PlacementResult`` callable (the service's
             synchronous ``execute``); must be thread-safe.
-        workers: concurrent jobs (queue depth is unbounded).
+        workers: concurrent jobs.
+        journal: optional :class:`JobJournal` every transition is
+            durably appended to.
+        max_queue_depth: reject submissions once this many jobs are
+            queued (``None`` = unbounded, the historical behavior).
+        max_inflight_per_client: reject a client's submissions once it
+            has this many queued+running jobs (needs ``client=`` at
+            submit; ``None`` = unlimited).
+        dedup: share one job between identical in-flight requests.
     """
 
-    def __init__(self, runner: Callable[[Any], Any], workers: int = 2):
+    def __init__(
+        self,
+        runner: Callable[[Any], Any],
+        workers: int = 2,
+        *,
+        journal: JobJournal | None = None,
+        max_queue_depth: int | None = None,
+        max_inflight_per_client: int | None = None,
+        dedup: bool = False,
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if (max_inflight_per_client is not None
+                and max_inflight_per_client < 1):
+            raise ValueError(
+                "max_inflight_per_client must be >= 1, got "
+                f"{max_inflight_per_client}"
+            )
         self._runner = runner
+        self._workers = workers
+        self._journal = journal
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_client = max_inflight_per_client
+        self.dedup = dedup
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
         self._lock = threading.Lock()
         self._records: dict[str, JobRecord] = {}
         self._futures: dict[str, Future] = {}
+        self._inflight_by_hash: dict[str, str] = {}
         self._counter = 0
+        self._shutdown = False
+        #: Serving counters (health endpoints / load tests).
+        self.stats = {
+            "dedup_hits": 0,
+            "rejected_queue_full": 0,
+            "rejected_client_limit": 0,
+            "recovered": 0,
+            "requeued": 0,
+        }
 
     # ------------------------------------------------------------ internal
 
@@ -108,6 +217,35 @@ class JobManager:
             raise KeyError(f"unknown job {job_id!r}")
         return record
 
+    def _append_journal(self, event: str, job_id: str, **payload) -> None:
+        """Durably journal a transition (no-op without a journal).
+
+        Raises :class:`JournalCrash` when an injected fault fires — the
+        transition is then treated as not having happened, exactly as
+        if the process had died mid-write.
+        """
+        if self._journal is not None:
+            self._journal.append(event, job_id, **payload)
+
+    def _drop_inflight_hash(self, record: JobRecord) -> None:
+        # Caller holds the lock.  Only unmap the hash if it still points
+        # at this job (a later duplicate may have re-mapped it).
+        if (record.request_hash is not None
+                and self._inflight_by_hash.get(record.request_hash)
+                == record.id):
+            del self._inflight_by_hash[record.request_hash]
+
+    def _queued_count(self) -> int:
+        return sum(
+            1 for r in self._records.values() if r.state == QUEUED
+        )
+
+    def _client_inflight(self, client: str) -> int:
+        return sum(
+            1 for r in self._records.values()
+            if r.client == client and r.state in INFLIGHT_STATES
+        )
+
     def _run(self, job_id: str) -> Any:
         with self._lock:
             record = self._records[job_id]
@@ -115,31 +253,105 @@ class JobManager:
                 raise CancelledError(job_id)
             record.state = RUNNING
             record.started_at = time.time()
+            self._append_journal(journal_mod.RUNNING, job_id)
         try:
             result = self._runner(record.request)
+            payload = (
+                result.to_json_dict()
+                if hasattr(result, "to_json_dict") else None
+            )
+            with self._lock:
+                # Journal first: a result is not "done" until it is
+                # durable.  A journal crash here falls through to the
+                # failure path below — in memory the job fails, on disk
+                # the torn "done" line is dropped at replay and the job
+                # re-runs, deterministically, to the same result.
+                self._append_journal(
+                    journal_mod.DONE, job_id, result=payload
+                )
+                record.state = DONE
+                record.result = result
+                record.finished_at = time.time()
+                self._drop_inflight_hash(record)
+            return result
         except Exception as exc:  # noqa: BLE001 — stored, not swallowed
             with self._lock:
                 record.state = FAILED
                 record.error = f"{type(exc).__name__}: {exc}"
                 record.finished_at = time.time()
+                self._drop_inflight_hash(record)
+                try:
+                    self._append_journal(
+                        journal_mod.FAILED, job_id, error=record.error
+                    )
+                except JournalCrash:
+                    pass  # the journal is dead; in-memory state stands
             raise
-        with self._lock:
-            record.state = DONE
-            record.result = result
-            record.finished_at = time.time()
-        return result
 
     # -------------------------------------------------------------- public
 
-    def submit(self, request: Any) -> str:
-        """Queue a request; returns its job id immediately."""
+    def submit(self, request: Any, *, client: str | None = None) -> str:
+        """Queue a request; returns its job id immediately.
+
+        Raises:
+            RuntimeError: the manager has been shut down.
+            QueueFullError: queue depth or the client's in-flight limit
+                is reached (HTTP serves this as 429 + ``Retry-After``).
+        """
         kind = "train" if type(request).__name__ == "TrainRequest" else "place"
+        try:
+            request_hash = canonical_request_hash(request)
+            request_payload = request.to_json_dict()
+        except (AttributeError, TypeError):
+            request_hash = None
+            request_payload = None
         with self._lock:
+            if self._shutdown:
+                raise RuntimeError(
+                    "job manager is shut down; submission rejected"
+                )
+            if (self.dedup and request_hash is not None
+                    and request_hash in self._inflight_by_hash):
+                self.stats["dedup_hits"] += 1
+                return self._inflight_by_hash[request_hash]
+            queued = self._queued_count()
+            if (self.max_queue_depth is not None
+                    and queued >= self.max_queue_depth):
+                self.stats["rejected_queue_full"] += 1
+                raise QueueFullError(
+                    f"job queue is full ({queued} queued, depth limit "
+                    f"{self.max_queue_depth})",
+                    retry_after_s=math.ceil(queued / self._workers),
+                    reason="queue_depth",
+                )
+            if (client is not None
+                    and self.max_inflight_per_client is not None):
+                inflight = self._client_inflight(client)
+                if inflight >= self.max_inflight_per_client:
+                    self.stats["rejected_client_limit"] += 1
+                    raise QueueFullError(
+                        f"client {client!r} has {inflight} jobs in "
+                        f"flight (limit {self.max_inflight_per_client})",
+                        retry_after_s=math.ceil(
+                            inflight / self._workers
+                        ),
+                        reason="client_inflight",
+                    )
             self._counter += 1
             job_id = f"job-{self._counter}"
-            self._records[job_id] = JobRecord(
-                id=job_id, kind=kind, request=request
+            # Journal before publishing: if the durable record cannot be
+            # written the submission must not exist.
+            self._append_journal(
+                journal_mod.SUBMITTED, job_id, kind=kind,
+                request=request_payload, client=client,
+                request_hash=request_hash,
             )
+            self._records[job_id] = JobRecord(
+                id=job_id, kind=kind, request=request, client=client,
+                request_hash=request_hash,
+            )
+            if self.dedup and request_hash is not None:
+                self._inflight_by_hash[request_hash] = job_id
             # Publish record and future atomically: job ids are
             # predictable, so a concurrent cancel()/result() must never
             # see the record without its future.  (submit() only queues
@@ -185,15 +397,27 @@ class JobManager:
 
         Returns:
             ``True`` if the job will never run, ``False`` otherwise.
+
+        The whole check-mark-cancel sequence holds the manager lock, so
+        a job transitioning to running mid-call settles exactly one
+        way: either this call wins the lock first (the record is marked
+        cancelled and ``_run`` — which takes the same lock before
+        touching the record — raises ``CancelledError`` without
+        running), or ``_run`` wins and this call observes ``running``
+        and returns ``False``.  No interleaving leaves the record and
+        the future disagreeing.
         """
         with self._lock:
             record = self._record(job_id)
             if record.state != QUEUED:
                 return record.state == CANCELLED
+            self._append_journal(journal_mod.CANCELLED, job_id)
             record.state = CANCELLED
             record.finished_at = time.time()
-        # Best-effort: also drop it from the pool queue if still there.
-        self._futures[job_id].cancel()
+            self._drop_inflight_hash(record)
+            # Best-effort: also drop it from the pool queue if still
+            # there (under the same lock — see the docstring).
+            self._futures[job_id].cancel()
         return True
 
     def jobs(self) -> list[JobRecord]:
@@ -209,6 +433,106 @@ class JobManager:
                 out[record.state] += 1
         return out
 
+    # ------------------------------------------------------------ recovery
+
+    def recover(
+        self,
+        request_decoder: Callable[[str, dict], Any],
+        result_decoder: Callable[[dict], Any],
+    ) -> RecoveryReport:
+        """Rebuild the job table from this manager's journal.
+
+        Call once, on a fresh manager, before any live submission.
+        Terminal jobs (done/failed/cancelled) are registered with their
+        journaled results/errors and completed futures — status and
+        result queries serve from the journal without re-running
+        anything.  Interrupted jobs (queued/running at crash time) are
+        re-enqueued under their original ids; deterministic execution
+        makes the re-run's result bit-identical to the one the crash
+        destroyed.  The job-id counter resumes past the highest
+        journaled id.
+
+        Args:
+            request_decoder: ``(kind, request_json) -> typed request``.
+            result_decoder: ``result_json -> PlacementResult``.
+        """
+        if self._journal is None:
+            raise RuntimeError("recover() needs a journal")
+        replayed = journal_mod.replay_journal(self._journal.entries())
+        report = RecoveryReport()
+        with self._lock:
+            if self._records:
+                raise RuntimeError(
+                    "recover() must run before any live submission"
+                )
+            self._counter = max(self._counter, max_job_number(replayed))
+        for job in replayed:
+            self._restore(job, request_decoder, result_decoder, report)
+        self.stats["recovered"] += len(replayed)
+        self.stats["requeued"] += len(report.requeued)
+        return report
+
+    def _restore(
+        self,
+        job: ReplayedJob,
+        request_decoder: Callable[[str, dict], Any],
+        result_decoder: Callable[[dict], Any],
+        report: RecoveryReport,
+    ) -> None:
+        record = JobRecord(
+            id=job.id, kind=job.kind, request=None, client=job.client,
+            request_hash=job.request_hash, recovered=True,
+        )
+        future: Future = Future()
+        try:
+            record.request = request_decoder(job.kind, job.request or {})
+        except Exception as exc:  # noqa: BLE001 — recovery must not die
+            record.state = FAILED
+            record.error = (
+                f"journaled request no longer decodes: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            record.finished_at = time.time()
+            future.set_exception(RuntimeError(record.error))
+            report.undecodable.append(job.id)
+            with self._lock:
+                self._records[job.id] = record
+                self._futures[job.id] = future
+            return
+        if job.state == journal_mod.DONE:
+            record.state = DONE
+            record.result = result_decoder(job.result or {})
+            record.finished_at = time.time()
+            future.set_result(record.result)
+            report.served_from_journal.append(job.id)
+        elif job.state == journal_mod.FAILED:
+            record.state = FAILED
+            record.error = job.error or "failed (no stored error)"
+            record.finished_at = time.time()
+            future.set_exception(RuntimeError(record.error))
+            report.served_from_journal.append(job.id)
+        elif job.state == journal_mod.CANCELLED:
+            record.state = CANCELLED
+            record.finished_at = time.time()
+            future.cancel()
+            report.served_from_journal.append(job.id)
+        else:  # submitted/running — interrupted mid-flight: re-enqueue
+            record.state = QUEUED
+            with self._lock:
+                self._records[job.id] = record
+                if self.dedup and record.request_hash is not None:
+                    self._inflight_by_hash[record.request_hash] = job.id
+                self._futures[job.id] = self._pool.submit(
+                    self._run, job.id
+                )
+            report.requeued.append(job.id)
+            return
+        with self._lock:
+            self._records[job.id] = record
+            self._futures[job.id] = future
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (optionally) wait for running jobs."""
+        with self._lock:
+            self._shutdown = True
         self._pool.shutdown(wait=wait)

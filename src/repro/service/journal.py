@@ -1,0 +1,230 @@
+"""Append-only on-disk job journal: serving that survives kill -9.
+
+Every :class:`~repro.service.jobs.JobManager` state transition —
+``submitted`` (with the canonical request JSON), ``running``, ``done``
+(with the full result payload), ``failed``, ``cancelled`` — is appended
+as one JSON line to ``<dir>/jobs.jsonl`` and flushed+fsynced before the
+transition is considered made.  Because entries are self-contained and
+strictly appended, the journal after a crash is always a valid prefix of
+the uncrashed journal plus at most one torn final line, and replaying it
+reconstructs exactly what the process knew when it died:
+
+* ``done``/``failed``/``cancelled`` jobs come back *terminal*, result or
+  error included — served straight from the journal, never re-run;
+* ``submitted``/``running`` jobs were interrupted mid-flight and are
+  re-enqueued; requests rebuild everything deterministically, so the
+  re-run's result is bit-identical to the one the crash stole.
+
+Torn-write policy: a final line that does not parse is the signature of
+a crash mid-append and is dropped silently (the transition it described
+never fully happened).  A *non*-final line that does not parse means
+real corruption and raises — recovery must not silently skip history.
+
+The deterministic crash itself is injectable: construct the journal
+with a :class:`~repro.runtime.faults.JournalFault` and the k-th append
+writes half its bytes, fsyncs them, and raises
+:class:`~repro.runtime.faults.JournalCrash` — the chaos suite's way of
+manufacturing torn files that look exactly like a power loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.runtime.faults import JournalCrash, JournalFault
+
+#: Journal file name inside the journal directory.
+JOURNAL_FILENAME = "jobs.jsonl"
+
+#: Events a journal entry may carry (mirrors the job lifecycle).
+SUBMITTED = "submitted"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+JOURNAL_EVENTS = (SUBMITTED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+class JobJournal:
+    """One append-only JSONL journal in a directory.
+
+    Thread-safe (the job manager appends from pool threads); writes are
+    flushed and fsynced per entry, so durability is per-transition, not
+    per-close.
+
+    Args:
+        directory: journal directory (created if missing).
+        fault: optional deterministic crash injection (tests only).
+    """
+
+    def __init__(self, directory: str | Path,
+                 fault: JournalFault | None = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_FILENAME
+        self._fault = fault
+        self._lock = threading.Lock()
+        self._appends = 0
+        self._handle = None
+        self._crashed = False
+
+    # ------------------------------------------------------------- writing
+
+    def _file(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: str, job_id: str, **payload: Any) -> None:
+        """Durably record one state transition.
+
+        The entry is on disk (flushed + fsynced) when this returns; an
+        injected :class:`JournalFault` instead writes half the line,
+        fsyncs the torn prefix, and raises :class:`JournalCrash`.
+        """
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(
+                f"event must be one of {JOURNAL_EVENTS}, got {event!r}"
+            )
+        entry = {"event": event, "job": job_id, "t": time.time(), **payload}
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            if self._crashed:
+                # A crashed journal models a dead process: nothing may
+                # be written after the torn line (an append landing
+                # behind it would turn the crash signature into interior
+                # corruption).
+                raise JournalCrash("journal already crashed; no appends")
+            self._appends += 1
+            handle = self._file()
+            if (self._fault is not None
+                    and self._appends == self._fault.crash_on_append):
+                self._crashed = True
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise JournalCrash(
+                    f"injected journal crash on append #{self._appends} "
+                    f"({event} {job_id})"
+                )
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------- reading
+
+    def entries(self) -> list[dict]:
+        """All parseable entries, in append order.
+
+        Tolerates exactly the damage a crash can cause: a torn *final*
+        line is dropped; an unparseable earlier line raises
+        ``ValueError`` (that is corruption, not a crash signature).
+        """
+        if not self.path.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        entries = []
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    break  # torn final line: the append never completed
+                raise ValueError(
+                    f"{self.path}:{lineno + 1}: corrupt journal entry "
+                    "(not the final line, so not a torn write)"
+                )
+        return entries
+
+    def __repr__(self) -> str:
+        return f"JobJournal({str(self.path)!r})"
+
+
+@dataclass
+class ReplayedJob:
+    """Final observed state of one journaled job.
+
+    Attributes:
+        id: the job id.
+        kind: request kind (``"place"`` / ``"train"``).
+        request: canonical request JSON, as submitted.
+        state: last journaled lifecycle state.
+        result: result payload for ``done`` jobs.
+        error: stored error string for ``failed`` jobs.
+        client: submitting client id, if any.
+        request_hash: canonical request hash, if journaled.
+    """
+
+    id: str
+    kind: str = "place"
+    request: dict = field(default_factory=dict)
+    state: str = SUBMITTED
+    result: dict | None = None
+    error: str | None = None
+    client: str | None = None
+    request_hash: str | None = None
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether the job was mid-flight when the process died."""
+        return self.state in (SUBMITTED, RUNNING)
+
+
+def replay_journal(entries: Iterable[dict]) -> list[ReplayedJob]:
+    """Fold journal entries into each job's final state, id order.
+
+    Unknown events in newer-format journals are ignored rather than
+    fatal (append-only formats only ever grow).
+    """
+    jobs: dict[str, ReplayedJob] = {}
+    for entry in entries:
+        job_id = entry.get("job")
+        if not job_id:
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            job = jobs[job_id] = ReplayedJob(id=job_id)
+        event = entry.get("event")
+        if event == SUBMITTED:
+            job.kind = entry.get("kind", job.kind)
+            job.request = entry.get("request", job.request)
+            job.client = entry.get("client", job.client)
+            job.request_hash = entry.get("request_hash", job.request_hash)
+            job.state = SUBMITTED
+        elif event == RUNNING:
+            job.state = RUNNING
+        elif event == DONE:
+            job.state = DONE
+            job.result = entry.get("result")
+        elif event == FAILED:
+            job.state = FAILED
+            job.error = entry.get("error")
+        elif event == CANCELLED:
+            job.state = CANCELLED
+    return sorted(jobs.values(), key=lambda job: _job_number(job.id))
+
+
+def _job_number(job_id: str) -> int:
+    """Numeric suffix of a ``job-N`` id (0 for foreign id shapes)."""
+    __, __, suffix = job_id.rpartition("-")
+    return int(suffix) if suffix.isdigit() else 0
+
+
+def max_job_number(jobs: Iterable[ReplayedJob]) -> int:
+    """Highest ``job-N`` counter in a replay (new ids must continue it)."""
+    return max((_job_number(job.id) for job in jobs), default=0)

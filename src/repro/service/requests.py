@@ -25,6 +25,8 @@ vocabularies live here and in :mod:`repro.core.qlearning` respectively.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Mapping
 
@@ -505,6 +507,25 @@ class PlacementResult:
             params={"fom": float(row.fom)},
             detail=fig3_result,
         )
+
+
+def canonical_request_json(request: Any) -> str:
+    """The canonical serialisation of a request: sorted keys, no spaces.
+
+    Two requests have the same canonical JSON iff ``to_json_dict()``
+    would compare equal — which, for the frozen request dataclasses, is
+    iff the requests themselves are equal.  This string (not the object
+    identity) is what dedup and the journal key on.
+    """
+    return json.dumps(
+        request.to_json_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def canonical_request_hash(request: Any) -> str:
+    """sha256 of :func:`canonical_request_json` — the dedup identity."""
+    digest = hashlib.sha256(canonical_request_json(request).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def request_from_json_dict(data: Mapping[str, Any]):

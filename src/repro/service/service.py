@@ -16,6 +16,20 @@ this facade, so a CLI run and a served job with the same request
 parameters produce bit-identical results: both build the same
 :class:`RunSpec` (via ``RunSpec.from_request``) and execute it through
 :func:`map_runs`, where determinism is already guaranteed spec-by-spec.
+
+Robustness is opt-in and layered on the same seams:
+
+* ``journal_dir=`` makes the job manager durable — every transition
+  lands in an append-only journal and a service constructed over an
+  existing journal replays it (``self.recovery`` says what came back);
+* ``retry=`` (a :class:`RetryPolicy`) routes placement execution
+  through :func:`resilient_map_runs` — worker deaths and flaky faults
+  are retried with deterministic backoff, and exhausted specs surface
+  as a clean ``RuntimeError`` carrying the quarantine summary;
+* ``max_queue_depth=`` / ``max_inflight_per_client=`` / ``dedup=`` are
+  the job manager's backpressure knobs (HTTP's 429 contract);
+* ``begin_drain()`` flips the service into shutdown mode: no new
+  submissions, running jobs finish, the journal is flushed.
 """
 
 from __future__ import annotations
@@ -26,8 +40,15 @@ from typing import Any
 from repro.eval.evaluator import PlacementEvaluator
 from repro.layout.svg import placement_to_svg
 from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.faults import FaultPlan, JournalFault
+from repro.runtime.resilience import (
+    FailedRun,
+    RetryPolicy,
+    resilient_map_runs,
+)
 from repro.runtime.spec import RunSpec, map_runs
 from repro.service.jobs import JobManager, JobRecord
+from repro.service.journal import JobJournal
 from repro.service.policies import PolicyStore
 from repro.service.registry import CircuitRegistry, default_registry
 from repro.service.requests import (
@@ -50,6 +71,22 @@ class PlacementService:
         backend: execution backend, or an int job count
             (:func:`resolve_backend` semantics) every request fans over.
         job_workers: concurrent async jobs in the :class:`JobManager`.
+        journal_dir: directory for the durable job journal; if it
+            already holds one, its jobs are recovered at construction
+            (``self.recovery``) — terminal jobs serve from disk,
+            interrupted ones re-enqueue.  ``None`` (default) keeps jobs
+            in memory only.
+        journal_fault: deterministic journal-crash injection (the chaos
+            suite's knob; production passes ``None``).
+        retry: :class:`RetryPolicy` for placement execution — routes
+            ``place()`` through :func:`resilient_map_runs` so worker
+            deaths/timeouts are retried and exhausted runs raise a
+            quarantine summary instead of an anonymous traceback.
+        fault_plan: deterministic execution-fault injection (tests and
+            the fault benchmark; implies the resilient path).
+        max_queue_depth / max_inflight_per_client / dedup: job-manager
+            backpressure and request-dedup knobs (see
+            :class:`JobManager`).
     """
 
     def __init__(
@@ -59,6 +96,13 @@ class PlacementService:
         policies: PolicyStore | str | Path | None = None,
         backend: int | ExecutionBackend | None = None,
         job_workers: int = 2,
+        journal_dir: str | Path | None = None,
+        journal_fault: JournalFault | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_queue_depth: int | None = None,
+        max_inflight_per_client: int | None = None,
+        dedup: bool = False,
     ):
         self.registry = registry if registry is not None else default_registry()
         if isinstance(policies, PolicyStore):
@@ -67,17 +111,54 @@ class PlacementService:
             self.policies = PolicyStore(policies or DEFAULT_POLICY_DIR)
         self.backend = resolve_backend(backend)
         self.job_workers = job_workers
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_client = max_inflight_per_client
+        self.dedup = dedup
+        self.draining = False
         self._jobs: JobManager | None = None
+        self.journal: JobJournal | None = None
+        #: :class:`~repro.service.jobs.RecoveryReport` of the journal
+        #: replay done at construction (``None`` without a journal).
+        self.recovery = None
+        if journal_dir is not None:
+            self.journal = JobJournal(journal_dir, fault=journal_fault)
+            had_journal = self.journal.path.exists()
+            manager = self._make_jobs()
+            if had_journal:
+                self.recovery = manager.recover(
+                    self._decode_request, PlacementResult.from_json_dict
+                )
+            self._jobs = manager
+
+    def _make_jobs(self) -> JobManager:
+        return JobManager(
+            self.execute,
+            workers=self.job_workers,
+            journal=self.journal,
+            max_queue_depth=self.max_queue_depth,
+            max_inflight_per_client=self.max_inflight_per_client,
+            dedup=self.dedup,
+        )
+
+    @staticmethod
+    def _decode_request(kind: str, data: dict) -> Any:
+        """Journal-replay decoder: kind + canonical JSON → typed request."""
+        if kind == "train":
+            return TrainRequest.from_json_dict(data)
+        return PlacementRequest.from_json_dict(data)
 
     @property
     def jobs(self) -> JobManager:
         """The async job manager, created on first use.
 
         Lazy so synchronous clients (every CLI command) never spin up a
-        thread pool they will not touch.
+        thread pool they will not touch — except with a journal, where
+        it is built (and recovered) eagerly at construction.
         """
         if self._jobs is None:
-            self._jobs = JobManager(self.execute, workers=self.job_workers)
+            self._jobs = self._make_jobs()
         return self._jobs
 
     # ------------------------------------------------------------ internal
@@ -109,14 +190,36 @@ class PlacementService:
         )
 
     def place(self, request: PlacementRequest) -> PlacementResult:
-        """Execute one placement request over the service backend."""
+        """Execute one placement request over the service backend.
+
+        With a ``retry`` policy (or an injected ``fault_plan``) the run
+        goes through :func:`resilient_map_runs`: transient worker
+        deaths, injected faults and timeouts are retried with
+        deterministic backoff, and the surviving result is bit-identical
+        to the plain path's.  A run that exhausts its retry budget
+        raises ``RuntimeError`` carrying the structured quarantine
+        summary (circuit, placer, seed, attempts, final error).
+        """
         self._check_circuit(request)
+        resilient = self.retry is not None or self.fault_plan is not None
         spec = RunSpec.from_request(
             request,
             registry=self.registry,
+            # Fault plans address specs by key; include the seed so
+            # per-seed faults can be scripted against served batches.
+            key=("place", request.seed) if resilient else "place",
             initial_tables=self._warm_tables(request.warm_policy),
         )
-        outcome = map_runs([spec], self.backend)[0]
+        if resilient:
+            report = resilient_map_runs(
+                [spec], self.backend,
+                retry=self.retry, faults=self.fault_plan,
+            )
+            outcome = report.outcomes[0]
+            if isinstance(outcome, FailedRun):
+                raise RuntimeError(outcome.summary())
+        else:
+            outcome = map_runs([spec], self.backend)[0]
         return PlacementResult.from_outcome(request, outcome)
 
     def train(
@@ -230,7 +333,7 @@ class PlacementService:
 
     # --------------------------------------------------------------- async
 
-    def submit(self, request: Any) -> str:
+    def submit(self, request: Any, *, client: str | None = None) -> str:
         """Queue a request on the job manager; returns the job id.
 
         Unknown circuit keys are rejected here, synchronously — a typo
@@ -238,9 +341,21 @@ class PlacementService:
         references are *not* resolved until the job executes: a queued
         pipeline may submit ``train(save_policy="x")`` followed by
         ``place(warm_policy="x")`` before ``x@1`` exists.
+
+        Args:
+            client: optional client identity, counted against
+                ``max_inflight_per_client``.
+
+        Raises:
+            RuntimeError: the service is draining (HTTP serves 503).
+            QueueFullError: backpressure limits hit (HTTP serves 429).
         """
+        if self.draining:
+            raise RuntimeError(
+                "service is draining; not accepting new jobs"
+            )
         self._check_circuit(request)
-        return self.jobs.submit(request)
+        return self.jobs.submit(request, client=client)
 
     def status(self, job_id: str) -> JobRecord:
         return self.jobs.status(job_id)
@@ -251,10 +366,22 @@ class PlacementService:
     def cancel(self, job_id: str) -> bool:
         return self.jobs.cancel(job_id)
 
+    def begin_drain(self) -> None:
+        """Stop accepting submissions; running/queued jobs keep going.
+
+        The graceful-shutdown first half (SIGTERM handler): flip the
+        flag, let in-flight work finish, then :meth:`close`.
+        """
+        self.draining = True
+
     def close(self, wait: bool = True) -> None:
-        """Shut the job manager down (running jobs finish when ``wait``)."""
+        """Shut the job manager down (running jobs finish when ``wait``)
+        and flush/close the journal."""
+        self.draining = True
         if self._jobs is not None:
             self._jobs.shutdown(wait=wait)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "PlacementService":
         return self

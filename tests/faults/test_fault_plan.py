@@ -1,0 +1,119 @@
+"""Unit tests for the deterministic fault-injection primitives."""
+
+import pytest
+
+from repro.runtime import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    JournalFault,
+    RetryPolicy,
+    WorkerKilled,
+)
+from repro.runtime.faults import DELAY, KILL, RAISE
+
+
+class TestFault:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            Fault(action="segfault")
+
+    def test_delay_fault_needs_positive_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Fault(action=DELAY, delay_s=0.0)
+
+    def test_actions_construct(self):
+        assert Fault(action=KILL).action == KILL
+        assert Fault(action=RAISE).action == RAISE
+        assert Fault(action=DELAY, delay_s=0.1).delay_s == 0.1
+
+
+class TestFaultPlan:
+    def test_build_from_mapping_with_string_shorthand(self):
+        plan = FaultPlan.build({
+            ("a", 1): "raise",
+            ("b", 2): Fault(action=DELAY, delay_s=0.05),
+        })
+        assert plan.fault_for("a", 1).action == RAISE
+        assert plan.fault_for("b", 2).action == DELAY
+        assert plan.fault_for("a", 2) is None
+        assert plan.fault_for("c", 1) is None
+
+    def test_duplicate_key_attempt_rejected(self):
+        fault = Fault(action=RAISE)
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(faults=((("a", 1, fault)), (("a", 1, fault))))
+
+    def test_bad_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            FaultPlan.build({("a", 0): "raise"})
+
+    def test_apply_raise(self):
+        plan = FaultPlan.build({("a", 1): "raise"})
+        with pytest.raises(InjectedFault, match="attempt 1"):
+            plan.apply("a", 1, in_worker_process=False)
+        # Other attempts/keys pass through untouched.
+        plan.apply("a", 2, in_worker_process=False)
+        plan.apply("b", 1, in_worker_process=False)
+
+    def test_apply_kill_in_driver_degrades_to_exception(self):
+        # In the driver process a kill fault must NOT os._exit — it
+        # raises WorkerKilled so serial backends charge the attempt the
+        # same way a dead pool worker would.
+        plan = FaultPlan.build({("a", 1): "kill"})
+        with pytest.raises(WorkerKilled):
+            plan.apply("a", 1, in_worker_process=False)
+
+    def test_apply_delay_sleeps_and_returns(self):
+        import time
+
+        plan = FaultPlan.build({
+            ("a", 1): Fault(action=DELAY, delay_s=0.02),
+        })
+        start = time.monotonic()
+        plan.apply("a", 1, in_worker_process=False)
+        assert time.monotonic() - start >= 0.02
+
+
+class TestJournalFault:
+    def test_crash_on_append_validated(self):
+        with pytest.raises(ValueError, match="crash_on_append"):
+            JournalFault(crash_on_append=0)
+        assert JournalFault(crash_on_append=3).crash_on_append == 3
+
+
+class TestBackoffDeterminism:
+    def test_no_backoff_before_first_retry(self):
+        assert RetryPolicy().backoff_s(0, seed=7) == 0.0
+
+    def test_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.3, jitter_frac=0.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_in_seed_and_retry(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter_frac=0.5)
+        a = [policy.backoff_s(n, seed=11) for n in range(1, 5)]
+        b = [policy.backoff_s(n, seed=11) for n in range(1, 5)]
+        assert a == b
+        # A different seed jitters differently (same bounds).
+        c = [policy.backoff_s(n, seed=12) for n in range(1, 5)]
+        assert a != c
+
+    def test_jitter_bounded_by_frac(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=1.0,
+                             jitter_frac=0.25)
+        for seed in range(20):
+            delay = policy.backoff_s(1, seed=seed)
+            assert 0.1 <= delay <= 0.1 * 1.25
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)

@@ -1,0 +1,139 @@
+"""The append-only job journal: durability, torn-write tolerance, replay."""
+
+import pytest
+
+from repro.runtime import JournalCrash, JournalFault
+from repro.service.journal import (
+    JobJournal,
+    max_job_number,
+    replay_journal,
+)
+
+
+class TestAppendAndRead:
+    def test_roundtrip(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submitted", "job-1", kind="place",
+                       request={"circuit": "cm", "seed": 1})
+        journal.append("running", "job-1")
+        journal.append("done", "job-1", result={"best_cost": 2.5})
+        journal.close()
+        entries = JobJournal(tmp_path).entries()
+        assert [e["event"] for e in entries] == [
+            "submitted", "running", "done"]
+        assert entries[0]["request"] == {"circuit": "cm", "seed": 1}
+        assert entries[2]["result"] == {"best_cost": 2.5}
+        assert all(e["job"] == "job-1" for e in entries)
+
+    def test_unknown_event_rejected_at_write(self, tmp_path):
+        with pytest.raises(ValueError, match="event"):
+            JobJournal(tmp_path).append("exploded", "job-1")
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert JobJournal(tmp_path).entries() == []
+
+    def test_durable_per_append(self, tmp_path):
+        # Entries are readable immediately, without close() — the
+        # handle is flushed+fsynced per append.
+        journal = JobJournal(tmp_path)
+        journal.append("submitted", "job-1", kind="place", request={})
+        assert len(JobJournal(tmp_path).entries()) == 1
+        journal.close()
+
+
+class TestTornWrites:
+    def test_injected_crash_leaves_a_torn_final_line(self, tmp_path):
+        journal = JobJournal(tmp_path, fault=JournalFault(crash_on_append=3))
+        journal.append("submitted", "job-1", kind="place", request={})
+        journal.append("running", "job-1")
+        with pytest.raises(JournalCrash):
+            journal.append("done", "job-1", result={"best_cost": 1.0})
+        # The torn prefix is really on disk...
+        text = (tmp_path / "jobs.jsonl").read_text()
+        assert len(text.splitlines()) == 3
+        # ...and replay drops exactly the torn line.
+        entries = JobJournal(tmp_path).entries()
+        assert [e["event"] for e in entries] == ["submitted", "running"]
+
+    def test_crashed_journal_refuses_further_appends(self, tmp_path):
+        # A crashed journal models a dead process: a later append would
+        # land behind the torn line and corrupt the crash signature.
+        journal = JobJournal(tmp_path, fault=JournalFault(crash_on_append=1))
+        with pytest.raises(JournalCrash):
+            journal.append("submitted", "job-1", kind="place", request={})
+        with pytest.raises(JournalCrash, match="already crashed"):
+            journal.append("failed", "job-1", error="x")
+        assert JobJournal(tmp_path).entries() == []
+
+    def test_interior_corruption_raises_not_skips(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submitted", "job-1", kind="place", request={})
+        journal.append("done", "job-1", result={})
+        journal.close()
+        path = tmp_path / "jobs.jsonl"
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # corrupt a NON-final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            JobJournal(tmp_path).entries()
+
+
+class TestReplay:
+    def test_folds_to_final_states(self):
+        entries = [
+            {"event": "submitted", "job": "job-1", "kind": "place",
+             "request": {"seed": 1}, "client": "a", "request_hash": "h1"},
+            {"event": "submitted", "job": "job-2", "kind": "train",
+             "request": {"seed": 2}},
+            {"event": "submitted", "job": "job-3", "kind": "place",
+             "request": {"seed": 3}},
+            {"event": "submitted", "job": "job-4", "kind": "place",
+             "request": {"seed": 4}},
+            {"event": "running", "job": "job-1"},
+            {"event": "running", "job": "job-2"},
+            {"event": "done", "job": "job-1", "result": {"best_cost": 9.0}},
+            {"event": "failed", "job": "job-2", "error": "boom"},
+            {"event": "cancelled", "job": "job-4"},
+        ]
+        jobs = {job.id: job for job in replay_journal(entries)}
+        assert jobs["job-1"].state == "done"
+        assert jobs["job-1"].result == {"best_cost": 9.0}
+        assert jobs["job-1"].client == "a"
+        assert jobs["job-1"].request_hash == "h1"
+        assert not jobs["job-1"].interrupted
+        assert jobs["job-2"].state == "failed"
+        assert jobs["job-2"].error == "boom"
+        assert jobs["job-2"].kind == "train"
+        assert jobs["job-3"].state == "submitted"
+        assert jobs["job-3"].interrupted
+        assert jobs["job-4"].state == "cancelled"
+
+    def test_running_without_done_is_interrupted(self):
+        entries = [
+            {"event": "submitted", "job": "job-1", "kind": "place",
+             "request": {}},
+            {"event": "running", "job": "job-1"},
+        ]
+        (job,) = replay_journal(entries)
+        assert job.state == "running" and job.interrupted
+
+    def test_id_order_and_counter_resume(self):
+        entries = [
+            {"event": "submitted", "job": f"job-{n}", "kind": "place",
+             "request": {}}
+            for n in (10, 2, 7)
+        ]
+        jobs = replay_journal(entries)
+        assert [job.id for job in jobs] == ["job-2", "job-7", "job-10"]
+        assert max_job_number(jobs) == 10
+        assert max_job_number([]) == 0
+
+    def test_unknown_events_ignored(self):
+        entries = [
+            {"event": "submitted", "job": "job-1", "kind": "place",
+             "request": {}},
+            {"event": "compacted", "job": "job-1"},  # future format
+            {"event": "done", "job": "job-1", "result": {}},
+        ]
+        (job,) = replay_journal(entries)
+        assert job.state == "done"

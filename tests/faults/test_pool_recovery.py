@@ -1,0 +1,124 @@
+"""Worker death and pool recovery — the acceptance rail: a killed
+worker costs only the lost spec's re-execution, the pool is rebuilt, and
+every surviving result is bit-identical to a fault-free run."""
+
+import pytest
+
+from repro.runtime import (
+    FaultPlan,
+    ProcessPoolBackend,
+    RetryPolicy,
+    RunSpec,
+    SerialBackend,
+    WorkerTaskError,
+    map_runs,
+    resilient_map_runs,
+)
+
+FAST = dict(backoff_base_s=0.0, jitter_frac=0.0)
+
+
+def _specs(seeds=(1, 2, 3)):
+    return [
+        RunSpec(key=("run", seed), builder="cm", placer="ql", seed=seed,
+                max_steps=5, evaluate_best=False)
+        for seed in seeds
+    ]
+
+
+def _fingerprint(outcome):
+    r = outcome.result
+    return (outcome.key, r.best_cost, r.sims_used,
+            tuple(map(tuple, r.history)))
+
+
+def _boom(spec):
+    raise ValueError(f"numerical blow-up at seed {spec.seed}")
+
+
+class TestWorkerDeathRecovery:
+    def test_kill_on_single_worker_pool_exact_accounting(self):
+        # jobs=1 serialises the pool, so worker-death attribution is
+        # exact: only the killed spec is charged a second attempt.
+        plan = FaultPlan.build({(("run", 2), 1): "kill"})
+        report = resilient_map_runs(
+            _specs(),
+            backend=ProcessPoolBackend(jobs=1),
+            retry=RetryPolicy(max_attempts=3, **FAST),
+            faults=plan,
+        )
+        assert report.attempts == {("run", 1): 1, ("run", 2): 2, ("run", 3): 1}
+        assert report.worker_deaths == 1
+        assert report.pool_rebuilds >= 1
+        assert report.quarantined == ()
+        baseline = map_runs(_specs(), SerialBackend())
+        assert [_fingerprint(o) for o in report.outcomes] == [
+            _fingerprint(o) for o in baseline]
+
+    def test_serial_kill_accounts_like_single_worker_pool(self):
+        plan = FaultPlan.build({(("run", 2), 1): "kill"})
+        kwargs = dict(retry=RetryPolicy(max_attempts=3, **FAST), faults=plan)
+        serial = resilient_map_runs(
+            _specs(), backend=SerialBackend(), **kwargs)
+        pooled = resilient_map_runs(
+            _specs(), backend=ProcessPoolBackend(jobs=1), **kwargs)
+        assert serial.attempts == pooled.attempts
+        assert serial.worker_deaths == pooled.worker_deaths == 1
+        assert [_fingerprint(o) for o in serial.outcomes] == [
+            _fingerprint(o) for o in pooled.outcomes]
+
+    def test_repeated_kills_quarantine_as_worker_killed(self):
+        plan = FaultPlan.build({
+            (("run", 1), 1): "kill",
+            (("run", 1), 2): "kill",
+        })
+        report = resilient_map_runs(
+            _specs((1,)),
+            backend=ProcessPoolBackend(jobs=1),
+            retry=RetryPolicy(max_attempts=2, **FAST),
+            faults=plan,
+        )
+        failed = report.outcomes[0]
+        assert failed.error_type == "WorkerKilled"
+        assert failed.attempts == 2
+        assert report.worker_deaths == 2
+
+    def test_many_worker_pool_results_survive_a_kill(self):
+        # With >1 workers, collateral attempt counts may vary (a death
+        # can interrupt whichever neighbours were mid-flight) — but
+        # results never do, and nothing is lost or quarantined.
+        plan = FaultPlan.build({(("run", 2), 1): "kill"})
+        report = resilient_map_runs(
+            _specs(),
+            backend=ProcessPoolBackend(jobs=2),
+            retry=RetryPolicy(max_attempts=4, **FAST),
+            faults=plan,
+        )
+        assert report.quarantined == ()
+        assert report.worker_deaths >= 1
+        baseline = map_runs(_specs(), SerialBackend())
+        assert [_fingerprint(o) for o in report.outcomes] == [
+            _fingerprint(o) for o in baseline]
+
+
+class TestWorkerErrorAttribution:
+    def test_pool_map_exception_names_the_originating_spec(self):
+        backend = ProcessPoolBackend(jobs=2)
+        with pytest.raises(WorkerTaskError) as excinfo:
+            backend.map(_boom, _specs((7,)))
+        message = str(excinfo.value)
+        # The annotated error names circuit, placer and seed — no
+        # anonymous remote tracebacks.
+        assert "circuit='cm'" in message
+        assert "seed=7" in message
+        assert "numerical blow-up" in message
+
+    def test_plain_items_fall_back_to_index_labels(self):
+        backend = ProcessPoolBackend(jobs=2)
+
+        with pytest.raises(WorkerTaskError, match=r"item 1"):
+            backend.map(_div, [1, 0])
+
+
+def _div(x):
+    return 1 // x

@@ -1,0 +1,207 @@
+"""Crash-restart recovery of the job manager: kill a manager (or crash
+its journal mid-write), build a fresh one on the same directory, and
+lose nothing."""
+
+import threading
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime import JournalCrash, JournalFault
+from repro.service.journal import JobJournal
+from repro.service.jobs import JobManager
+
+
+@dataclass(frozen=True)
+class FakeRequest:
+    """A minimal journalable request (seed doubles as identity)."""
+
+    seed: int
+    kind_name: str = "place"
+
+    def to_json_dict(self):
+        return {"seed": self.seed}
+
+
+@dataclass
+class FakeResult:
+    value: int
+
+    def to_json_dict(self):
+        return {"value": self.value}
+
+
+def _runner(request):
+    return FakeResult(request.seed * 10)
+
+
+def _decode_request(kind, data):
+    return FakeRequest(seed=data["seed"])
+
+
+def _decode_result(data):
+    return FakeResult(value=data["value"])
+
+
+def _recovered_manager(tmp_path, **kwargs):
+    manager = JobManager(_runner, workers=1,
+                         journal=JobJournal(tmp_path), **kwargs)
+    report = manager.recover(_decode_request, _decode_result)
+    return manager, report
+
+
+class TestCleanRestart:
+    def test_done_jobs_serve_from_journal_without_rerun(self, tmp_path):
+        first = JobManager(_runner, workers=1, journal=JobJournal(tmp_path))
+        job = first.submit(FakeRequest(seed=4))
+        assert first.result(job, timeout=30).value == 40
+        first.shutdown()
+
+        executed = []
+
+        def exploding_runner(request):
+            executed.append(request)
+            raise AssertionError("a journal-served job must not re-run")
+
+        second = JobManager(exploding_runner, workers=1,
+                            journal=JobJournal(tmp_path))
+        report = second.recover(_decode_request, _decode_result)
+        assert report.served_from_journal == [job]
+        assert report.requeued == []
+        record = second.status(job)
+        assert record.state == "done" and record.recovered
+        assert second.result(job).value == 40
+        assert executed == []
+        second.shutdown()
+
+    def test_job_counter_resumes_past_journaled_ids(self, tmp_path):
+        first = JobManager(_runner, workers=1, journal=JobJournal(tmp_path))
+        first.submit(FakeRequest(seed=1))
+        job2 = first.submit(FakeRequest(seed=2))
+        first.result(job2, timeout=30)
+        first.shutdown()
+
+        second, __ = _recovered_manager(tmp_path)
+        assert second.submit(FakeRequest(seed=3)) == "job-3"
+        second.shutdown()
+
+    def test_recover_requires_pristine_manager(self, tmp_path):
+        first = JobManager(_runner, workers=1, journal=JobJournal(tmp_path))
+        job = first.submit(FakeRequest(seed=1))
+        first.result(job, timeout=30)
+        with pytest.raises(RuntimeError, match="before any live"):
+            first.recover(_decode_request, _decode_result)
+        first.shutdown()
+        with pytest.raises(RuntimeError, match="needs a journal"):
+            JobManager(_runner).recover(_decode_request, _decode_result)
+
+
+class TestInterruptedJobs:
+    def test_mid_flight_jobs_requeue_and_complete(self, tmp_path):
+        # Simulate dying mid-job: journal submitted+running by hand, the
+        # way a killed process would have left them.
+        journal = JobJournal(tmp_path)
+        journal.append("submitted", "job-1", kind="place",
+                       request={"seed": 6})
+        journal.append("running", "job-1")
+        journal.append("submitted", "job-2", kind="place",
+                       request={"seed": 7})
+        journal.close()
+
+        manager, report = _recovered_manager(tmp_path)
+        assert report.requeued == ["job-1", "job-2"]
+        assert manager.result("job-1", timeout=30).value == 60
+        assert manager.result("job-2", timeout=30).value == 70
+        manager.shutdown()
+        # The re-runs journaled their own completions: a third manager
+        # serves both from the journal.
+        third, report3 = _recovered_manager(tmp_path)
+        assert sorted(report3.served_from_journal) == ["job-1", "job-2"]
+        assert third.result("job-1").value == 60
+        third.shutdown()
+
+    def test_journal_crash_mid_done_write_loses_nothing(self, tmp_path):
+        # Crash the journal exactly on the "done" append (append #3:
+        # submitted, running, done).  The in-memory job fails loudly;
+        # on disk the torn line is dropped, the job replays as
+        # interrupted, re-runs, and lands the same result.
+        journal = JobJournal(tmp_path, fault=JournalFault(crash_on_append=3))
+        first = JobManager(_runner, workers=1, journal=journal)
+        job = first.submit(FakeRequest(seed=5))
+        with pytest.raises(RuntimeError, match="injected journal crash"):
+            first.result(job, timeout=30)
+        first.shutdown()
+
+        second, report = _recovered_manager(tmp_path)
+        assert report.requeued == [job]
+        assert second.result(job, timeout=30).value == 50
+        second.shutdown()
+
+    def test_journal_crash_on_submit_rejects_the_submission(self, tmp_path):
+        journal = JobJournal(tmp_path, fault=JournalFault(crash_on_append=1))
+        manager = JobManager(_runner, workers=1, journal=journal)
+        with pytest.raises(JournalCrash):
+            manager.submit(FakeRequest(seed=1))
+        manager.shutdown()
+        # Nothing durable, nothing to recover.
+        second, report = _recovered_manager(tmp_path)
+        assert report.served_from_journal == [] and report.requeued == []
+        second.shutdown()
+
+
+class TestFailedAndCancelledReplay:
+    def test_failed_job_replays_with_stored_error(self, tmp_path):
+        def failing_runner(request):
+            raise ValueError(f"bad seed {request.seed}")
+
+        first = JobManager(failing_runner, workers=1,
+                           journal=JobJournal(tmp_path))
+        job = first.submit(FakeRequest(seed=3))
+        with pytest.raises(RuntimeError, match="bad seed 3"):
+            first.result(job, timeout=30)
+        first.shutdown()
+
+        second, report = _recovered_manager(tmp_path)
+        assert report.served_from_journal == [job]
+        record = second.status(job)
+        assert record.state == "failed" and record.recovered
+        assert "bad seed 3" in record.error
+        with pytest.raises(RuntimeError, match="bad seed 3"):
+            second.result(job)
+        second.shutdown()
+
+    def test_cancelled_job_replays_cancelled(self, tmp_path):
+        gate = threading.Event()
+
+        def gated_runner(request):
+            gate.wait(30)
+            return _runner(request)
+
+        first = JobManager(gated_runner, workers=1,
+                           journal=JobJournal(tmp_path))
+        running = first.submit(FakeRequest(seed=1))
+        queued = first.submit(FakeRequest(seed=2))
+        assert first.cancel(queued)
+        gate.set()
+        first.result(running, timeout=30)
+        first.shutdown()
+
+        second, __ = _recovered_manager(tmp_path)
+        assert second.status(queued).state == "cancelled"
+        with pytest.raises(RuntimeError, match="cancelled"):
+            second.result(queued)
+        second.shutdown()
+
+    def test_undecodable_request_registers_as_failed(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append("submitted", "job-1", kind="place",
+                       request={"not_a_seed": True})
+        journal.close()
+
+        manager = JobManager(_runner, workers=1, journal=JobJournal(tmp_path))
+        report = manager.recover(_decode_request, _decode_result)
+        assert report.undecodable == ["job-1"]
+        record = manager.status("job-1")
+        assert record.state == "failed"
+        assert "no longer decodes" in record.error
+        manager.shutdown()

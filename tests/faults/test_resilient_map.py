@@ -1,0 +1,152 @@
+"""resilient_map_runs: retry, quarantine, timeout — with exact,
+reproducible accounting, identical across serial and pool backends."""
+
+import pytest
+
+from repro.runtime import (
+    FailedRun,
+    Fault,
+    FaultPlan,
+    ProcessPoolBackend,
+    RetryPolicy,
+    RunSpec,
+    SerialBackend,
+    map_runs,
+    resilient_map_runs,
+)
+
+#: A fast retry policy: real attempt semantics, no wall-clock padding.
+FAST = dict(backoff_base_s=0.0, jitter_frac=0.0)
+
+
+def _specs(seeds=(1, 2, 3)):
+    return [
+        RunSpec(key=("run", seed), builder="cm", placer="ql", seed=seed,
+                max_steps=5, evaluate_best=False)
+        for seed in seeds
+    ]
+
+
+def _fingerprint(outcome):
+    """The bit-identity probe: everything a run's result determines."""
+    r = outcome.result
+    return (outcome.key, r.best_cost, r.sims_used, tuple(map(tuple, r.history)),
+            tuple(sorted(r.best_placement.cell_of(u) for u in
+                         r.best_placement.units)))
+
+
+class TestCleanBatch:
+    def test_matches_map_runs_bit_for_bit(self):
+        specs = _specs()
+        report = resilient_map_runs(specs, retry=RetryPolicy(**FAST))
+        baseline = map_runs(_specs(), SerialBackend())
+        assert [_fingerprint(o) for o in report.outcomes] == [
+            _fingerprint(o) for o in baseline]
+        assert report.retries == 0
+        assert report.attempts == {spec.key: 1 for spec in specs}
+        assert report.quarantined == ()
+
+    def test_duplicate_keys_rejected(self):
+        specs = _specs((1, 1))
+        with pytest.raises(ValueError, match="unique"):
+            resilient_map_runs(specs)
+
+
+class TestRetries:
+    def test_injected_raise_is_retried_to_the_same_result(self):
+        plan = FaultPlan.build({(("run", 2), 1): "raise"})
+        report = resilient_map_runs(
+            _specs(), retry=RetryPolicy(max_attempts=3, **FAST), faults=plan)
+        baseline = map_runs(_specs(), SerialBackend())
+        assert [_fingerprint(o) for o in report.outcomes] == [
+            _fingerprint(o) for o in baseline]
+        assert report.attempts == {("run", 1): 1, ("run", 2): 2, ("run", 3): 1}
+        assert report.retries == 1
+
+    def test_exhausted_spec_quarantines_not_raises(self):
+        plan = FaultPlan.build({
+            (("run", 2), 1): "raise",
+            (("run", 2), 2): "raise",
+        })
+        report = resilient_map_runs(
+            _specs(), retry=RetryPolicy(max_attempts=2, **FAST), faults=plan)
+        failed = report.outcomes[1]
+        assert isinstance(failed, FailedRun)
+        assert failed.key == ("run", 2)
+        assert failed.attempts == 2
+        assert failed.error_type == "InjectedFault"
+        # The quarantine summary names the run: circuit, placer, seed.
+        assert "circuit='cm'" in failed.summary()
+        assert "seed=2" in failed.summary()
+        # Neighbours are untouched and bit-identical.
+        baseline = map_runs(_specs((1, 3)), SerialBackend())
+        assert _fingerprint(report.outcomes[0]) == _fingerprint(baseline[0])
+        assert _fingerprint(report.outcomes[2]) == _fingerprint(baseline[1])
+        assert report.quarantined == (("run", 2),)
+        assert report.ok()[0].key == ("run", 1)
+        assert [f.key for f in report.failed()] == [("run", 2)]
+
+    def test_same_plan_same_accounting_twice(self):
+        plan = FaultPlan.build({
+            (("run", 1), 1): "raise",
+            (("run", 3), 1): "raise",
+            (("run", 3), 2): "raise",
+        })
+        kwargs = dict(retry=RetryPolicy(max_attempts=2, **FAST), faults=plan)
+        first = resilient_map_runs(_specs(), **kwargs)
+        second = resilient_map_runs(_specs(), **kwargs)
+        assert first.accounting() == second.accounting()
+        assert first.retries == 2 and first.worker_deaths == 0
+
+
+class TestSerialPoolEquivalence:
+    def test_in_band_faults_account_identically(self):
+        plan = FaultPlan.build({
+            (("run", 1), 1): "raise",
+            (("run", 2), 1): "raise",
+            (("run", 2), 2): "raise",
+        })
+        kwargs = dict(retry=RetryPolicy(max_attempts=2, **FAST), faults=plan)
+        serial = resilient_map_runs(_specs(), backend=SerialBackend(), **kwargs)
+        pooled = resilient_map_runs(
+            _specs(), backend=ProcessPoolBackend(jobs=2), **kwargs)
+        assert serial.accounting() == pooled.accounting()
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            if isinstance(a, FailedRun):
+                assert isinstance(b, FailedRun)
+                assert (a.key, a.attempts, a.error_type) == (
+                    b.key, b.attempts, b.error_type)
+            else:
+                assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestTimeouts:
+    def test_slow_attempt_times_out_then_retries_clean(self):
+        plan = FaultPlan.build({
+            (("run", 2), 1): Fault(action="delay", delay_s=0.4),
+        })
+        report = resilient_map_runs(
+            _specs(),
+            retry=RetryPolicy(max_attempts=2, timeout_s=0.25, **FAST),
+            faults=plan,
+        )
+        assert report.timeouts == 1
+        assert report.attempts[("run", 2)] == 2
+        baseline = map_runs(_specs(), SerialBackend())
+        assert [_fingerprint(o) for o in report.outcomes] == [
+            _fingerprint(o) for o in baseline]
+
+    def test_persistently_slow_spec_quarantines_as_timeout(self):
+        plan = FaultPlan.build({
+            (("run", 1), n): Fault(action="delay", delay_s=0.4)
+            for n in (1, 2)
+        })
+        report = resilient_map_runs(
+            _specs((1,)),
+            retry=RetryPolicy(max_attempts=2, timeout_s=0.25, **FAST),
+            faults=plan,
+        )
+        failed = report.outcomes[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.error_type == "TimeoutError"
+        assert report.timeouts == 2

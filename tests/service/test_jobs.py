@@ -1,0 +1,172 @@
+"""JobManager failure surfaces: the cancel/running race, shutdown
+semantics, result timeouts, and journal replay of failed jobs."""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service.journal import JobJournal
+from repro.service.jobs import JobManager
+
+
+@dataclass(frozen=True)
+class FakeRequest:
+    seed: int
+
+    def to_json_dict(self):
+        return {"seed": self.seed}
+
+
+@dataclass
+class FakeResult:
+    value: int
+
+    def to_json_dict(self):
+        return {"value": self.value}
+
+
+class TestCancelRace:
+    def test_cancel_vs_start_settles_deterministically(self):
+        # Regression for the unlocked-future.cancel() race: hammer
+        # cancel() right as each job transitions queued -> running.  The
+        # invariant: a job either ran to completion (cancel returned
+        # False / state done) or never executed at all (cancel returned
+        # True / state cancelled) — no record/future disagreement, no
+        # half-executed work.
+        executed = []
+        lock = threading.Lock()
+
+        def runner(request):
+            with lock:
+                executed.append(request.seed)
+            return FakeResult(request.seed)
+
+        manager = JobManager(runner, workers=1)
+        outcomes = []
+        for seed in range(40):
+            job = manager.submit(FakeRequest(seed))
+            if seed % 3:
+                time.sleep(0.0005)  # vary who wins the race
+            cancelled = manager.cancel(job)
+            outcomes.append((seed, job, cancelled))
+        manager.shutdown(wait=True)
+
+        ran = set(executed)
+        for seed, job, cancelled in outcomes:
+            record = manager.status(job)
+            if cancelled:
+                assert record.state == "cancelled"
+                assert seed not in ran, f"cancelled {job} still executed"
+                with pytest.raises(RuntimeError, match="cancelled"):
+                    manager.result(job)
+            else:
+                assert record.state == "done"
+                assert seed in ran
+                assert manager.result(job).value == seed
+
+    def test_cancel_running_job_returns_false(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def runner(request):
+            entered.set()
+            release.wait(30)
+            return FakeResult(request.seed)
+
+        manager = JobManager(runner, workers=1)
+        job = manager.submit(FakeRequest(1))
+        assert entered.wait(30)
+        assert manager.cancel(job) is False
+        assert manager.status(job).state == "running"
+        release.set()
+        assert manager.result(job, timeout=30).value == 1
+        manager.shutdown()
+
+    def test_cancel_twice_is_idempotent(self):
+        release = threading.Event()
+
+        def runner(request):
+            release.wait(30)
+            return FakeResult(request.seed)
+
+        manager = JobManager(runner, workers=1)
+        manager.submit(FakeRequest(1))  # occupies the worker
+        queued = manager.submit(FakeRequest(2))
+        assert manager.cancel(queued) is True
+        assert manager.cancel(queued) is True  # already cancelled
+        release.set()
+        manager.shutdown()
+
+
+class TestShutdownSurfaces:
+    def test_submit_after_shutdown_raises_cleanly(self):
+        manager = JobManager(lambda request: FakeResult(1))
+        manager.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            manager.submit(FakeRequest(1))
+
+    def test_pre_shutdown_results_remain_readable(self):
+        manager = JobManager(lambda request: FakeResult(request.seed))
+        job = manager.submit(FakeRequest(9))
+        assert manager.result(job, timeout=30).value == 9
+        manager.shutdown()
+        assert manager.result(job).value == 9
+        assert manager.counts()["done"] == 1
+
+
+class TestResultTimeout:
+    def test_result_timeout_expires_on_hung_job(self):
+        release = threading.Event()
+
+        def hung_runner(request):
+            release.wait(30)
+            return FakeResult(request.seed)
+
+        manager = JobManager(hung_runner, workers=1)
+        job = manager.submit(FakeRequest(1))
+        start = time.monotonic()
+        with pytest.raises(TimeoutError, match="still running"):
+            manager.result(job, timeout=0.2)
+        assert time.monotonic() - start < 5
+        # The job itself is unharmed: release it and read the result.
+        release.set()
+        assert manager.result(job, timeout=30).value == 1
+        manager.shutdown()
+
+    def test_unknown_job_everywhere(self):
+        manager = JobManager(lambda request: FakeResult(1))
+        with pytest.raises(KeyError, match="nope"):
+            manager.status("nope")
+        with pytest.raises(KeyError, match="nope"):
+            manager.result("nope")
+        with pytest.raises(KeyError, match="nope"):
+            manager.cancel("nope")
+        manager.shutdown()
+
+
+class TestFailedJobReplay:
+    def test_journal_replay_of_failed_job_returns_stored_error(self, tmp_path):
+        def failing_runner(request):
+            raise ZeroDivisionError("metrics blew up")
+
+        first = JobManager(failing_runner, workers=1,
+                           journal=JobJournal(tmp_path))
+        job = first.submit(FakeRequest(1))
+        with pytest.raises(RuntimeError, match="metrics blew up"):
+            first.result(job, timeout=30)
+        first.shutdown()
+
+        second = JobManager(failing_runner, workers=1,
+                            journal=JobJournal(tmp_path))
+        second.recover(
+            lambda kind, data: FakeRequest(seed=data["seed"]),
+            lambda data: FakeResult(value=data["value"]),
+        )
+        record = second.status(job)
+        assert record.state == "failed" and record.recovered
+        assert "ZeroDivisionError" in record.error
+        with pytest.raises(RuntimeError, match="metrics blew up"):
+            second.result(job)
+        second.shutdown()
