@@ -1,0 +1,148 @@
+"""BENCH 8 / cluster — distributed runs/s over loopback worker daemons.
+
+Drains one batch of Q-learning placement runs four ways — serial
+baseline, a 1-daemon cluster, a 2-daemon cluster, and the in-box
+:class:`ProcessPoolBackend` — and records runs/second for each.  The
+cluster daemons are real ``worker_main`` processes speaking the full
+TCP protocol (hello, leases, heartbeats, length-prefixed frames), so
+the recorded gap between pool and cluster *is* the wire overhead.
+
+Two shapes are asserted:
+
+* **bit-identity** — all four drains produce byte-identical payloads
+  (the distributed acceptance criterion: sockets and leases must never
+  leak into results);
+* **scaling** — 2 daemons beat 1 by >= 1.5x.  Only asserted on
+  machines that can physically parallelise (>= 4 usable cores) and
+  when ``CLUSTER_THROUGHPUT_SMOKE`` is unset — on single-core boxes
+  (this repo's container, small CI runners) two daemons time-slice one
+  core and the ratio is noise.
+
+Raw numbers land in ``extra_info`` → ``BENCH_8.json`` (a CI artifact),
+tracking distributed-serving overhead across PRs.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.runtime import (
+    ClusterBackend,
+    ProcessPoolBackend,
+    RunSpec,
+    SerialBackend,
+    map_runs,
+    worker_main,
+)
+from repro.runtime.wire import outcome_to_wire
+
+SMOKE = os.environ.get("CLUSTER_THROUGHPUT_SMOKE") == "1"
+
+#: Tiny-but-real placement runs: the cm block converges in seconds.
+N_RUNS = 4 if SMOKE else 6
+STEPS = 200 if SMOKE else 300
+
+try:
+    USABLE_CORES = len(os.sched_getaffinity(0))
+except AttributeError:  # platforms without affinity (macOS)
+    USABLE_CORES = os.cpu_count() or 1
+
+
+def _specs():
+    return [
+        RunSpec(key=("QL", seed), builder="cm", placer="ql", seed=seed,
+                max_steps=STEPS, target_from_symmetric=True)
+        for seed in range(1, N_RUNS + 1)
+    ]
+
+
+def _canon(outcomes):
+    return [json.dumps(outcome_to_wire(o), sort_keys=True)
+            for o in outcomes]
+
+
+def _drain_cluster(daemons: int) -> tuple[float, list[str]]:
+    """Drain the batch over ``daemons`` single-slot worker processes."""
+    backend = ClusterBackend()
+    host, port = backend.address
+    procs = [
+        multiprocessing.Process(
+            target=worker_main, args=(host, port),
+            kwargs=dict(jobs=1, name=f"bench-{i}"),
+        )
+        for i in range(daemons)
+    ]
+    for proc in procs:
+        proc.start()
+    try:
+        backend.wait_for_workers(daemons, timeout_s=60.0)
+        start = time.perf_counter()
+        outcomes = map_runs(_specs(), backend)
+        elapsed = time.perf_counter() - start
+    finally:
+        backend.close()
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+    return elapsed, _canon(outcomes)
+
+
+def _drain_pool() -> tuple[float, list[str]]:
+    backend = ProcessPoolBackend(jobs=2)
+    start = time.perf_counter()
+    outcomes = map_runs(_specs(), backend)
+    return time.perf_counter() - start, _canon(outcomes)
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_runs_per_second_1_vs_2_daemons(benchmark):
+    def all_four():
+        serial_start = time.perf_counter()
+        baseline = _canon(map_runs(_specs(), SerialBackend()))
+        serial_s = time.perf_counter() - serial_start
+        return (serial_s, baseline), _drain_cluster(1), \
+            _drain_cluster(2), _drain_pool()
+
+    ((serial_s, baseline), (one_s, one_payloads),
+     (two_s, two_payloads), (pool_s, pool_payloads)) = (
+        benchmark.pedantic(all_four, rounds=1, iterations=1)
+    )
+
+    rates = {
+        "serial": N_RUNS / serial_s,
+        "cluster1": N_RUNS / one_s,
+        "cluster2": N_RUNS / two_s,
+        "pool2": N_RUNS / pool_s,
+    }
+    benchmark.extra_info.update({
+        "block": "cm",
+        "runs": N_RUNS,
+        "steps": STEPS,
+        "serial_s": round(serial_s, 3),
+        "cluster1_s": round(one_s, 3),
+        "cluster2_s": round(two_s, 3),
+        "pool2_s": round(pool_s, 3),
+        **{f"{k}_rate": round(v, 3) for k, v in rates.items()},
+        "cluster_scaling": round(rates["cluster2"] / rates["cluster1"], 2),
+        "wire_overhead_vs_pool": round(pool_s and two_s / pool_s, 2),
+        "usable_cores": USABLE_CORES,
+        "smoke_mode": SMOKE,
+    })
+
+    # The distributed acceptance criterion: serial ≡ pool ≡ cluster,
+    # byte for byte, at any worker count.
+    assert one_payloads == baseline
+    assert two_payloads == baseline
+    assert pool_payloads == baseline
+
+    if not SMOKE and USABLE_CORES >= 4:
+        scaling = rates["cluster2"] / rates["cluster1"]
+        assert scaling >= 1.5, (
+            f"2 worker daemons ({rates['cluster2']:.2f} runs/s) only "
+            f"{scaling:.2f}x over 1 ({rates['cluster1']:.2f} runs/s) "
+            f"on {USABLE_CORES} cores"
+        )

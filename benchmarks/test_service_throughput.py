@@ -53,8 +53,11 @@ def _requests():
     ]
 
 
-def _drain_served(jobs: int, tmp_path) -> tuple[float, list[dict]]:
-    """POST every request over HTTP, wait for all; (seconds, payloads)."""
+def _drain_served(
+    jobs: int, tmp_path
+) -> tuple[float, list[dict], dict]:
+    """POST every request over HTTP, wait for all; returns
+    (seconds, payloads, the drained service's ``/metrics`` scrape)."""
     service = PlacementService(
         policies=tmp_path / f"policies-{jobs}",
         backend=jobs, job_workers=jobs,
@@ -83,11 +86,15 @@ def _drain_served(jobs: int, tmp_path) -> tuple[float, list[dict]]:
             assert record["state"] == "done"
             payloads.append(record["result"])
         elapsed = time.perf_counter() - start
+        with urllib.request.urlopen(
+            server.url + "/metrics?format=json"
+        ) as resp:
+            metrics = json.loads(resp.read())
     finally:
         server.shutdown()
         server.server_close()
         service.close()
-    return elapsed, payloads
+    return elapsed, payloads, metrics
 
 
 @pytest.mark.benchmark(group="serve")
@@ -97,12 +104,24 @@ def test_served_jobs_per_second_1_vs_4(benchmark, tmp_path):
         parallel = _drain_served(4, tmp_path)
         return serial, parallel
 
-    (serial_s, serial_payloads), (parallel_s, parallel_payloads) = (
+    ((serial_s, serial_payloads, serial_metrics),
+     (parallel_s, parallel_payloads, parallel_metrics)) = (
         benchmark.pedantic(both, rounds=1, iterations=1)
     )
 
     serial_rate = N_REQUESTS / serial_s
     parallel_rate = N_REQUESTS / parallel_s
+
+    def _scrape(metrics: dict) -> dict:
+        """The headline numbers of one service's ``/metrics`` payload."""
+        return {
+            "jobs_per_s": round(metrics["jobs_per_s"], 3),
+            "latency_p50_s": metrics["latency_s"]["p50"],
+            "latency_p99_s": metrics["latency_s"]["p99"],
+            "sims_per_job": metrics["sims_per_job"],
+            "backend_workers": metrics["backend"]["workers"],
+        }
+
     benchmark.extra_info.update({
         "block": "cm",
         "requests": N_REQUESTS,
@@ -112,9 +131,17 @@ def test_served_jobs_per_second_1_vs_4(benchmark, tmp_path):
         "jobs1_rate": round(serial_rate, 3),
         "jobs4_rate": round(parallel_rate, 3),
         "speedup": round(parallel_rate / serial_rate, 2),
+        "jobs1_metrics": _scrape(serial_metrics),
+        "jobs4_metrics": _scrape(parallel_metrics),
         "usable_cores": USABLE_CORES,
         "smoke_mode": SMOKE,
     })
+
+    # The scrape target agrees with what the drain observed.
+    assert serial_metrics["jobs"]["done"] == N_REQUESTS
+    assert parallel_metrics["jobs"]["done"] == N_REQUESTS
+    assert serial_metrics["backend"]["kind"] == "SerialBackend"
+    assert parallel_metrics["backend"]["kind"] == "ProcessPoolBackend"
 
     # Determinism through HTTP + JobManager + backend: same requests,
     # bit-identical result payloads whatever the parallelism.

@@ -9,7 +9,16 @@ Commands:
 * ``place``    — optimize one circuit and print/export the placement;
 * ``train``    — island-model shared-policy training campaign;
 * ``serve``    — run the placement service's HTTP JSON layer;
+* ``worker``   — join a cluster coordinator as an execution worker;
 * ``profile``  — per-stage timing breakdown of one evaluation.
+
+Execution placement is uniform: every fan-out command accepts
+``--jobs N`` (process pool) and ``--backend SPEC`` (``serial``,
+``pool:N``, ``cluster:host:port`` — see
+:func:`repro.runtime.backend.make_backend`), and a
+``--backend cluster:...`` coordinator is fed by ``repro worker
+--connect host:port --jobs N`` daemons on any machine that can reach
+it.  Results are bit-identical across all of them.
 
 ``place``, ``train`` and ``fig3`` are thin clients of the
 :class:`~repro.service.service.PlacementService` facade: they build
@@ -50,7 +59,7 @@ from repro.layout.render import render_placement
 from repro.layout.svg import save_placement_svg
 from repro.netlist.spice import to_spice
 from repro.route.parasitics import annotate_parasitics
-from repro.runtime import resolve_backend
+from repro.runtime import make_backend
 from repro.service import PlacementRequest, TrainRequest, default_registry
 from repro.sim import (
     BACKEND_NAMES,
@@ -69,12 +78,25 @@ from repro.tech import generic_tech_40
 CIRCUITS = default_registry().builders
 
 
+def _backend_from_args(args):
+    """The ``--backend``/``--jobs`` pair, reduced to one factory input.
+
+    ``--backend`` (a :func:`repro.runtime.backend.make_backend` spec
+    string) wins when given; otherwise ``--jobs`` keeps its historical
+    meaning, with serial as the ``--jobs 1`` default.
+    """
+    spec = getattr(args, "backend", None)
+    if spec is not None:
+        return spec
+    return getattr(args, "jobs", 1)
+
+
 def _make_service(args):
     """A :class:`PlacementService` configured from common CLI flags."""
     from repro.service.service import PlacementService
 
     return PlacementService(
-        backend=getattr(args, "jobs", 1),
+        backend=_backend_from_args(args),
         policies=getattr(args, "policy_dir", None),
     )
 
@@ -91,6 +113,14 @@ def _batch_arg(value: str) -> int:
     if batch < 1:
         raise argparse.ArgumentTypeError("batch must be >= 1")
     return batch
+
+
+def _add_backend_flag(sub) -> None:
+    sub.add_argument("--backend", metavar="SPEC", default=None,
+                     help="execution backend: 'serial', 'pool:N', or "
+                          "'cluster:HOST:PORT' (a coordinator that "
+                          "`repro worker --connect HOST:PORT` daemons "
+                          "join); overrides --jobs")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -114,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the per-seed fan-out")
     fig3.add_argument("--batch", type=_batch_arg, default=1,
                       help="candidate placements priced per agent turn")
+    _add_backend_flag(fig3)
 
     ablation = sub.add_parser("ablation", help="run an ablation experiment")
     ablation.add_argument("which", choices=[
@@ -126,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="worker processes for independent runs")
     ablation.add_argument("--batch", type=_batch_arg, default=1,
                           help="candidate placements priced per agent turn")
+    _add_backend_flag(ablation)
 
     spice = sub.add_parser("spice", help="print a circuit's SPICE deck")
     spice.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
@@ -146,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "to warm-start the placer from")
     place.add_argument("--policy-dir", metavar="DIR",
                        help="policy store directory (default: ./policies)")
+    _add_backend_flag(place)
 
     train = sub.add_parser(
         "train",
@@ -194,6 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--prune-min-abs-q", type=float, default=0.0,
                        help="drop master entries with |Q| below this "
                             "before the policy-store snapshot")
+    _add_backend_flag(train)
 
     serve = sub.add_parser(
         "serve",
@@ -235,6 +269,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(needs --retries)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
+    _add_backend_flag(serve)
+    serve.add_argument("--workers-listen", metavar="HOST:PORT",
+                       help="serve over a cluster backend listening "
+                            "there for `repro worker` daemons "
+                            "(shorthand for --backend cluster:HOST:PORT)")
+    serve.add_argument("--result-cache", action="store_true",
+                       help="serve repeated identical requests from the "
+                            "first completed job's result (keyed by the "
+                            "canonical request hash; persists across "
+                            "restarts with --journal-dir)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a cluster coordinator as an execution worker",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's cluster address (what "
+                             "`--backend cluster:HOST:PORT` listens on)")
+    worker.add_argument("--jobs", type=_jobs_arg, default=1,
+                        help="execution slots (one process + one "
+                             "coordinator connection each)")
+    worker.add_argument("--name", default=None,
+                        help="worker label in coordinator logs/metrics "
+                             "(default: host:pid)")
+    worker.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="heartbeat interval (default 1.0)")
 
     profile = sub.add_parser(
         "profile",
@@ -287,7 +348,7 @@ def _cmd_fig3(args) -> int:
 
 def _cmd_ablation(args) -> int:
     block = CIRCUITS[args.circuit]()
-    backend = resolve_backend(args.jobs)
+    backend = make_backend(_backend_from_args(args))
     if args.which == "hierarchy":
         print(format_hierarchy(run_hierarchy_ablation(
             block, max_steps=args.steps, seed=args.seed, backend=backend,
@@ -390,8 +451,15 @@ def _cmd_serve(args) -> int:
             max_attempts=max(1, args.retries + 1),
             timeout_s=args.attempt_timeout,
         )
+    backend = _backend_from_args(args)
+    if args.workers_listen:
+        if args.backend is not None:
+            raise SystemExit(
+                "serve: pass either --backend or --workers-listen, not both"
+            )
+        backend = f"cluster:{args.workers_listen}"
     service = PlacementService(
-        backend=args.jobs,
+        backend=backend,
         policies=args.policy_dir,
         job_workers=args.job_workers,
         journal_dir=args.journal_dir,
@@ -399,7 +467,15 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue_depth,
         max_inflight_per_client=args.max_inflight,
         dedup=args.dedup,
+        result_cache=args.result_cache,
     )
+    cluster_spec = getattr(service.backend, "spec", None)
+    if cluster_spec is not None:
+        print(
+            f"cluster coordinator on {cluster_spec} — add workers with "
+            f"`repro worker --connect "
+            f"{cluster_spec.partition(':')[2]} --jobs N`"
+        )
     if service.recovery is not None:
         print(
             f"recovered journal {service.journal.path}: "
@@ -408,6 +484,25 @@ def _cmd_serve(args) -> int:
         )
     serve(service, host=args.host, port=args.port, quiet=not args.verbose)
     return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.runtime.cluster import DEFAULT_HEARTBEAT_S, worker_main
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"worker: --connect expects HOST:PORT, got {args.connect!r}"
+        )
+    heartbeat = (
+        DEFAULT_HEARTBEAT_S if args.heartbeat is None else args.heartbeat
+    )
+    jobs = max(1, args.jobs)
+    print(f"repro worker: {jobs} slot(s) -> {host or '127.0.0.1'}:{port}")
+    return worker_main(
+        host or "127.0.0.1", int(port), jobs=jobs,
+        name=args.name, heartbeat_s=heartbeat,
+    )
 
 
 def _cmd_profile(args) -> int:
@@ -535,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
         "place": _cmd_place,
         "train": _cmd_train,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

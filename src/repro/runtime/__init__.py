@@ -1,12 +1,13 @@
 """Parallel execution runtime — the seam every fan-out goes through.
 
 Drivers describe independent work as lightweight picklable specs and a
-backend decides where it runs: in-process (:class:`SerialBackend`) or
+backend decides where it runs: in-process (:class:`SerialBackend`),
 across worker processes (:class:`ProcessPoolBackend`, the ``--jobs N``
-flag).  Backends preserve item order, so serial and parallel runs are
-result-identical.  Future scaling work (sharding circuits across
-machines, async evaluation, batched MNA) plugs in as new backends
-without touching the drivers.
+flag), or across machines (:class:`ClusterBackend`, the
+``--backend cluster:host:port`` flag, fed by ``repro worker`` daemons).
+Backends preserve item order and every payload crosses the wire through
+exact codecs, so serial, pool and cluster runs are result-identical.
+:func:`make_backend` is the one factory every entrypoint shares.
 """
 
 from repro.runtime.backend import (
@@ -15,7 +16,13 @@ from repro.runtime.backend import (
     ProcessPoolBackend,
     SerialBackend,
     WorkerTaskError,
+    make_backend,
     resolve_backend,
+)
+from repro.runtime.cluster import (
+    ClusterBackend,
+    run_worker,
+    worker_main,
 )
 from repro.runtime.faults import (
     Fault,
@@ -45,6 +52,7 @@ from repro.runtime.spec import (
 __all__ = [
     "BUILDERS",
     "AttemptResult",
+    "ClusterBackend",
     "ExecutionBackend",
     "FailedRun",
     "Fault",
@@ -62,9 +70,12 @@ __all__ = [
     "WorkerTaskError",
     "build_block",
     "execute_run",
+    "make_backend",
     "map_runs",
     "outcomes_by_key",
     "resilient_map_runs",
     "resolve_backend",
+    "run_worker",
     "symmetric_target",
+    "worker_main",
 ]

@@ -321,6 +321,68 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(jobs={self.jobs})"
 
 
+def make_backend(
+    spec: str | int | ExecutionBackend | None,
+) -> ExecutionBackend:
+    """The one backend factory every entrypoint shares.
+
+    Accepts everything :func:`resolve_backend` does, plus the
+    ``--backend`` spec-string grammar, so the CLI, the service and the
+    training campaign all name their backend the same way:
+
+    ========================  ==========================================
+    spec                      backend
+    ========================  ==========================================
+    ``None`` / ``"serial"``   :class:`SerialBackend` (the default)
+    ``N`` / ``"N"``           serial for ``N <= 1``, else a pool of N
+    ``"pool"``                :class:`ProcessPoolBackend` (CPU count)
+    ``"pool:N"``              :class:`ProcessPoolBackend` with N workers
+    ``"cluster:HOST:PORT"``   a listening :class:`~repro.runtime.
+                              cluster.ClusterBackend` coordinator
+                              (``repro worker --connect HOST:PORT``
+                              daemons supply the parallelism)
+    ========================  ==========================================
+    """
+    if spec is None or isinstance(spec, int) or isinstance(
+            spec, ExecutionBackend):
+        return resolve_backend(spec)
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"expected str, int, None or ExecutionBackend, got {type(spec)!r}"
+        )
+    text = spec.strip()
+    if text == "serial":
+        return SerialBackend()
+    if text.isdigit():
+        return resolve_backend(int(text))
+    if text == "pool":
+        return ProcessPoolBackend()
+    if text.startswith("pool:"):
+        count = text.partition(":")[2]
+        if not count.isdigit() or int(count) < 1:
+            raise ValueError(
+                f"bad pool spec {spec!r}: expected pool:N with N >= 1"
+            )
+        return ProcessPoolBackend(jobs=int(count))
+    if text.startswith("cluster:"):
+        from repro.runtime.cluster import ClusterBackend
+
+        rest = text.partition(":")[2]
+        host, sep, port = rest.rpartition(":")
+        if not sep:
+            host, port = "127.0.0.1", rest
+        if not port.isdigit():
+            raise ValueError(
+                f"bad cluster spec {spec!r}: expected "
+                "cluster:HOST:PORT (PORT may be 0 for ephemeral)"
+            )
+        return ClusterBackend(host or "127.0.0.1", int(port))
+    raise ValueError(
+        f"unknown backend spec {spec!r}: expected 'serial', a job "
+        "count, 'pool[:N]', or 'cluster:HOST:PORT'"
+    )
+
+
 def resolve_backend(
     jobs: int | ExecutionBackend | None,
 ) -> ExecutionBackend:

@@ -52,6 +52,25 @@ class InjectedFault(RuntimeError):
     """The exception a ``"raise"`` fault throws inside the run."""
 
 
+#: Process-level expendability override.  Attempt envelopes decide
+#: kill-fault behavior by comparing pids with the driver — which is
+#: only sound on one machine.  A cluster worker slot marks itself
+#: expendable explicitly, so a ``"kill"`` fault exits it for real even
+#: if its pid happens to collide with the (remote) driver's.
+_EXPENDABLE_WORKER = False
+
+
+def mark_expendable_worker(expendable: bool = True) -> None:
+    """Declare this process a disposable worker (cluster slots do)."""
+    global _EXPENDABLE_WORKER
+    _EXPENDABLE_WORKER = expendable
+
+
+def in_expendable_worker() -> bool:
+    """Whether this process has been marked expendable."""
+    return _EXPENDABLE_WORKER
+
+
 class WorkerKilled(RuntimeError):
     """A ``"kill"`` fault fired where the process must survive.
 
@@ -160,7 +179,7 @@ class FaultPlan:
             raise InjectedFault(
                 f"{fault.message} (key={key!r}, attempt {attempt})"
             )
-        if in_worker_process:
+        if in_worker_process or _EXPENDABLE_WORKER:
             os._exit(KILL_EXIT_CODE)
         raise WorkerKilled(
             f"{fault.message} (key={key!r}, attempt {attempt}; "

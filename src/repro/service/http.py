@@ -8,6 +8,11 @@ request handler speaking the typed JSON schemas of
 method    path                     does
 ========  =======================  =========================================
 GET       ``/healthz``             liveness + registry/job counts
+GET       ``/metrics``             scrape target: throughput, queue
+                                   depth, job-latency percentiles,
+                                   sims per job, backend worker count
+                                   (Prometheus text; ``?format=json``
+                                   for the raw dict)
 POST      ``/place``               submit a :class:`PlacementRequest`;
                                    returns ``{"job": id}`` (202), or the
                                    finished result with ``?wait=1`` (200)
@@ -55,6 +60,54 @@ from repro.service.service import PlacementService
 MAX_BODY_BYTES = 1 << 20
 
 
+def _prometheus_text(payload: dict) -> str:
+    """Render a :meth:`PlacementService.metrics` dict as exposition text.
+
+    Flat gauges/counters with a ``repro_`` prefix; ``None`` values
+    (e.g. latency percentiles before any job finished) are omitted
+    rather than emitted as NaN.
+    """
+    lines: list[str] = []
+
+    def gauge(name: str, value, help_text: str, kind: str = "gauge",
+              labels: str = "") -> None:
+        if value is None:
+            return
+        if not any(line.startswith(f"# HELP {name} ") for line in lines):
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {value}")
+
+    gauge("repro_uptime_seconds", payload.get("uptime_s"),
+          "Seconds since the job manager started.")
+    for state, count in (payload.get("jobs") or {}).items():
+        gauge("repro_jobs", count, "Jobs by lifecycle state.",
+              labels=f'{{state="{state}"}}')
+    gauge("repro_queue_depth", payload.get("queue_depth"),
+          "Jobs queued and not yet running.")
+    gauge("repro_jobs_per_second", payload.get("jobs_per_s"),
+          "Completed jobs per second of uptime.")
+    latency = payload.get("latency_s") or {}
+    gauge("repro_job_latency_seconds", latency.get("p50"),
+          "Job execution latency percentiles.",
+          labels='{quantile="0.5"}')
+    gauge("repro_job_latency_seconds", latency.get("p99"),
+          "Job execution latency percentiles.",
+          labels='{quantile="0.99"}')
+    gauge("repro_sims_per_job", payload.get("sims_per_job"),
+          "Mean simulator evaluations per completed job.")
+    for counter, value in (payload.get("stats") or {}).items():
+        gauge("repro_serving_events_total", value,
+              "Serving counters (dedup/cache hits, rejections, recovery).",
+              kind="counter", labels=f'{{event="{counter}"}}')
+    backend = payload.get("backend") or {}
+    kind = backend.get("kind", "unknown")
+    gauge("repro_backend_workers", backend.get("workers"),
+          "Execution-backend worker slots currently usable.",
+          labels=f'{{kind="{kind}"}}')
+    return "\n".join(lines) + "\n"
+
+
 class PlacementHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`PlacementService`."""
 
@@ -85,6 +138,19 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_metrics(self, payload: dict, fmt: str) -> None:
+        if fmt == "json":
+            self._send_json(200, payload)
+            return
+        body = _prometheus_text(payload).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -134,6 +200,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "jobs": service.jobs.counts(),
                     "serving": dict(service.jobs.stats),
                 })
+            elif parts == ["metrics"]:
+                fmt = parse_qs(parsed.query).get("format", ["text"])[0]
+                self._send_metrics(service.metrics(), fmt)
             elif parts == ["circuits"]:
                 self._send_json(200, {"circuits": list(service.registry.keys())})
             elif parts == ["policies"]:

@@ -31,6 +31,14 @@ Durability and backpressure (both opt-in):
   hash) share one job: a thundering herd of equal ``PlacementRequest``
   s costs one execution.  Deterministic results are what make this
   sound — every duplicate would have produced the same payload.
+* ``result_cache=True`` — dedup's terminal sibling: a request identical
+  to one that already *finished* gets a fresh job id that is born
+  ``done`` with the finished job's result (``"cached": true`` in its
+  status), skipping execution entirely.  Sound for the same reason
+  dedup is — the re-run would have produced the same payload bit for
+  bit.  The cached job journals a normal submitted/done pair (the
+  ``done`` entry flagged ``cached``), so recovery serves it from disk
+  like any other terminal job.
 """
 
 from __future__ import annotations
@@ -93,6 +101,8 @@ class JobRecord:
         request_hash: canonical request hash (dedup + journal), if the
             request serialises.
         recovered: replayed from a journal rather than submitted live.
+        cached: served from the result cache — born ``done`` with a
+            previously finished identical request's result.
         submitted_at / started_at / finished_at: wall-clock timestamps
             (``time.time()``; ``None`` until reached).
     """
@@ -106,6 +116,7 @@ class JobRecord:
     client: str | None = None
     request_hash: str | None = None
     recovered: bool = False
+    cached: bool = False
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -123,6 +134,8 @@ class JobRecord:
         }
         if self.recovered:
             out["recovered"] = True
+        if self.cached:
+            out["cached"] = True
         if self.result is not None:
             out["result"] = self.result.to_json_dict()
         return out
@@ -146,6 +159,14 @@ class RecoveryReport:
     undecodable: list[str] = field(default_factory=list)
 
 
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of an ascending list (``None`` if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
 class JobManager:
     """Thread-pooled execution of typed requests with a job-table front.
 
@@ -161,6 +182,9 @@ class JobManager:
             has this many queued+running jobs (needs ``client=`` at
             submit; ``None`` = unlimited).
         dedup: share one job between identical in-flight requests.
+        result_cache: serve a request identical to an already *done*
+            one from its stored result without re-running (the new job
+            is born terminal, flagged ``cached``).
     """
 
     def __init__(
@@ -172,6 +196,7 @@ class JobManager:
         max_queue_depth: int | None = None,
         max_inflight_per_client: int | None = None,
         dedup: bool = False,
+        result_cache: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -191,6 +216,7 @@ class JobManager:
         self.max_queue_depth = max_queue_depth
         self.max_inflight_per_client = max_inflight_per_client
         self.dedup = dedup
+        self.result_cache = result_cache
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -198,11 +224,15 @@ class JobManager:
         self._records: dict[str, JobRecord] = {}
         self._futures: dict[str, Future] = {}
         self._inflight_by_hash: dict[str, str] = {}
+        #: request hash -> id of a *done* job holding its result.
+        self._result_by_hash: dict[str, str] = {}
         self._counter = 0
         self._shutdown = False
+        self._started_monotonic = time.monotonic()
         #: Serving counters (health endpoints / load tests).
         self.stats = {
             "dedup_hits": 0,
+            "result_cache_hits": 0,
             "rejected_queue_full": 0,
             "rejected_client_limit": 0,
             "recovered": 0,
@@ -273,6 +303,8 @@ class JobManager:
                 record.result = result
                 record.finished_at = time.time()
                 self._drop_inflight_hash(record)
+                if self.result_cache and record.request_hash is not None:
+                    self._result_by_hash[record.request_hash] = job_id
             return result
         except Exception as exc:  # noqa: BLE001 — stored, not swallowed
             with self._lock:
@@ -288,10 +320,59 @@ class JobManager:
                     pass  # the journal is dead; in-memory state stands
             raise
 
+    def _submit_cached(
+        self,
+        source_id: str,
+        *,
+        kind: str,
+        request: Any,
+        request_payload: dict | None,
+        client: str | None,
+        request_hash: str | None,
+    ) -> str:
+        """Register a new job born ``done`` with a cached result.
+
+        Caller holds the lock.  The job journals a normal
+        submitted/done pair (``done`` flagged ``cached``) so recovery
+        replays it as terminal; it never touches the thread pool, so
+        it bypasses queue-depth and per-client limits — a cache hit
+        costs nothing to serve.
+        """
+        source = self._records[source_id]
+        self._counter += 1
+        job_id = f"job-{self._counter}"
+        payload = (
+            source.result.to_json_dict()
+            if hasattr(source.result, "to_json_dict") else None
+        )
+        self._append_journal(
+            journal_mod.SUBMITTED, job_id, kind=kind,
+            request=request_payload, client=client,
+            request_hash=request_hash,
+        )
+        self._append_journal(
+            journal_mod.DONE, job_id, result=payload, cached=True
+        )
+        now = time.time()
+        record = JobRecord(
+            id=job_id, kind=kind, request=request, state=DONE,
+            result=source.result, client=client,
+            request_hash=request_hash, cached=True, finished_at=now,
+        )
+        future: Future = Future()
+        future.set_result(source.result)
+        self._records[job_id] = record
+        self._futures[job_id] = future
+        self.stats["result_cache_hits"] += 1
+        return job_id
+
     # -------------------------------------------------------------- public
 
     def submit(self, request: Any, *, client: str | None = None) -> str:
         """Queue a request; returns its job id immediately.
+
+        A ``result_cache`` hit returns a fresh job id that is already
+        ``done`` (its status carries ``"cached": true``).
 
         Raises:
             RuntimeError: the manager has been shut down.
@@ -309,6 +390,17 @@ class JobManager:
             if self._shutdown:
                 raise RuntimeError(
                     "job manager is shut down; submission rejected"
+                )
+            cached_source = (
+                self._result_by_hash.get(request_hash)
+                if self.result_cache and request_hash is not None
+                else None
+            )
+            if cached_source is not None:
+                return self._submit_cached(
+                    cached_source, kind=kind, request=request,
+                    request_payload=request_payload, client=client,
+                    request_hash=request_hash,
                 )
             if (self.dedup and request_hash is not None
                     and request_hash in self._inflight_by_hash):
@@ -433,6 +525,61 @@ class JobManager:
                 out[record.state] += 1
         return out
 
+    def metrics(self) -> dict:
+        """Operational snapshot (the ``/metrics`` endpoint's payload).
+
+        JSON-plain throughout:
+
+        * ``jobs`` — state → count; ``queue_depth`` repeats the queued
+          count for scrapers.
+        * ``jobs_per_s`` — done jobs over manager uptime.
+        * ``latency_s.p50`` / ``.p99`` — nearest-rank percentiles of
+          started→finished for jobs that actually executed here
+          (cached and journal-served jobs never started, so they
+          cannot drag the latency distribution toward zero).
+        * ``sims_per_job`` — mean simulator evaluations per done job,
+          read off each result's ``sims_used``.
+        * ``stats`` — the serving counters (dedup hits, cache hits,
+          rejections, recovery tallies).
+        """
+        with self._lock:
+            counts = {
+                s: 0 for s in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+            }
+            durations: list[float] = []
+            sims: list[int] = []
+            for record in self._records.values():
+                counts[record.state] += 1
+                if record.state != DONE:
+                    continue
+                if (record.started_at is not None
+                        and record.finished_at is not None):
+                    durations.append(
+                        record.finished_at - record.started_at
+                    )
+                sims_used = getattr(record.result, "sims_used", None)
+                if sims_used is not None:
+                    sims.append(int(sims_used))
+            uptime_s = time.monotonic() - self._started_monotonic
+            stats = dict(self.stats)
+        durations.sort()
+        return {
+            "uptime_s": uptime_s,
+            "jobs": counts,
+            "queue_depth": counts[QUEUED],
+            "jobs_per_s": (
+                counts[DONE] / uptime_s if uptime_s > 0 else 0.0
+            ),
+            "latency_s": {
+                "p50": _percentile(durations, 0.50),
+                "p99": _percentile(durations, 0.99),
+            },
+            "sims_per_job": (
+                sum(sims) / len(sims) if sims else None
+            ),
+            "stats": stats,
+        }
+
     # ------------------------------------------------------------ recovery
 
     def recover(
@@ -502,6 +649,7 @@ class JobManager:
         if job.state == journal_mod.DONE:
             record.state = DONE
             record.result = result_decoder(job.result or {})
+            record.cached = job.cached
             record.finished_at = time.time()
             future.set_result(record.result)
             report.served_from_journal.append(job.id)
@@ -530,6 +678,9 @@ class JobManager:
         with self._lock:
             self._records[job.id] = record
             self._futures[job.id] = future
+            if (record.state == DONE and self.result_cache
+                    and record.request_hash is not None):
+                self._result_by_hash[record.request_hash] = job.id
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (optionally) wait for running jobs."""

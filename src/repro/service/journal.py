@@ -168,6 +168,8 @@ class ReplayedJob:
         error: stored error string for ``failed`` jobs.
         client: submitting client id, if any.
         request_hash: canonical request hash, if journaled.
+        cached: the ``done`` entry was served from the result cache
+            rather than executed.
     """
 
     id: str
@@ -178,6 +180,7 @@ class ReplayedJob:
     error: str | None = None
     client: str | None = None
     request_hash: str | None = None
+    cached: bool = False
 
     @property
     def interrupted(self) -> bool:
@@ -211,6 +214,7 @@ def replay_journal(entries: Iterable[dict]) -> list[ReplayedJob]:
         elif event == DONE:
             job.state = DONE
             job.result = entry.get("result")
+            job.cached = bool(entry.get("cached", False))
         elif event == FAILED:
             job.state = FAILED
             job.error = entry.get("error")

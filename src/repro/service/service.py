@@ -39,7 +39,7 @@ from typing import Any
 
 from repro.eval.evaluator import PlacementEvaluator
 from repro.layout.svg import placement_to_svg
-from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.backend import ExecutionBackend, make_backend
 from repro.runtime.faults import FaultPlan, JournalFault
 from repro.runtime.resilience import (
     FailedRun,
@@ -68,8 +68,10 @@ class PlacementService:
         registry: circuit registry (default: the process-wide shared one).
         policies: a :class:`PolicyStore`, or a directory path for one
             (default: ``./policies``, created lazily on first save).
-        backend: execution backend, or an int job count
-            (:func:`resolve_backend` semantics) every request fans over.
+        backend: execution backend, an int job count, or a backend
+            spec string (:func:`make_backend` semantics — ``"serial"``,
+            ``"pool:N"``, ``"cluster:host:port"``) every request fans
+            over.
         job_workers: concurrent async jobs in the :class:`JobManager`.
         journal_dir: directory for the durable job journal; if it
             already holds one, its jobs are recovered at construction
@@ -87,6 +89,11 @@ class PlacementService:
         max_queue_depth / max_inflight_per_client / dedup: job-manager
             backpressure and request-dedup knobs (see
             :class:`JobManager`).
+        result_cache: serve a repeated identical request straight from
+            the first completed job's result (keyed by the canonical
+            request hash; ``"cached": true`` on the job record) instead
+            of re-running it.  With a journal the index survives
+            restarts — recovered terminal jobs re-seed it.
     """
 
     def __init__(
@@ -94,7 +101,7 @@ class PlacementService:
         *,
         registry: CircuitRegistry | None = None,
         policies: PolicyStore | str | Path | None = None,
-        backend: int | ExecutionBackend | None = None,
+        backend: int | str | ExecutionBackend | None = None,
         job_workers: int = 2,
         journal_dir: str | Path | None = None,
         journal_fault: JournalFault | None = None,
@@ -103,19 +110,21 @@ class PlacementService:
         max_queue_depth: int | None = None,
         max_inflight_per_client: int | None = None,
         dedup: bool = False,
+        result_cache: bool = False,
     ):
         self.registry = registry if registry is not None else default_registry()
         if isinstance(policies, PolicyStore):
             self.policies = policies
         else:
             self.policies = PolicyStore(policies or DEFAULT_POLICY_DIR)
-        self.backend = resolve_backend(backend)
+        self.backend = make_backend(backend)
         self.job_workers = job_workers
         self.retry = retry
         self.fault_plan = fault_plan
         self.max_queue_depth = max_queue_depth
         self.max_inflight_per_client = max_inflight_per_client
         self.dedup = dedup
+        self.result_cache = result_cache
         self.draining = False
         self._jobs: JobManager | None = None
         self.journal: JobJournal | None = None
@@ -140,6 +149,7 @@ class PlacementService:
             max_queue_depth=self.max_queue_depth,
             max_inflight_per_client=self.max_inflight_per_client,
             dedup=self.dedup,
+            result_cache=self.result_cache,
         )
 
     @staticmethod
@@ -299,7 +309,7 @@ class PlacementService:
             config = config.scaled(scale)
         if batch != 1:
             config = config.with_batch(batch)
-        backend = self.backend if jobs is None else resolve_backend(jobs)
+        backend = self.backend if jobs is None else make_backend(jobs)
         return run_fig3(config, backend=backend)
 
     # ----------------------------------------------------------- rendering
@@ -374,14 +384,35 @@ class PlacementService:
         """
         self.draining = True
 
+    def metrics(self) -> dict:
+        """The scrape-target payload behind ``GET /metrics``.
+
+        Job-manager throughput/latency metrics plus the execution
+        backend's identity and live worker count (a
+        :class:`~repro.runtime.cluster.ClusterBackend` reports its
+        currently connected slots).
+        """
+        payload = self.jobs.metrics()
+        payload["backend"] = {
+            "kind": type(self.backend).__name__,
+            "workers": getattr(
+                self.backend, "worker_count", self.backend.jobs
+            ),
+        }
+        return payload
+
     def close(self, wait: bool = True) -> None:
-        """Shut the job manager down (running jobs finish when ``wait``)
-        and flush/close the journal."""
+        """Shut the job manager down (running jobs finish when ``wait``),
+        flush/close the journal, and close a closeable backend (a
+        cluster coordinator shuts its workers down)."""
         self.draining = True
         if self._jobs is not None:
             self._jobs.shutdown(wait=wait)
         if self.journal is not None:
             self.journal.close()
+        close_backend = getattr(self.backend, "close", None)
+        if callable(close_backend):
+            close_backend()
 
     def __enter__(self) -> "PlacementService":
         return self

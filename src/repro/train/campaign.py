@@ -36,7 +36,7 @@ from typing import Any, Hashable
 from repro.core.qlearning import MERGE_HOWS, MergeStats, QTable
 from repro.core.persistence import save_tables_snapshot
 from repro.layout.placement import Placement
-from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.backend import ExecutionBackend, make_backend
 from repro.runtime.spec import RunSpec, map_runs
 
 #: Placer kinds that can share policies (SA has no tables to merge).
@@ -206,10 +206,11 @@ class TrainingCampaign:
         ql_worse_tolerance: worker move-acceptance tolerance (``None`` =
             placer default).
         builder_kwargs: forwarded to the circuit builder.
-        backend: execution backend, or an int worker-process count
-            (``resolve_backend`` semantics).  Defaults to serial — pass
-            ``workers`` (or a :class:`ProcessPoolBackend`) to actually
-            fan the islands out; results are identical either way.
+        backend: execution backend, an int worker-process count, or a
+            backend spec string (``make_backend`` semantics — e.g.
+            ``"pool:4"`` or ``"cluster:host:port"``).  Defaults to
+            serial — pass ``workers`` (or a backend) to actually fan
+            the islands out; results are identical either way.
     """
 
     def __init__(
@@ -232,7 +233,7 @@ class TrainingCampaign:
         epsilon_decay_frac: float = 0.6,
         ql_worse_tolerance: float | None = None,
         builder_kwargs: tuple[tuple[str, Any], ...] = (),
-        backend: int | ExecutionBackend | None = None,
+        backend: int | str | ExecutionBackend | None = None,
     ):
         if placer not in TRAINABLE_PLACERS:
             raise ValueError(
@@ -272,7 +273,7 @@ class TrainingCampaign:
         self.epsilon_decay_frac = epsilon_decay_frac
         self.ql_worse_tolerance = ql_worse_tolerance
         self.builder_kwargs = tuple(builder_kwargs)
-        self.backend = resolve_backend(backend)
+        self.backend = make_backend(backend)
 
     # ------------------------------------------------------------- internals
 

@@ -1,0 +1,132 @@
+"""Remote worker death and cluster recovery.
+
+The distributed sibling of ``test_pool_recovery.py``: the same scripted
+:class:`FaultPlan` is run against a serial backend and against a real
+``worker_main`` daemon over loopback TCP, and the *accounting* — who
+was charged which attempt, how many deaths, what quarantined — must be
+equal, with every surviving payload bit-identical to a fault-free run.
+A ``kill`` fault in a cluster slot is a genuine ``os._exit``: the
+daemon respawns the slot, the coordinator sees the EOF, charges the
+executing spec, and re-leases only what the dead slot held.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.runtime import (
+    ClusterBackend,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+    RunSpec,
+    SerialBackend,
+    map_runs,
+    resilient_map_runs,
+    worker_main,
+)
+from repro.runtime.wire import outcome_to_wire
+
+FAST = dict(backoff_base_s=0.0, jitter_frac=0.0)
+
+
+def _specs(seeds=(1, 2, 3)):
+    return [
+        RunSpec(key=("run", seed), builder="cm", placer="ql", seed=seed,
+                max_steps=5, evaluate_best=False)
+        for seed in seeds
+    ]
+
+
+def _canon(outcomes):
+    return [json.dumps(outcome_to_wire(o), sort_keys=True)
+            for o in outcomes]
+
+
+@pytest.fixture()
+def cluster():
+    """A coordinator plus one single-slot worker daemon process.
+
+    One slot serialises execution, so fault attribution is exact —
+    the same reason ``test_pool_recovery`` uses ``jobs=1``.
+    """
+    backend = ClusterBackend()
+    host, port = backend.address
+    daemon = multiprocessing.Process(
+        target=worker_main, args=(host, port),
+        kwargs=dict(jobs=1, name="chaos"), daemon=False,
+    )
+    daemon.start()
+    backend.wait_for_workers(1, timeout_s=30.0)
+    yield backend
+    backend.close()
+    daemon.join(timeout=10.0)
+    if daemon.is_alive():
+        daemon.terminate()
+        daemon.join(timeout=5.0)
+
+
+class TestRemoteKillRecovery:
+    def test_kill_accounting_matches_serial(self, cluster):
+        plan = FaultPlan.build({(("run", 2), 1): "kill"})
+        kwargs = dict(retry=RetryPolicy(max_attempts=3, **FAST),
+                      faults=plan)
+        serial = resilient_map_runs(
+            _specs(), backend=SerialBackend(), **kwargs)
+        remote = resilient_map_runs(_specs(), backend=cluster, **kwargs)
+        assert remote.worker_deaths == 1
+        assert remote.attempts == serial.attempts == {
+            ("run", 1): 1, ("run", 2): 2, ("run", 3): 1}
+        assert remote.quarantined == serial.quarantined == ()
+        assert serial.accounting() == remote.accounting()
+        baseline = _canon(map_runs(_specs(), SerialBackend()))
+        assert _canon(remote.outcomes) == baseline
+        assert _canon(serial.outcomes) == baseline
+
+    def test_raise_fault_parity(self, cluster):
+        plan = FaultPlan.build({(("run", 1), 1): "raise"})
+        kwargs = dict(retry=RetryPolicy(max_attempts=3, **FAST),
+                      faults=plan)
+        serial = resilient_map_runs(
+            _specs(), backend=SerialBackend(), **kwargs)
+        remote = resilient_map_runs(_specs(), backend=cluster, **kwargs)
+        assert serial.accounting() == remote.accounting()
+        assert remote.worker_deaths == 0
+        assert _canon(remote.outcomes) == _canon(serial.outcomes)
+
+    def test_delay_fault_times_out_like_serial(self, cluster):
+        plan = FaultPlan.build(
+            {(("run", 3), 1): Fault(action="delay", delay_s=3.0)})
+        kwargs = dict(
+            retry=RetryPolicy(max_attempts=2, timeout_s=1.0, **FAST),
+            faults=plan,
+        )
+        serial = resilient_map_runs(
+            _specs(), backend=SerialBackend(), **kwargs)
+        remote = resilient_map_runs(_specs(), backend=cluster, **kwargs)
+        assert serial.timeouts == remote.timeouts == 1
+        assert serial.accounting() == remote.accounting()
+        assert _canon(remote.outcomes) == _canon(serial.outcomes)
+
+    def test_repeated_kills_quarantine(self, cluster):
+        plan = FaultPlan.build({
+            (("run", 1), 1): "kill",
+            (("run", 1), 2): "kill",
+        })
+        report = resilient_map_runs(
+            _specs((1,)), backend=cluster,
+            retry=RetryPolicy(max_attempts=2, **FAST), faults=plan,
+        )
+        assert report.worker_deaths == 2
+        assert report.quarantined == (("run", 1),)
+        failed = report.failed()[0]
+        assert failed.error_type == "WorkerKilled"
+        assert failed.attempts == 2
+        # The daemon respawned its slot; the backend still serves.
+        cluster.wait_for_workers(1, timeout_s=10.0)
+        clean = resilient_map_runs(
+            _specs((5,)), backend=cluster,
+            retry=RetryPolicy(max_attempts=2, **FAST),
+        )
+        assert clean.attempts == {("run", 5): 1}

@@ -1,0 +1,186 @@
+"""The ``/metrics`` scrape target and the persistent result cache.
+
+The cache claim: with ``result_cache=True`` a repeated identical
+request gets a *new* job id that is born ``done`` with the first job's
+result — ``"cached": true``, zero execution — and with a journal the
+cache index survives ``kill -9`` (recovery re-seeds it from the
+replayed terminal jobs).  Sound because execution is deterministic:
+the re-run the cache skips would have produced the same bytes.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service.requests import PlacementRequest
+from repro.service.http import make_server, server_thread
+from repro.service.service import PlacementService
+
+QUICK = dict(circuit="cm", steps=25, seed=4)
+
+
+def _service(tmp_path, **kwargs):
+    return PlacementService(policies=tmp_path / "policies", **kwargs)
+
+
+class TestResultCache:
+    def test_repeat_request_served_from_cache(self, tmp_path):
+        service = _service(tmp_path, result_cache=True)
+        try:
+            request = PlacementRequest(**QUICK)
+            first = service.submit(request)
+            result_one = service.result(first)
+            second = service.submit(request)
+            assert second != first
+            status = service.status(second).status_dict()
+            assert status["state"] == "done"
+            assert status["cached"] is True
+            assert status["started_at"] is None  # never executed
+            assert service.result(second) is result_one
+            assert service.jobs.stats["result_cache_hits"] == 1
+            # The original job is not retroactively marked cached.
+            assert "cached" not in service.status(first).status_dict()
+        finally:
+            service.close()
+
+    def test_different_request_misses(self, tmp_path):
+        service = _service(tmp_path, result_cache=True)
+        try:
+            service.result(service.submit(PlacementRequest(**QUICK)))
+            other = dict(QUICK, seed=5)
+            job = service.submit(PlacementRequest(**other))
+            service.result(job)
+            assert "cached" not in service.status(job).status_dict()
+            assert service.jobs.stats["result_cache_hits"] == 0
+        finally:
+            service.close()
+
+    def test_cache_off_by_default(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            request = PlacementRequest(**QUICK)
+            service.result(service.submit(request))
+            job = service.submit(request)
+            service.result(job)
+            assert "cached" not in service.status(job).status_dict()
+        finally:
+            service.close()
+
+    def test_cache_survives_restart_via_journal(self, tmp_path):
+        request = PlacementRequest(**QUICK)
+        service = _service(
+            tmp_path, result_cache=True, journal_dir=tmp_path / "jobs")
+        first_payload = service.result(
+            service.submit(request)).to_json_dict()
+        service.close()
+
+        revived = _service(
+            tmp_path, result_cache=True, journal_dir=tmp_path / "jobs")
+        try:
+            job = revived.submit(request)
+            status = revived.status(job).status_dict()
+            assert status["cached"] is True
+            assert status["result"] == first_payload
+            assert revived.jobs.stats["result_cache_hits"] == 1
+        finally:
+            revived.close()
+
+    def test_cached_jobs_replay_as_cached(self, tmp_path):
+        request = PlacementRequest(**QUICK)
+        service = _service(
+            tmp_path, result_cache=True, journal_dir=tmp_path / "jobs")
+        service.result(service.submit(request))
+        cached_id = service.submit(request)
+        assert service.status(cached_id).cached
+        service.close()
+
+        revived = _service(
+            tmp_path, result_cache=True, journal_dir=tmp_path / "jobs")
+        try:
+            record = revived.status(cached_id)
+            assert record.state == "done" and record.cached
+            assert record.recovered
+        finally:
+            revived.close()
+
+
+class TestMetrics:
+    def test_payload_shape_and_counts(self, tmp_path):
+        service = _service(tmp_path, result_cache=True)
+        try:
+            request = PlacementRequest(**QUICK)
+            service.result(service.submit(request))
+            service.result(service.submit(request))  # cache hit
+            payload = service.metrics()
+            assert payload["jobs"]["done"] == 2
+            assert payload["queue_depth"] == 0
+            assert payload["jobs_per_s"] > 0
+            # One job executed, one was cached: percentile pool is the
+            # executed job only.
+            assert payload["latency_s"]["p50"] > 0
+            assert payload["latency_s"]["p99"] >= payload["latency_s"]["p50"]
+            assert payload["sims_per_job"] > 0
+            assert payload["stats"]["result_cache_hits"] == 1
+            assert payload["backend"]["kind"] == "SerialBackend"
+            assert payload["backend"]["workers"] == 1
+        finally:
+            service.close()
+
+    def test_empty_manager_has_null_percentiles(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            payload = service.metrics()
+            assert payload["jobs"]["done"] == 0
+            assert payload["latency_s"]["p50"] is None
+            assert payload["sims_per_job"] is None
+        finally:
+            service.close()
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        service = _service(tmp_path, result_cache=True)
+        server = make_server(service)
+        server_thread(server)
+        yield server.url, service
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    def test_prometheus_text_default(self, served):
+        url, service = served
+        service.result(service.submit(PlacementRequest(**QUICK)))
+        with urllib.request.urlopen(url + "/metrics") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            body = resp.read().decode()
+        assert 'repro_jobs{state="done"} 1' in body
+        assert "# TYPE repro_jobs gauge" in body
+        assert 'repro_backend_workers{kind="SerialBackend"} 1' in body
+        assert 'repro_job_latency_seconds{quantile="0.5"}' in body
+        assert ('repro_serving_events_total'
+                '{event="result_cache_hits"} 0') in body
+
+    def test_json_format_query(self, served):
+        url, service = served
+        request = PlacementRequest(**QUICK)
+        service.result(service.submit(request))
+        service.submit(request)  # cache hit
+        with urllib.request.urlopen(url + "/metrics?format=json") as resp:
+            assert resp.headers["Content-Type"] == "application/json"
+            payload = json.loads(resp.read())
+        assert payload["jobs"]["done"] == 2
+        assert payload["stats"]["result_cache_hits"] == 1
+        assert payload["backend"]["kind"] == "SerialBackend"
+
+    def test_cached_flag_served_over_http(self, served):
+        url, service = served
+        request = PlacementRequest(**QUICK)
+        service.result(service.submit(request))
+        job = service.submit(request)
+        with urllib.request.urlopen(f"{url}/jobs/{job}") as resp:
+            status = json.loads(resp.read())
+        assert status["state"] == "done"
+        assert status["cached"] is True
