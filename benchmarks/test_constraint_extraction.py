@@ -1,0 +1,112 @@
+"""BENCH_9 / ingestion — corpus throughput and detection quality.
+
+Prices the full staged ingestion pipeline (SPICE parse → hierarchy
+flatten → constraint extraction → validation) over every bundled corpus
+deck and scores the template engine against the decks' ``*# groups:``
+hand labels.
+
+Two headline numbers land in ``extra_info``:
+
+* **decks_per_s** — best-of wall-clock rate for ``ingest_deck`` over the
+  whole corpus (the rate a bulk importer sees);
+* **precision / recall** — device *co-membership* agreement: the set of
+  unordered device pairs predicted to belong together (same extracted
+  group, or an extracted matched pair) versus the pairs implied by the
+  hand labels.  Cross-instance pairs from hierarchical decks count, so
+  ``mirror_tree``'s super-group symmetry is part of the score.
+
+The quality floors (precision ≥ 0.9, recall ≥ 0.8) are asserted in every
+mode — detection is deterministic, so unlike the wall-clock benchmarks
+there is no noisy-runner exemption.  Set ``CONSTRAINT_BENCH_SMOKE=1`` to
+drop to a single timing round (rates are recorded either way).
+"""
+
+import itertools
+import os
+import time
+
+import pytest
+
+from repro.netlist import ingest_deck
+from repro.service.corpus import list_corpus
+
+SMOKE = os.environ.get("CONSTRAINT_BENCH_SMOKE", "") not in ("", "0")
+ROUNDS = 1 if SMOKE else 5
+
+ENTRIES = list_corpus()
+
+
+def _ingest_all():
+    return [
+        ingest_deck(entry.text(), name=entry.name,
+                    kind=entry.kind, params=dict(entry.params))
+        for entry in ENTRIES
+    ]
+
+
+def _predicted_pairs(result):
+    """Unordered co-membership pairs the extraction engine claims."""
+    pairs = set()
+    for group in result.constraints.groups:
+        pairs.update(
+            frozenset(p) for p in itertools.combinations(group.devices, 2))
+    for pair in result.constraints.pairs:
+        pairs.add(frozenset(pair.names()))
+    return pairs
+
+
+def _labelled_pairs(entry):
+    """Unordered co-membership pairs implied by the deck's hand labels."""
+    pairs = set()
+    for _, devices in entry.labels:
+        pairs.update(frozenset(p) for p in itertools.combinations(devices, 2))
+    return pairs
+
+
+@pytest.mark.benchmark(group="ingestion")
+def test_corpus_ingestion_throughput_and_detection_quality(benchmark):
+    assert len(ENTRIES) >= 8, "bundled corpus is missing"
+
+    # -- throughput: best-of timed full-pipeline ingestion ------------------
+    results = _ingest_all()  # warm import machinery before timing
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        results = _ingest_all()
+        best = min(best, time.perf_counter() - start)
+    decks_per_s = len(ENTRIES) / best
+
+    # -- quality: co-membership precision/recall vs hand labels -------------
+    predicted, truth = set(), set()
+    per_deck = {}
+    for entry, result in zip(ENTRIES, results):
+        assert not result.report.errors, entry.name
+        got, want = _predicted_pairs(result), _labelled_pairs(entry)
+        predicted |= got
+        truth |= want
+        hit = len(got & want)
+        per_deck[entry.name] = {
+            "groups": len(result.constraints.groups),
+            "pairs": len(result.constraints.pairs),
+            "recall": round(hit / len(want), 3) if want else 1.0,
+        }
+    hits = len(predicted & truth)
+    precision = hits / len(predicted)
+    recall = hits / len(truth)
+
+    benchmark.pedantic(_ingest_all, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "decks": len(ENTRIES),
+        "rounds": ROUNDS,
+        "decks_per_s": round(decks_per_s, 1),
+        "ingest_ms_per_deck": round(1e3 * best / len(ENTRIES), 3),
+        "precision": round(precision, 3),
+        "recall": round(recall, 3),
+        "predicted_pairs": len(predicted),
+        "labelled_pairs": len(truth),
+        "per_deck": per_deck,
+    })
+
+    # Deterministic engine: quality floors hold in every mode.
+    assert precision >= 0.9, f"precision {precision:.3f}"
+    assert recall >= 0.8, f"recall {recall:.3f}"

@@ -1,0 +1,20 @@
+* bias chain with ratioed legs: 1x/2x nmos mirror feeding a 1x/2x pmos fold
+* the 2x legs share their mirror group but are not matched pairs
+*# kind: cm
+*# inputs: bias
+*# outputs: n2 o1 o2
+*# canvas: 6x6
+*# params: {"iref": 2e-05, "vdd": 1.1, "probe_sources": ["vprobeo1"]}
+*# groups: nmirror:mref,mo1,mo2 pmirror:pref,po1,po2
+mmref bias bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo1 n1 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo2 n2 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=4
+mpref n1 n1 vdd vdd pmos40 w=2e-06 l=5e-07 m=2
+mpo1 o1 n1 vdd vdd pmos40 w=2e-06 l=5e-07 m=2
+mpo2 o2 n1 vdd vdd pmos40 w=2e-06 l=5e-07 m=4
+vvvdd vdd gnd dc 1.1 ac 0
+iiref vdd bias dc 2e-05 ac 0
+vvprobe2 n2 gnd dc 0.55 ac 0
+vvprobeo1 o1 gnd dc 0.55 ac 0
+vvprobeo2 o2 gnd dc 0.55 ac 0
+.end

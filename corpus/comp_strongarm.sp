@@ -1,0 +1,25 @@
+* strongarm dynamic comparator, 3-finger input pair
+*# kind: comp
+*# inputs: vip vin
+*# outputs: outp outn
+*# canvas: 9x10
+*# params: {"vdd": 1.1, "vcm": 0.7, "fclk": 5e8, "clamp_v": 0.55, "regen_swing": 0.55, "seed_imbalance": 0.01}
+*# groups: tail:mtail input_pair:m1,m2 nlatch:m3,m4 platch:m5,m6 precharge:p1pre,p2pre,p3pre,p4pre
+mmtail tail clk gnd gnd nmos40 w=2e-06 l=2e-07 m=4
+mm1 p1 vip tail gnd nmos40 w=1e-06 l=2e-07 m=3
+mm2 p2 vin tail gnd nmos40 w=1e-06 l=2e-07 m=3
+mm3 outn outp p1 gnd nmos40 w=1e-06 l=1.5e-07 m=2
+mm4 outp outn p2 gnd nmos40 w=1e-06 l=1.5e-07 m=2
+mm5 outn outp vdd vdd pmos40 w=2e-06 l=1.5e-07 m=2
+mm6 outp outn vdd vdd pmos40 w=2e-06 l=1.5e-07 m=2
+mp1pre outn clk vdd vdd pmos40 w=1e-06 l=1.5e-07 m=2
+mp2pre outp clk vdd vdd pmos40 w=1e-06 l=1.5e-07 m=2
+mp3pre p1 clk vdd vdd pmos40 w=1e-06 l=1.5e-07 m=2
+mp4pre p2 clk vdd vdd pmos40 w=1e-06 l=1.5e-07 m=2
+vvvdd vdd gnd dc 1.1 ac 0
+vvclk clk gnd dc 1.1 ac 0
+vvvip vip gnd dc 0.7 ac 0
+vvvin vin gnd dc 0.7 ac 0
+ccloadp outp gnd 1e-14
+ccloadn outn gnd 1e-14
+.end

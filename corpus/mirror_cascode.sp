@@ -1,0 +1,18 @@
+* cascoded nmos mirror: diode reference, two cascoded output legs
+*# kind: cm
+*# inputs: bias
+*# outputs: out1 out2
+*# canvas: 5x5
+*# params: {"iref": 2e-05, "vdd": 1.1, "probe_sources": ["vprobe1", "vprobe2"]}
+*# groups: nmirror:mref,mo1,mo2 ncascode:mc1,mc2
+mmref bias bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo1 y1 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo2 y2 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmc1 out1 cb y1 gnd nmos40 w=1e-06 l=2.5e-07 m=2
+mmc2 out2 cb y2 gnd nmos40 w=1e-06 l=2.5e-07 m=2
+vvvdd vdd gnd dc 1.1 ac 0
+iiref vdd bias dc 2e-05 ac 0
+vvcb cb gnd dc 0.9 ac 0
+vvprobe1 out1 gnd dc 0.8 ac 0
+vvprobe2 out2 gnd dc 0.8 ac 0
+.end

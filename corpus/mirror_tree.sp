@@ -1,0 +1,22 @@
+* hierarchical current-distribution tree: two identical cascoded legs as
+* subcircuit instances off one diode reference (exercises .subckt ingestion,
+* instance matching and cross-instance pairs)
+*# kind: cm
+*# inputs: bias
+*# outputs: na nb
+*# canvas: 9x9
+*# params: {"iref": 2e-05, "vdd": 1.1, "probe_sources": ["vprobea", "vprobeb"]}
+*# groups: ref:mref mirror:a_mmir,b_mmir cascode:a_mcas,b_mcas
+.subckt leg bias cb out
+mmmir mid bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmcas out cb mid gnd nmos40 w=1e-06 l=2.5e-07 m=2
+.ends leg
+mmref bias bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+xa bias cb na leg
+xb bias cb nb leg
+vvvdd vdd gnd dc 1.1 ac 0
+iiref vdd bias dc 2e-05 ac 0
+vvcb cb gnd dc 0.9 ac 0
+vvprobea na gnd dc 0.8 ac 0
+vvprobeb nb gnd dc 0.8 ac 0
+.end

@@ -1,0 +1,19 @@
+* wide current-distribution mirror: one reference, three nmos outputs, pmos fold
+*# kind: cm
+*# inputs: bias
+*# outputs: n2 n3 out
+*# canvas: 6x6
+*# params: {"iref": 2e-05, "vdd": 1.1, "probe_sources": ["vprobe2", "vprobe3", "vprobeout"]}
+*# groups: nmirror:mref,mo1,mo2,mo3 pmirror:pref,po1
+mmref bias bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo1 n1 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo2 n2 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo3 n3 bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+mpref n1 n1 vdd vdd pmos40 w=2e-06 l=5e-07 m=2
+mpo1 out n1 vdd vdd pmos40 w=2e-06 l=5e-07 m=2
+vvvdd vdd gnd dc 1.1 ac 0
+iiref vdd bias dc 2e-05 ac 0
+vvprobe2 n2 gnd dc 0.55 ac 0
+vvprobe3 n3 gnd dc 0.55 ac 0
+vvprobeout out gnd dc 0.55 ac 0
+.end

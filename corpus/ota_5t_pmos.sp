@@ -1,0 +1,18 @@
+* complementary five-transistor ota: pmos input pair over an nmos mirror load
+*# kind: ota
+*# inputs: vip vin
+*# outputs: outp
+*# canvas: 6x6
+*# params: {"vdd": 1.1, "vcm": 0.4, "cload": 5e-13}
+*# groups: tail:mtail input_pair:m1,m2 nload:mn1,mn2
+mmtail tail vbp vdd vdd pmos40 w=2e-06 l=4e-07 m=4
+mm1 x vip tail vdd pmos40 w=2e-06 l=2e-07 m=2
+mm2 outp vin tail vdd pmos40 w=2e-06 l=2e-07 m=2
+mmn1 x x gnd gnd nmos40 w=2e-06 l=4e-07 m=2
+mmn2 outp x gnd gnd nmos40 w=2e-06 l=4e-07 m=2
+vvvdd vdd gnd dc 1.1 ac 0
+vvvbp vbp gnd dc 0.5 ac 0
+vvvip vip gnd dc 0.4 ac 0
+vvvin vin gnd dc 0.4 ac 0
+ccload outp gnd 5e-13
+.end

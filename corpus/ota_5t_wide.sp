@@ -1,0 +1,18 @@
+* five-transistor ota, wide input pair (3-finger inputs, 4-finger tail)
+*# kind: ota
+*# inputs: vip vin
+*# outputs: outp
+*# canvas: 7x7
+*# params: {"vdd": 1.1, "vcm": 0.6, "cload": 5e-13}
+*# groups: tail:mtail input_pair:m1,m2 pload:mp1,mp2
+mmtail tail vbn gnd gnd nmos40 w=2e-06 l=4e-07 m=4
+mm1 x vip tail gnd nmos40 w=2e-06 l=2e-07 m=3
+mm2 outp vin tail gnd nmos40 w=2e-06 l=2e-07 m=3
+mmp1 x x vdd vdd pmos40 w=2e-06 l=4e-07 m=3
+mmp2 outp x vdd vdd pmos40 w=2e-06 l=4e-07 m=3
+vvvdd vdd gnd dc 1.1 ac 0
+vvvbn vbn gnd dc 0.6 ac 0
+vvvip vip gnd dc 0.6 ac 0
+vvvin vin gnd dc 0.6 ac 0
+ccload outp gnd 5e-13
+.end

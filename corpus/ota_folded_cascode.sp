@@ -1,0 +1,27 @@
+* folded-cascode ota with pmos inputs, 3-finger input pair
+*# kind: ota
+*# inputs: vip vin
+*# outputs: outp
+*# canvas: 11x11
+*# params: {"vdd": 1.1, "vcm": 0.4, "cload": 1e-12}
+*# groups: tail:mtail input_pair:m1,m2 nsink:mn1,mn2 ncascode:mc1,mc2 pcascode:mp3,mp4 pmirror:mp1,mp2
+mmtail tail vbp vdd vdd pmos40 w=2e-06 l=4e-07 m=4
+mm1 f1 vip tail vdd pmos40 w=2e-06 l=2e-07 m=3
+mm2 f2 vin tail vdd pmos40 w=2e-06 l=2e-07 m=3
+mmn1 f1 vbn1 gnd gnd nmos40 w=2e-06 l=4e-07 m=2
+mmn2 f2 vbn1 gnd gnd nmos40 w=2e-06 l=4e-07 m=2
+mmc1 outm vbn2 f1 gnd nmos40 w=2e-06 l=2e-07 m=2
+mmc2 outp vbn2 f2 gnd nmos40 w=2e-06 l=2e-07 m=2
+mmp3 outm vbp2 t1 vdd pmos40 w=2e-06 l=2e-07 m=4
+mmp4 outp vbp2 t2 vdd pmos40 w=2e-06 l=2e-07 m=4
+mmp1 t1 outm vdd vdd pmos40 w=2e-06 l=4e-07 m=4
+mmp2 t2 outm vdd vdd pmos40 w=2e-06 l=4e-07 m=4
+vvvdd vdd gnd dc 1.1 ac 0
+vvvbp vbp gnd dc 0.52 ac 0
+vvvbn1 vbn1 gnd dc 0.6 ac 0
+vvvbn2 vbn2 gnd dc 0.75 ac 0
+vvvbp2 vbp2 gnd dc 0.35 ac 0
+vvvip vip gnd dc 0.4 ac 0
+vvvin vin gnd dc 0.4 ac 0
+ccload outp gnd 1e-12
+.end

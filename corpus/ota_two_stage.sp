@@ -1,0 +1,22 @@
+* two-stage miller ota variant: 3-finger first stage, 3-finger output stage
+*# kind: ota
+*# inputs: vip vin
+*# outputs: outp
+*# canvas: 10x10
+*# params: {"vdd": 1.1, "vcm": 0.6, "cload": 1e-12}
+*# groups: tail:mtail input_pair:m1,m2 pload:mp1,mp2 stage2:m6 sink:m7
+mmtail tail vbn gnd gnd nmos40 w=2e-06 l=4e-07 m=4
+mm1 x1 vin tail gnd nmos40 w=2e-06 l=2e-07 m=3
+mm2 x2 vip tail gnd nmos40 w=2e-06 l=2e-07 m=3
+mmp1 x1 x1 vdd vdd pmos40 w=2e-06 l=4e-07 m=3
+mmp2 x2 x1 vdd vdd pmos40 w=2e-06 l=4e-07 m=3
+mm6 outp x2 vdd vdd pmos40 w=4e-06 l=2e-07 m=3
+mm7 outp vbn gnd gnd nmos40 w=2e-06 l=4e-07 m=3
+rrz x2 cz 1500
+ccc cz outp 5e-13
+ccload outp gnd 1e-12
+vvvdd vdd gnd dc 1.1 ac 0
+vvvbn vbn gnd dc 0.6 ac 0
+vvvip vip gnd dc 0.6 ac 0
+vvvin vin gnd dc 0.6 ac 0
+.end

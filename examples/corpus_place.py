@@ -1,0 +1,78 @@
+"""Place a bundled corpus deck end to end, starting from raw SPICE.
+
+Walks the full ingestion pipeline on one ``corpus/*.sp`` deck:
+
+1. load the deck and its ``*#`` header metadata;
+2. run parse → hierarchy → constraint extraction → validation and print
+   the :class:`ConstraintReport` plus every extracted group;
+3. register the whole corpus alongside the built-in circuits and place
+   the deck through :class:`PlacementService` (the same path ``repro
+   serve`` jobs take);
+4. render the best placement and save it as an SVG.
+
+Run:
+    python examples/corpus_place.py --deck mirror_cascode --steps 150
+"""
+
+import argparse
+
+from repro import render_placement
+from repro.layout.svg import save_placement_svg
+from repro.netlist import ingest_deck
+from repro.service import PlacementRequest
+from repro.service.corpus import (
+    build_entry,
+    corpus_dir,
+    corpus_registry,
+    list_corpus,
+)
+from repro.service.service import PlacementService
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--deck", default="mirror_cascode",
+                        help="corpus deck name (see `repro corpus list`)")
+    parser.add_argument("--steps", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--svg", default="corpus_placement.svg")
+    args = parser.parse_args()
+
+    entries = {e.name: e for e in list_corpus()}
+    if args.deck not in entries:
+        parser.error(f"unknown deck {args.deck!r}; bundled: "
+                     f"{', '.join(sorted(entries))}")
+    entry = entries[args.deck]
+    print(f"deck: {entry.path} (kind={entry.kind}, canvas={entry.canvas})")
+
+    # Stage by stage, the way `repro corpus check` sees it.
+    result = ingest_deck(entry.text(), name=entry.name,
+                         kind=entry.kind, params=dict(entry.params))
+    print(result.report.summary())
+    for group in result.constraints.groups:
+        print(f"  {group.name:<12} [{group.kind.value}] "
+              f"{', '.join(group.devices)}")
+    for sg in result.constraints.super_groups:
+        print(f"  {sg.name:<12} [super-group] {', '.join(sg.groups)}")
+    result.report.raise_if_errors()
+
+    # Place through the service, with the corpus registered.
+    block = build_entry(entry)
+    service = PlacementService(registry=corpus_registry())
+    try:
+        placed = service.place(PlacementRequest(
+            circuit=entry.name, steps=args.steps, seed=args.seed))
+    finally:
+        service.close()
+    print(f"best cost {placed.best_cost:.4f} "
+          f"after {placed.sims_used} simulations")
+
+    placement = placed.placement_object()
+    print(render_placement(placement, block.circuit))
+    save_placement_svg(placement, block.circuit, args.svg)
+    print(f"saved {args.svg} (corpus root: {corpus_dir()})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

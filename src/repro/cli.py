@@ -9,6 +9,7 @@ Commands:
 * ``place``    — optimize one circuit and print/export the placement;
 * ``train``    — island-model shared-policy training campaign;
 * ``serve``    — run the placement service's HTTP JSON layer;
+* ``corpus``   — list, validate or bulk-import the bundled SPICE corpus;
 * ``worker``   — join a cluster coordinator as an execution worker;
 * ``profile``  — per-stage timing breakdown of one evaluation.
 
@@ -78,6 +79,32 @@ from repro.tech import generic_tech_40
 CIRCUITS = default_registry().builders
 
 
+def _corpus_names() -> tuple[str, ...]:
+    """Corpus deck names for ``choices=`` lists (empty on a broken corpus —
+    the ``corpus check`` command is where header errors get reported)."""
+    from repro.service.corpus import list_corpus
+
+    try:
+        return tuple(entry.name for entry in list_corpus())
+    except Exception:
+        return ()
+
+
+def _placeable_circuits() -> list[str]:
+    """Builtins plus corpus entries — the ``place``/``train`` choices."""
+    return sorted(set(CIRCUITS) | set(_corpus_names()))
+
+
+def _registry_for(circuit: str):
+    """The registry that resolves ``circuit``: ``None`` (the default) for
+    builtins, a corpus-extended registry for corpus entries."""
+    if circuit in CIRCUITS:
+        return None
+    from repro.service.corpus import corpus_registry
+
+    return corpus_registry()
+
+
 def _backend_from_args(args):
     """The ``--backend``/``--jobs`` pair, reduced to one factory input.
 
@@ -91,11 +118,12 @@ def _backend_from_args(args):
     return getattr(args, "jobs", 1)
 
 
-def _make_service(args):
+def _make_service(args, registry=None):
     """A :class:`PlacementService` configured from common CLI flags."""
     from repro.service.service import PlacementService
 
     return PlacementService(
+        registry=registry,
         backend=_backend_from_args(args),
         policies=getattr(args, "policy_dir", None),
     )
@@ -163,7 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
     spice.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
 
     place = sub.add_parser("place", help="optimize a placement")
-    place.add_argument("--circuit", choices=sorted(CIRCUITS), default="cm")
+    place.add_argument("--circuit", choices=_placeable_circuits(), default="cm")
     place.add_argument("--steps", type=int, default=400)
     place.add_argument("--seed", type=int, default=1)
     place.add_argument("--svg", metavar="PATH",
@@ -184,7 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "train",
         help="island-model shared-policy training (merged Q-tables)",
     )
-    train.add_argument("circuit", choices=sorted(CIRCUITS))
+    train.add_argument("circuit", choices=_placeable_circuits())
     train.add_argument("--workers", type=int, default=4,
                        help="islands per synchronisation round")
     train.add_argument("--rounds", type=int, default=3,
@@ -279,6 +307,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "first completed job's result (keyed by the "
                             "canonical request hash; persists across "
                             "restarts with --journal-dir)")
+    serve.add_argument("--corpus", action="store_true",
+                       help="also register every bundled corpus deck, so "
+                            "/place and /train accept corpus circuit names")
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="list, validate or bulk-import the bundled SPICE corpus",
+    )
+    corpus.add_argument("action", choices=("list", "check", "import"),
+                        help="list: show deck headers; check: run every "
+                             "deck through the ingestion pipeline and "
+                             "exit non-zero on any error; import: "
+                             "register every deck and print the "
+                             "resulting circuit table")
+    corpus.add_argument("--dir", metavar="PATH", default=None,
+                        help="corpus directory (default: the bundled "
+                             "corpus/, or $REPRO_CORPUS_DIR)")
+    corpus.add_argument("--verbose", action="store_true",
+                        help="also print warnings for passing decks")
 
     worker = sub.add_parser(
         "worker",
@@ -379,13 +426,14 @@ def _cmd_spice(args) -> int:
 
 
 def _cmd_place(args) -> int:
-    block = CIRCUITS[args.circuit]()
+    registry = _registry_for(args.circuit)
+    block = (registry or default_registry()).build(args.circuit)
     try:
         request = PlacementRequest(
             circuit=args.circuit, steps=args.steps, seed=args.seed,
             batch=args.batch, warm_policy=args.warm_policy,
         )
-        result = _make_service(args).place(request)
+        result = _make_service(args, registry=registry).place(request)
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"place: {exc}")
     placement = result.placement_object()
@@ -420,13 +468,14 @@ def _cmd_train(args) -> int:
             prune_min_visits=args.prune_min_visits,
             prune_min_abs_q=args.prune_min_abs_q,
         )
-        result = _make_service(args).train(
+        registry = _registry_for(args.circuit)
+        result = _make_service(args, registry=registry).train(
             request, checkpoint_dir=args.checkpoint_dir
         )
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"train: {exc}")
     print(format_campaign(result.detail))
-    block = CIRCUITS[args.circuit]()
+    block = (registry or default_registry()).build(args.circuit)
     placement = result.placement_object()
     print(result.metrics_object().summary())
     print(render_placement(placement, block.circuit))
@@ -458,7 +507,13 @@ def _cmd_serve(args) -> int:
                 "serve: pass either --backend or --workers-listen, not both"
             )
         backend = f"cluster:{args.workers_listen}"
+    registry = None
+    if args.corpus:
+        from repro.service.corpus import corpus_registry
+
+        registry = corpus_registry()
     service = PlacementService(
+        registry=registry,
         backend=backend,
         policies=args.policy_dir,
         job_workers=args.job_workers,
@@ -483,6 +538,63 @@ def _cmd_serve(args) -> int:
             f"journal, {len(service.recovery.requeued)} re-enqueued"
         )
     serve(service, host=args.host, port=args.port, quiet=not args.verbose)
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    """List, validate or bulk-import the bundled SPICE corpus."""
+    from repro.service.corpus import (
+        check_corpus,
+        corpus_dir,
+        corpus_registry,
+        list_corpus,
+    )
+
+    directory = args.dir if args.dir is not None else corpus_dir()
+    entries = list_corpus(directory)
+    if not entries:
+        raise SystemExit(f"corpus: no decks found in {directory}")
+
+    if args.action == "list":
+        print(f"{len(entries)} deck(s) in {directory}")
+        for e in entries:
+            canvas = f"{e.canvas[0]}x{e.canvas[1]}" if e.canvas else "auto"
+            labels = " ".join(
+                f"{label}:{','.join(devs)}" for label, devs in e.labels
+            )
+            print(f"  {e.name:<22s} kind={e.kind:<5s} canvas={canvas:<7s} "
+                  f"{labels}")
+        return 0
+
+    if args.action == "check":
+        failures = 0
+        for chk in check_corpus(directory):
+            status = "ok" if chk.ok else "FAIL"
+            print(f"  {chk.entry.name:<22s} {status:<5s} "
+                  f"{chk.report.summary()}")
+            findings = chk.report.errors if not args.verbose \
+                else chk.report.findings
+            for finding in findings:
+                print(f"      [{finding.level}] {finding.code}: "
+                      f"{finding.message}")
+            if chk.build_error:
+                print(f"      [error] build: {chk.build_error}")
+            if not chk.ok:
+                failures += 1
+        print(f"corpus check: {len(entries) - failures}/{len(entries)} "
+              f"deck(s) clean")
+        return 1 if failures else 0
+
+    # import: register everything and show the resulting circuit table.
+    registry = corpus_registry(directory)
+    for e in entries:
+        block = registry.build(e.name)
+        print(f"  {e.name:<22s} kind={block.kind:<5s} "
+              f"canvas={block.canvas[0]}x{block.canvas[1]} "
+              f"groups={len(block.groups)} pairs={len(block.pairs)} "
+              f"units={block.circuit.total_units()}")
+    print(f"registered {len(entries)} corpus circuit(s); "
+          f"registry now: {', '.join(registry.keys())}")
     return 0
 
 
@@ -630,6 +742,7 @@ def main(argv: list[str] | None = None) -> int:
         "place": _cmd_place,
         "train": _cmd_train,
         "serve": _cmd_serve,
+        "corpus": _cmd_corpus,
         "worker": _cmd_worker,
         "profile": _cmd_profile,
     }

@@ -29,36 +29,80 @@ from repro.netlist.library import (
     folded_cascode_ota,
     two_stage_ota,
 )
-from repro.netlist.spice import SpiceFormatError, from_spice, to_spice
+from repro.netlist.constraints import (
+    ConstraintReport,
+    ConstraintSet,
+    ConstraintValidationError,
+    Finding,
+    IngestResult,
+    extract_constraints,
+    ingest_deck,
+    validate_constraints,
+)
+from repro.netlist.hierarchy import (
+    Flattened,
+    HierarchicalCircuit,
+    HierarchyError,
+    Instance,
+    InstanceScope,
+    SubcktDef,
+)
+from repro.netlist.spice import SpiceFormatError, from_spice, parse_spice, to_spice
 from repro.netlist.nets import GROUND_NETS, is_ground, is_supply
-from repro.netlist.primitives import Group, GroupKind, MatchedPair, detect_groups
+from repro.netlist.primitives import (
+    Group,
+    GroupKind,
+    MatchedPair,
+    SuperGroup,
+    detect_groups,
+    validate_groups,
+    validate_pairs,
+)
 from repro.netlist.sfg import signal_flow_levels, signal_flow_order
 
 __all__ = [
     "AnalogBlock",
     "Capacitor",
     "Circuit",
+    "ConstraintReport",
+    "ConstraintSet",
+    "ConstraintValidationError",
     "CurrentSource",
     "Device",
+    "Finding",
+    "Flattened",
     "GROUND_NETS",
     "Group",
     "GroupKind",
+    "HierarchicalCircuit",
+    "HierarchyError",
+    "IngestResult",
+    "Instance",
+    "InstanceScope",
     "MatchedPair",
     "Mosfet",
     "Resistor",
     "SpiceFormatError",
+    "SubcktDef",
+    "SuperGroup",
     "Vcvs",
     "VoltageSource",
     "comparator",
     "current_mirror",
     "detect_groups",
+    "extract_constraints",
     "five_transistor_ota",
     "folded_cascode_ota",
     "from_spice",
+    "ingest_deck",
     "is_ground",
     "is_supply",
+    "parse_spice",
     "signal_flow_levels",
     "signal_flow_order",
     "to_spice",
     "two_stage_ota",
+    "validate_constraints",
+    "validate_groups",
+    "validate_pairs",
 ]

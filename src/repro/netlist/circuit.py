@@ -112,6 +112,19 @@ class Circuit:
                     out.append((device, port))
         return tuple(out)
 
+    def net_map(self) -> dict[str, tuple[tuple[Device, str], ...]]:
+        """Net → ``(device, port)`` index, built in one pass.
+
+        The adjacency view of :meth:`connectivity_graph`: querying many nets
+        through this costs one scan total instead of one :meth:`net_devices`
+        scan per net.  Constraint extraction rides on it.
+        """
+        out: dict[str, list[tuple[Device, str]]] = {}
+        for device in self._devices.values():
+            for port in device.PORTS:
+                out.setdefault(device.net(port), []).append((device, port))
+        return {net: tuple(attached) for net, attached in out.items()}
+
     def total_units(self) -> int:
         """Total number of placeable unit devices."""
         return sum(m.n_units for m in self.mosfets())

@@ -23,7 +23,14 @@ from repro.netlist.devices import (
     Resistor,
     VoltageSource,
 )
-from repro.netlist.primitives import Group, GroupKind, MatchedPair, validate_groups
+from repro.netlist.primitives import (
+    Group,
+    GroupKind,
+    MatchedPair,
+    SuperGroup,
+    validate_groups,
+    validate_pairs,
+)
 
 
 @dataclass(frozen=True)
@@ -40,6 +47,8 @@ class AnalogBlock:
         params: measurement parameters (supply, common mode, loads, clock).
         input_nets: signal inputs, for signal-flow ordering.
         output_nets: signal outputs.
+        super_groups: symmetric super-groups from hierarchical extraction
+            (matched subcircuit instances); empty for flat circuits.
     """
 
     name: str
@@ -51,6 +60,7 @@ class AnalogBlock:
     params: dict = field(default_factory=dict)
     input_nets: tuple[str, ...] = ()
     output_nets: tuple[str, ...] = ()
+    super_groups: tuple[SuperGroup, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("cm", "comp", "ota"):
@@ -63,6 +73,8 @@ class AnalogBlock:
                 f"canvas {self.canvas} cannot hold {self.circuit.total_units()} units"
             )
         validate_groups(self.circuit, list(self.groups))
+        validate_pairs(self.circuit, list(self.groups), list(self.pairs),
+                       list(self.super_groups))
 
     def group_of(self, device_name: str) -> Group:
         """The group containing ``device_name``."""

@@ -8,18 +8,19 @@ the top-level agent moves.
 
 :func:`detect_groups` recovers primitive structure from a bare netlist for
 circuits built outside the library; the library circuits also ship explicit
-groups so experiments never depend on heuristics.
+groups so experiments never depend on heuristics.  Detection itself lives
+in :mod:`repro.netlist.constraints` (graph-based template matching);
+:func:`detect_groups` is kept as the thin compatibility wrapper.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import Mosfet
-from repro.netlist.nets import is_ground, is_rail, is_supply
 
 
 class GroupKind(enum.Enum):
@@ -30,6 +31,8 @@ class GroupKind(enum.Enum):
     LOAD_PAIR = "load_pair"
     CASCODE_PAIR = "cascode_pair"
     CROSS_COUPLED = "cross_coupled"
+    LEVEL_SHIFTER = "level_shifter"
+    DEVICE_ARRAY = "device_array"
     SINGLE = "single"
 
 
@@ -82,6 +85,33 @@ class MatchedPair:
         return (self.a, self.b)
 
 
+@dataclass(frozen=True)
+class SuperGroup:
+    """Groups that form one symmetric super-structure.
+
+    Produced by hierarchical constraint extraction when two instances of the
+    same subcircuit sit in symmetric positions: each instance's groups
+    belong to the super-group, and matched pairs may span its member groups
+    (mirrored placement of the two half-cells keeps them matched).
+
+    Attributes:
+        name: unique super-group name.
+        groups: member *group* names.
+    """
+
+    name: str
+    groups: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("super-group name cannot be empty")
+        object.__setattr__(self, "groups", tuple(self.groups))
+        if len(self.groups) < 2:
+            raise ValueError(f"super-group {self.name!r} needs at least two groups")
+        if len(set(self.groups)) != len(self.groups):
+            raise ValueError(f"super-group {self.name!r} lists a group twice")
+
+
 def _same_size(a: Mosfet, b: Mosfet) -> bool:
     return (
         a.polarity == b.polarity
@@ -95,82 +125,23 @@ def _is_diode_connected(m: Mosfet) -> bool:
 
 
 def detect_groups(circuit: Circuit) -> tuple[list[Group], list[MatchedPair]]:
-    """Heuristic primitive detection over a bare netlist.
+    """Primitive detection over a bare netlist (compatibility wrapper).
 
-    Recognised primitives, in priority order (each device joins one group):
-
-    1. **cross-coupled pair** — gate of A is drain of B and vice versa;
-    2. **differential pair** — same size, shared non-rail source, distinct
-       gates and drains;
-    3. **current mirror** — shared gate and shared rail source, containing
-       a diode-connected reference;
-    4. **load pair** — same size, shared gate and shared source, no diode
-       device (gate driven elsewhere);
-    5. **single** — everything left, one group per device.
+    Delegates to the graph-based template engine in
+    :mod:`repro.netlist.constraints` — see
+    :func:`~repro.netlist.constraints.extract_constraints` for the template
+    set and the deterministic claim-scoring rules.  Hierarchy-aware callers
+    should use ``extract_constraints`` directly, which also returns
+    super-groups.
 
     Returns:
-        ``(groups, matched_pairs)``; pairs are generated for every matched
-        combination inside each multi-device group.
+        ``(groups, matched_pairs)``; pairs are generated for same-size
+        members inside each multi-device group.
     """
-    mosfets = list(circuit.mosfets())
-    claimed: set[str] = set()
-    groups: list[Group] = []
-    pairs: list[MatchedPair] = []
+    from repro.netlist.constraints import extract_constraints
 
-    def claim(names: list[str], kind: GroupKind, tag: str) -> None:
-        groups.append(Group(name=f"{tag}{len(groups)}", kind=kind, devices=tuple(names)))
-        claimed.update(names)
-
-    # 1. cross-coupled pairs
-    for a, b in itertools.combinations(mosfets, 2):
-        if a.name in claimed or b.name in claimed:
-            continue
-        if not _same_size(a, b):
-            continue
-        if a.net("g") == b.net("d") and b.net("g") == a.net("d") and a.net("g") != b.net("g"):
-            claim([a.name, b.name], GroupKind.CROSS_COUPLED, "xc")
-            pairs.append(MatchedPair(a.name, b.name))
-
-    # 2. differential pairs
-    for a, b in itertools.combinations(mosfets, 2):
-        if a.name in claimed or b.name in claimed:
-            continue
-        if not _same_size(a, b):
-            continue
-        shared_source = a.net("s") == b.net("s") and not is_rail(a.net("s"))
-        if shared_source and a.net("g") != b.net("g") and a.net("d") != b.net("d"):
-            claim([a.name, b.name], GroupKind.DIFF_PAIR, "dp")
-            pairs.append(MatchedPair(a.name, b.name, weight=2.0))
-
-    # 3. current mirrors (shared gate, shared rail source, diode present)
-    by_gate_source: dict[tuple[str, str, int], list[Mosfet]] = {}
-    for m in mosfets:
-        if m.name in claimed:
-            continue
-        source = m.net("s")
-        if not (is_ground(source) or is_supply(source)):
-            continue
-        by_gate_source.setdefault((m.net("g"), source, m.polarity), []).append(m)
-    for members in by_gate_source.values():
-        if len(members) < 2:
-            continue
-        if not any(_is_diode_connected(m) for m in members):
-            # Shared gate/source but externally biased: a load pair/bank.
-            if all(_same_size(members[0], m) for m in members[1:]):
-                claim([m.name for m in members], GroupKind.LOAD_PAIR, "lp")
-                for a, b in itertools.combinations(members, 2):
-                    pairs.append(MatchedPair(a.name, b.name))
-            continue
-        claim([m.name for m in members], GroupKind.CURRENT_MIRROR, "cm")
-        for a, b in itertools.combinations(members, 2):
-            pairs.append(MatchedPair(a.name, b.name))
-
-    # 4. leftovers
-    for m in mosfets:
-        if m.name not in claimed:
-            claim([m.name], GroupKind.SINGLE, "sg")
-
-    return groups, pairs
+    constraints = extract_constraints(circuit)
+    return list(constraints.groups), list(constraints.pairs)
 
 
 def validate_groups(circuit: Circuit, groups: list[Group]) -> None:
@@ -190,3 +161,41 @@ def validate_groups(circuit: Circuit, groups: list[Group]) -> None:
     missing = placeable - seen
     if missing:
         raise ValueError(f"devices not covered by any group: {sorted(missing)}")
+
+
+def validate_pairs(circuit: Circuit, groups: Sequence[Group],
+                   pairs: Iterable[MatchedPair],
+                   super_groups: Sequence[SuperGroup] = ()) -> None:
+    """Raise unless every matched pair is structurally sound.
+
+    A pair must reference two existing, placeable devices that sit in the
+    same group — or, for hierarchical symmetry, in two groups that belong
+    to one super-group (the mirrored-instance case).
+    """
+    placeable = {d.name for d in circuit.placeable()}
+    group_of: dict[str, str] = {}
+    for group in groups:
+        for name in group.devices:
+            group_of[name] = group.name
+    alliance: dict[str, str] = {}
+    for sg in super_groups:
+        for group_name in sg.groups:
+            alliance[group_name] = sg.name
+    for pair in pairs:
+        for name in pair.names():
+            if name not in placeable:
+                raise ValueError(
+                    f"pair ({pair.a}, {pair.b}) references non-placeable or "
+                    f"unknown device {name!r}"
+                )
+            if name not in group_of:
+                raise ValueError(
+                    f"pair ({pair.a}, {pair.b}) references device {name!r} "
+                    f"which is in no group"
+                )
+        ga, gb = group_of[pair.a], group_of[pair.b]
+        if ga != gb and (ga not in alliance or alliance[ga] != alliance.get(gb)):
+            raise ValueError(
+                f"pair ({pair.a}, {pair.b}) spans groups {ga!r} and {gb!r} "
+                f"that share no super-group"
+            )

@@ -13,7 +13,9 @@ level-1 decks translate back.  Conventions:
 * models ``nmos40`` / ``pmos40`` are emitted from a
   :class:`~repro.tech.Technology` when one is supplied.
 
-Supported elements: M (4-terminal MOSFET), R, C, V, I, E (VCVS).
+Supported elements: M (4-terminal MOSFET), R, C, V, I, E (VCVS), plus
+hierarchy: ``.subckt``/``.ends`` blocks and ``X`` instance cards
+(:func:`parse_spice` returns the hierarchy; :func:`from_spice` flattens it).
 """
 
 from __future__ import annotations
@@ -27,6 +29,12 @@ from repro.netlist.devices import (
     Resistor,
     Vcvs,
     VoltageSource,
+)
+from repro.netlist.hierarchy import (
+    HierarchicalCircuit,
+    HierarchyError,
+    Instance,
+    SubcktDef,
 )
 from repro.tech import Technology
 
@@ -50,16 +58,39 @@ def _model_card(name: str, flavour: str, params) -> str:
     )
 
 
-def to_spice(circuit: Circuit, tech: Technology | None = None) -> str:
-    """Render a circuit as a SPICE deck (one element per line)."""
+def to_spice(circuit: Circuit | HierarchicalCircuit,
+             tech: Technology | None = None) -> str:
+    """Render a circuit as a SPICE deck (one element per line).
+
+    Accepts either a flat :class:`Circuit` or a :class:`HierarchicalCircuit`;
+    the latter is emitted with its ``.subckt`` blocks and ``X`` cards intact,
+    so ``parse_spice(to_spice(hc))`` round-trips the hierarchy.
+    """
     lines = [f"* {circuit.name}"]
     if tech is not None:
         lines.append(_model_card(NMOS_MODEL, "nmos", tech.nmos))
         lines.append(_model_card(PMOS_MODEL, "pmos", tech.pmos))
-    for device in circuit:
-        lines.append(_element_line(device))
+    if isinstance(circuit, HierarchicalCircuit):
+        for defn in circuit.subckts.values():
+            lines.append(f".subckt {defn.name} {' '.join(defn.ports)}")
+            for device in defn.devices:
+                lines.append(_element_line(device))
+            for inst in defn.instances:
+                lines.append(_instance_line(inst))
+            lines.append(f".ends {defn.name}")
+        for device in circuit.devices:
+            lines.append(_element_line(device))
+        for inst in circuit.instances:
+            lines.append(_instance_line(inst))
+    else:
+        for device in circuit:
+            lines.append(_element_line(device))
     lines.append(".end")
     return "\n".join(lines) + "\n"
+
+
+def _instance_line(inst: Instance) -> str:
+    return f"x{inst.name} {' '.join(inst.bindings)} {inst.subckt}"
 
 
 def _element_line(device: Device) -> str:
@@ -141,18 +172,81 @@ def _parse_source_values(tokens: list[str]) -> tuple[float, float]:
     return dc, ac
 
 
-def from_spice(text: str, name: str = "imported") -> Circuit:
-    """Parse a (level-1 subset) SPICE deck back into a :class:`Circuit`.
+def _parse_element(line: str, model_polarity: dict[str, int]) -> Device:
+    """Parse one element card into a device."""
+    tokens = line.split()
+    head = tokens[0].lower()
+    kind, dev_name = head[0], head[1:]
+    if not dev_name:
+        raise SpiceFormatError(f"element with empty name: {line!r}")
+    if kind == "m":
+        if len(tokens) < 6:
+            raise SpiceFormatError(f"bad mosfet card: {line!r}")
+        d, g, s, b, model = tokens[1:6]
+        params = _parse_kv(tokens[6:])
+        polarity = model_polarity.get(model.lower())
+        if polarity is None:
+            polarity = -1 if "pmos" in model.lower() else +1
+        n_units = int(params.get("m", 1))
+        unit_w = params.get("w", 1e-6)
+        return Mosfet(
+            dev_name, {"d": d, "g": g, "s": s, "b": b},
+            polarity=polarity, width=unit_w * n_units,
+            length=params.get("l", 0.15e-6), n_units=n_units,
+        )
+    if kind == "r":
+        return Resistor(dev_name, {"a": tokens[1], "b": tokens[2]},
+                        value=float(tokens[3]))
+    if kind == "c":
+        return Capacitor(dev_name, {"a": tokens[1], "b": tokens[2]},
+                         value=float(tokens[3]))
+    if kind == "v":
+        dc, ac = _parse_source_values(tokens[3:])
+        return VoltageSource(dev_name, {"p": tokens[1], "n": tokens[2]},
+                             dc=dc, ac=ac)
+    if kind == "i":
+        dc, ac = _parse_source_values(tokens[3:])
+        return CurrentSource(dev_name, {"p": tokens[1], "n": tokens[2]},
+                             dc=dc, ac=ac)
+    if kind == "e":
+        if len(tokens) != 6:
+            raise SpiceFormatError(f"bad vcvs card: {line!r}")
+        return Vcvs(dev_name, {"p": tokens[1], "n": tokens[2],
+                               "cp": tokens[3], "cn": tokens[4]},
+                    gain=float(tokens[5]))
+    raise SpiceFormatError(f"unsupported element type {kind!r}: {line!r}")
 
-    ``.model`` cards are read only for MOSFET polarity; analysis cards and
-    ``.end`` are ignored.
+
+def _parse_instance(line: str) -> Instance:
+    """Parse an ``X`` card: ``x<name> <net>... <subckt>``."""
+    tokens = line.split()
+    name = tokens[0][1:].lower()
+    if not name:
+        raise SpiceFormatError(f"element with empty name: {line!r}")
+    if len(tokens) < 3:
+        raise SpiceFormatError(f"bad instance card (need nets + subckt): {line!r}")
+    if any("=" in t for t in tokens[1:]):
+        raise SpiceFormatError(f"instance parameters are not supported: {line!r}")
+    return Instance(name=name, subckt=tokens[-1].lower(),
+                    bindings=tuple(tokens[1:-1]))
+
+
+def parse_spice(text: str, name: str = "imported") -> HierarchicalCircuit:
+    """Parse a (level-1 subset) SPICE deck, keeping its hierarchy.
+
+    ``.model`` cards are read only for MOSFET polarity (and are global, even
+    when written inside a ``.subckt`` block); analysis cards and ``.end`` are
+    ignored.  ``.subckt``/``.ends`` blocks become :class:`SubcktDef`\\ s and
+    ``X`` cards become :class:`Instance`\\ s — flatten with
+    :meth:`HierarchicalCircuit.flatten` or use :func:`from_spice` directly.
 
     Raises:
-        SpiceFormatError: on malformed or unsupported element lines.
+        SpiceFormatError: on malformed or unsupported cards.
     """
-    circuit = Circuit(name)
     model_polarity: dict[str, int] = {}
-    element_lines: list[str] = []
+    top_cards: list[str] = []
+    blocks: list[tuple[str, tuple[str, ...], list[str]]] = []
+    current: tuple[str, tuple[str, ...], list[str]] | None = None
 
     for line in _logical_lines(text):
         lowered = line.lower()
@@ -162,51 +256,62 @@ def from_spice(text: str, name: str = "imported") -> Circuit:
                 raise SpiceFormatError(f"bad .model card: {line!r}")
             model_polarity[tokens[1]] = -1 if tokens[2].startswith("pmos") else +1
             continue
+        if lowered.startswith(".subckt"):
+            if current is not None:
+                raise SpiceFormatError(
+                    f"nested .subckt definitions are not supported: {line!r}"
+                )
+            tokens = lowered.split()
+            if len(tokens) < 3:
+                raise SpiceFormatError(f"bad .subckt card (name + ports): {line!r}")
+            current = (tokens[1], tuple(tokens[2:]), [])
+            continue
+        if lowered.startswith(".ends"):
+            if current is None:
+                raise SpiceFormatError(f".ends without a matching .subckt: {line!r}")
+            blocks.append(current)
+            current = None
+            continue
         if lowered.startswith("."):
             continue  # .end / analysis cards
-        element_lines.append(line)
+        (current[2] if current is not None else top_cards).append(line)
+    if current is not None:
+        raise SpiceFormatError(f"unterminated .subckt block: {current[0]!r}")
 
-    for line in element_lines:
-        tokens = line.split()
-        head = tokens[0].lower()
-        kind, dev_name = head[0], head[1:]
-        if not dev_name:
-            raise SpiceFormatError(f"element with empty name: {line!r}")
-        if kind == "m":
-            if len(tokens) < 6:
-                raise SpiceFormatError(f"bad mosfet card: {line!r}")
-            d, g, s, b, model = tokens[1:6]
-            params = _parse_kv(tokens[6:])
-            polarity = model_polarity.get(model.lower())
-            if polarity is None:
-                polarity = -1 if "pmos" in model.lower() else +1
-            n_units = int(params.get("m", 1))
-            unit_w = params.get("w", 1e-6)
-            circuit.add(Mosfet(
-                dev_name, {"d": d, "g": g, "s": s, "b": b},
-                polarity=polarity, width=unit_w * n_units,
-                length=params.get("l", 0.15e-6), n_units=n_units,
-            ))
-        elif kind == "r":
-            circuit.add(Resistor(dev_name, {"a": tokens[1], "b": tokens[2]},
-                                 value=float(tokens[3])))
-        elif kind == "c":
-            circuit.add(Capacitor(dev_name, {"a": tokens[1], "b": tokens[2]},
-                                  value=float(tokens[3])))
-        elif kind == "v":
-            dc, ac = _parse_source_values(tokens[3:])
-            circuit.add(VoltageSource(dev_name, {"p": tokens[1], "n": tokens[2]},
-                                      dc=dc, ac=ac))
-        elif kind == "i":
-            dc, ac = _parse_source_values(tokens[3:])
-            circuit.add(CurrentSource(dev_name, {"p": tokens[1], "n": tokens[2]},
-                                      dc=dc, ac=ac))
-        elif kind == "e":
-            if len(tokens) != 6:
-                raise SpiceFormatError(f"bad vcvs card: {line!r}")
-            circuit.add(Vcvs(dev_name, {"p": tokens[1], "n": tokens[2],
-                                        "cp": tokens[3], "cn": tokens[4]},
-                             gain=float(tokens[5])))
-        else:
-            raise SpiceFormatError(f"unsupported element type {kind!r}: {line!r}")
-    return circuit
+    hier = HierarchicalCircuit(name)
+    try:
+        for sub_name, ports, body in blocks:
+            devices: list[Device] = []
+            instances: list[Instance] = []
+            for line in body:
+                if line.lstrip()[0].lower() == "x":
+                    instances.append(_parse_instance(line))
+                else:
+                    devices.append(_parse_element(line, model_polarity))
+            hier.add_subckt(SubcktDef(name=sub_name, ports=ports,
+                                      devices=tuple(devices),
+                                      instances=tuple(instances)))
+        for line in top_cards:
+            if line.lstrip()[0].lower() == "x":
+                hier.add_instance(_parse_instance(line))
+            else:
+                hier.add(_parse_element(line, model_polarity))
+    except HierarchyError as exc:
+        raise SpiceFormatError(str(exc)) from exc
+    return hier
+
+
+def from_spice(text: str, name: str = "imported") -> Circuit:
+    """Parse a SPICE deck into a flat :class:`Circuit`.
+
+    Hierarchical decks are flattened with instance-prefixed names (see
+    :mod:`repro.netlist.hierarchy`); use :func:`parse_spice` to keep the
+    hierarchy and its instance scopes.
+
+    Raises:
+        SpiceFormatError: on malformed or unsupported element lines.
+    """
+    try:
+        return parse_spice(text, name).flatten().circuit
+    except HierarchyError as exc:
+        raise SpiceFormatError(str(exc)) from exc

@@ -32,8 +32,7 @@ from repro.netlist.library import (
     folded_cascode_ota,
     two_stage_ota,
 )
-from repro.netlist.primitives import detect_groups
-from repro.netlist.spice import from_spice
+from repro.netlist.constraints import ingest_deck
 
 #: Measurement-suite kinds an inline deck may request.
 BLOCK_KINDS = ("cm", "comp", "ota")
@@ -106,14 +105,17 @@ class CircuitRegistry:
     ) -> AnalogBlock:
         """Build a placeable block from an inline SPICE deck.
 
-        The deck is parsed with :func:`repro.netlist.spice.from_spice`,
-        primitive groups and matched pairs are recovered with
-        :func:`detect_groups`, and — unless given — the canvas is sized
-        to a square with ~2x slack over the unit count, the same
-        occupancy regime the library blocks use.
+        The deck runs the full staged ingestion pipeline
+        (:func:`repro.netlist.constraints.ingest_deck`: parse → hierarchy →
+        constraint extraction → validation); registration is refused when
+        the :class:`~repro.netlist.constraints.ConstraintReport` carries
+        errors.  Unless given, the canvas is sized to a square with ~2x
+        slack over the unit count, the same occupancy regime the library
+        blocks use.
 
         Args:
-            text: the SPICE deck (element lines + ``.model`` cards).
+            text: the SPICE deck (element lines, ``.model`` cards, and
+                optional ``.subckt`` hierarchy).
             kind: measurement suite to run (one of :data:`BLOCK_KINDS`);
                 the deck's testbench sources must match what the suite
                 expects (see the library builders for examples).
@@ -123,15 +125,22 @@ class CircuitRegistry:
             params: measurement parameters forwarded to the suite.
             input_nets: signal inputs, for signal-flow ordering.
             output_nets: signal outputs.
+
+        Raises:
+            ConstraintValidationError: the deck failed constraint
+                validation (partition/pair/rail errors).
         """
         if kind not in BLOCK_KINDS:
             raise ValueError(f"kind must be one of {BLOCK_KINDS}, got {kind!r}")
-        circuit = from_spice(text, name=name)
-        groups, pairs = detect_groups(circuit)
-        if not groups:
+        result = ingest_deck(text, name=name, kind=kind,
+                             params=dict(params or {}))
+        result.report.raise_if_errors()
+        constraints = result.constraints
+        if not constraints.groups:
             raise ValueError(
                 "deck has no placeable primitive groups (no MOSFETs?)"
             )
+        circuit = result.circuit
         if canvas is None:
             side = max(2, math.ceil(math.sqrt(2 * circuit.total_units())))
             canvas = (side, side)
@@ -139,12 +148,13 @@ class CircuitRegistry:
             name=name,
             kind=kind,
             circuit=circuit,
-            groups=tuple(groups),
-            pairs=tuple(pairs),
+            groups=constraints.groups,
+            pairs=constraints.pairs,
             canvas=canvas,
             params=dict(params or {}),
             input_nets=tuple(input_nets),
             output_nets=tuple(output_nets),
+            super_groups=constraints.super_groups,
         )
 
 

@@ -50,7 +50,11 @@ from repro.runtime.spec import RunSpec, map_runs
 from repro.service.jobs import JobManager, JobRecord
 from repro.service.journal import JobJournal
 from repro.service.policies import PolicyStore
-from repro.service.registry import CircuitRegistry, default_registry
+from repro.service.registry import (
+    BUILTIN_CIRCUITS,
+    CircuitRegistry,
+    default_registry,
+)
 from repro.service.requests import (
     PlacementRequest,
     PlacementResult,
@@ -186,6 +190,34 @@ class PlacementService:
                 f"unknown circuit {circuit!r}; "
                 f"registered: {sorted(self.registry.keys())}"
             )
+        spice = getattr(request, "spice", None)
+        if spice is not None:
+            # Run the ingestion pipeline's validation stage up front: a
+            # deck with constraint errors is a 400 at submit time, not a
+            # failed job later (ConstraintValidationError is a ValueError).
+            from repro.netlist.constraints import ingest_deck
+
+            kwargs = request.spice_kwargs()
+            result = ingest_deck(
+                spice,
+                name=kwargs.get("name", "imported"),
+                kind=kwargs.get("kind"),
+                params=dict(kwargs.get("params") or {}),
+            )
+            result.report.raise_if_errors()
+
+    def _resolve_trainable(self, circuit: str) -> Any:
+        """What ``run_campaign`` should receive for ``circuit``.
+
+        Built-in keys on the default registry pass through as keys (the
+        spec layer ships them by name).  Anything else — corpus entries,
+        runtime registrations, custom registries — resolves to the
+        registered builder callable, which spawned workers can execute
+        without sharing this process's registry.
+        """
+        if self.registry is default_registry() and circuit in BUILTIN_CIRCUITS:
+            return circuit
+        return self.registry.builder(circuit)
 
     # ----------------------------------------------------- sync execution
 
@@ -249,7 +281,7 @@ class PlacementService:
 
         self._check_circuit(request)
         campaign = run_campaign(
-            request.circuit,
+            self._resolve_trainable(request.circuit),
             workers=request.workers,
             rounds=request.rounds,
             steps_per_round=request.steps,

@@ -24,6 +24,7 @@ from repro.netlist import (
     MatchedPair,
     Mosfet,
     Circuit,
+    SuperGroup,
     current_mirror,
     five_transistor_ota,
 )
@@ -47,6 +48,7 @@ def hostile_block() -> AnalogBlock:
             Group("steps", GroupKind.SINGLE, ("m2",)),
         ),
         pairs=(MatchedPair("m1", "m2"),),
+        super_groups=(SuperGroup("sym", ("top", "steps")),),
         canvas=(4, 4),
         input_nets=("a",),
     )

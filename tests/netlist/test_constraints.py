@@ -1,0 +1,280 @@
+"""The constraint-extraction engine and the validation stage.
+
+The golden tests pin the engine to the library's hand-written groups: on
+all five evaluation blocks the extracted partition and the matched-pair
+name-sets must reproduce the explicit annotations exactly.
+"""
+
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    CurrentSource,
+    GroupKind,
+    Mosfet,
+    SuperGroup,
+    VoltageSource,
+    comparator,
+    current_mirror,
+    detect_groups,
+    extract_constraints,
+    five_transistor_ota,
+    folded_cascode_ota,
+    ingest_deck,
+    two_stage_ota,
+    validate_constraints,
+    validate_pairs,
+)
+from repro.netlist.constraints import ConstraintSet, ConstraintValidationError
+
+ALL_BLOCKS = [current_mirror, comparator, folded_cascode_ota,
+              five_transistor_ota, two_stage_ota]
+
+
+def _partition(groups):
+    return {frozenset(g.devices) for g in groups}
+
+
+def _kind_of(groups, member):
+    return next(g.kind for g in groups if member in g.devices)
+
+
+def _pair_set(pairs):
+    return {frozenset((p.a, p.b)) for p in pairs}
+
+
+def _nmos(name, d, g, s, w=2e-6, l=0.2e-6, m=2):  # noqa: E741
+    return Mosfet(name, {"d": d, "g": g, "s": s, "b": "gnd"},
+                  polarity=+1, width=w, length=l, n_units=m)
+
+
+def _pmos(name, d, g, s, w=2e-6, l=0.2e-6, m=2):  # noqa: E741
+    return Mosfet(name, {"d": d, "g": g, "s": s, "b": "vdd"},
+                  polarity=-1, width=w, length=l, n_units=m)
+
+
+@pytest.mark.parametrize("builder", ALL_BLOCKS)
+class TestGolden:
+    """The engine reproduces every library block's explicit annotations."""
+
+    def test_partition_matches_library_groups(self, builder):
+        block = builder()
+        constraints = extract_constraints(block.circuit)
+        assert _partition(constraints.groups) == _partition(block.groups)
+
+    def test_group_kinds_match(self, builder):
+        block = builder()
+        constraints = extract_constraints(block.circuit)
+        for group in block.groups:
+            for member in group.devices:
+                assert _kind_of(constraints.groups, member) == group.kind, member
+
+    def test_pair_name_sets_match_exactly(self, builder):
+        block = builder()
+        constraints = extract_constraints(block.circuit)
+        assert _pair_set(constraints.pairs) == _pair_set(block.pairs)
+
+    def test_detect_groups_wrapper_agrees(self, builder):
+        block = builder()
+        groups, pairs = detect_groups(block.circuit)
+        assert _partition(groups) == _partition(block.groups)
+        assert _pair_set(pairs) == _pair_set(block.pairs)
+
+    def test_validation_is_clean(self, builder):
+        block = builder()
+        report = validate_constraints(
+            block.circuit, extract_constraints(block.circuit),
+            kind=block.kind, params=block.params)
+        assert report.ok and not report.warnings, report.summary()
+
+
+class TestTemplates:
+    def test_ratioed_mirror_groups_but_does_not_match(self):
+        """Satellite bugfix: unequal mirror legs share the group, not a pair."""
+        ckt = Circuit("ratioed")
+        ckt.add(_nmos("mref", "bias", "bias", "gnd"))
+        ckt.add(_nmos("mo1", "n1", "bias", "gnd"))
+        ckt.add(_nmos("mo2", "n2", "bias", "gnd", w=4e-6, m=4))  # 2x leg
+        ckt.add(CurrentSource("iref", {"p": "vdd", "n": "bias"}, dc=1e-5))
+        ckt.add(VoltageSource("vvdd", {"p": "vdd", "n": "gnd"}, dc=1.1))
+        ckt.add(VoltageSource("vp1", {"p": "n1", "n": "gnd"}, dc=0.5))
+        ckt.add(VoltageSource("vp2", {"p": "n2", "n": "gnd"}, dc=0.5))
+        constraints = extract_constraints(ckt)
+        assert _partition(constraints.groups) == {
+            frozenset({"mref", "mo1", "mo2"})}
+        assert _pair_set(constraints.pairs) == {frozenset({"mref", "mo1"})}
+
+    def test_mirror_reference_pairs_weigh_double(self):
+        constraints = extract_constraints(current_mirror().circuit)
+        weights = {frozenset((p.a, p.b)): p.weight for p in constraints.pairs}
+        assert weights[frozenset({"mref", "mo1"})] == 2.0
+        assert weights[frozenset({"mo1", "mo2"})] == 1.0
+
+    def test_cascode_pair_over_symmetric_branches(self):
+        ckt = Circuit("cascode")
+        ckt.add(_nmos("mref", "bias", "bias", "gnd"))
+        ckt.add(_nmos("mo1", "y1", "bias", "gnd"))
+        ckt.add(_nmos("mo2", "y2", "bias", "gnd"))
+        ckt.add(_nmos("mc1", "o1", "cb", "y1", l=0.1e-6))
+        ckt.add(_nmos("mc2", "o2", "cb", "y2", l=0.1e-6))
+        ckt.add(CurrentSource("iref", {"p": "vdd", "n": "bias"}, dc=1e-5))
+        ckt.add(VoltageSource("vvdd", {"p": "vdd", "n": "gnd"}, dc=1.1))
+        ckt.add(VoltageSource("vcb", {"p": "cb", "n": "gnd"}, dc=0.9))
+        ckt.add(VoltageSource("vp1", {"p": "o1", "n": "gnd"}, dc=0.8))
+        ckt.add(VoltageSource("vp2", {"p": "o2", "n": "gnd"}, dc=0.8))
+        constraints = extract_constraints(ckt)
+        assert _kind_of(constraints.groups, "mc1") is GroupKind.CASCODE_PAIR
+        assert frozenset({"mc1", "mc2"}) in _partition(constraints.groups)
+
+    def test_level_shifter_pair(self):
+        ckt = Circuit("follower")
+        ckt.add(_nmos("ma", "vdd", "ina", "oa"))
+        ckt.add(_nmos("mb", "vdd", "inb", "ob"))
+        ckt.add(CurrentSource("ia", {"p": "oa", "n": "gnd"}, dc=1e-5))
+        ckt.add(CurrentSource("ib", {"p": "ob", "n": "gnd"}, dc=1e-5))
+        ckt.add(VoltageSource("vvdd", {"p": "vdd", "n": "gnd"}, dc=1.1))
+        ckt.add(VoltageSource("va", {"p": "ina", "n": "gnd"}, dc=0.8))
+        ckt.add(VoltageSource("vb", {"p": "inb", "n": "gnd"}, dc=0.8))
+        constraints = extract_constraints(ckt)
+        assert _kind_of(constraints.groups, "ma") is GroupKind.LEVEL_SHIFTER
+        assert frozenset({"ma", "mb"}) in _pair_set(constraints.pairs)
+
+    def test_device_array_of_parallel_units(self):
+        ckt = Circuit("bank")
+        ckt.add(_nmos("ma", "out", "bias", "gnd"))
+        ckt.add(_nmos("mb", "out", "bias", "gnd"))
+        ckt.add(_nmos("mc", "out", "bias", "gnd"))
+        ckt.add(VoltageSource("vb", {"p": "bias", "n": "gnd"}, dc=0.6))
+        ckt.add(VoltageSource("vo", {"p": "out", "n": "gnd"}, dc=0.6))
+        constraints = extract_constraints(ckt)
+        assert _partition(constraints.groups) == {frozenset({"ma", "mb", "mc"})}
+        assert _kind_of(constraints.groups, "ma") is GroupKind.DEVICE_ARRAY
+        assert len(constraints.pairs) == 3  # every parallel pair matched
+
+    def test_extraction_is_deterministic(self):
+        block = comparator()
+        first = extract_constraints(block.circuit)
+        second = extract_constraints(block.circuit)
+        assert first.groups == second.groups
+        assert first.pairs == second.pairs
+
+
+class TestHierarchicalExtraction:
+    DECK = """
+    .subckt leg bias cb out
+    mmmir mid bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+    mmcas out cb mid gnd nmos40 w=1e-06 l=2.5e-07 m=2
+    .ends leg
+    mmref bias bias gnd gnd nmos40 w=1e-06 l=5e-07 m=2
+    xa bias cb na leg
+    xb bias cb nb leg
+    vvvdd vdd gnd dc 1.1 ac 0
+    iiref vdd bias dc 2e-05 ac 0
+    vvcb cb gnd dc 0.9 ac 0
+    vvpa na gnd dc 0.8 ac 0
+    vvpb nb gnd dc 0.8 ac 0
+    .end
+    """
+
+    def test_matched_instances_become_a_super_group(self):
+        result = ingest_deck(self.DECK, name="tree", kind="cm",
+                             params={"iref": 2e-5, "vdd": 1.1,
+                                     "probe_sources": ["vpa", "vpb"]})
+        assert result.report.ok, result.report.summary()
+        (sg,) = result.constraints.super_groups
+        assert sg.name == "sym_a_b"
+        group_names = {g.name for g in result.constraints.groups}
+        assert set(sg.groups) <= group_names
+
+    def test_cross_instance_pairs_are_emitted(self):
+        result = ingest_deck(self.DECK, name="tree")
+        pairs = _pair_set(result.constraints.pairs)
+        assert frozenset({"a_mmir", "b_mmir"}) in pairs
+        assert frozenset({"a_mcas", "b_mcas"}) in pairs
+
+    def test_asymmetric_instances_do_not_match(self):
+        deck = self.DECK.replace("vvpb nb gnd dc 0.8 ac 0",
+                                 "rrload nb gnd 1000")
+        result = ingest_deck(deck, name="tree")
+        assert result.constraints.super_groups == ()
+
+
+class TestValidatePairs:
+    def test_unknown_device_rejected(self):
+        block = five_transistor_ota()
+        with pytest.raises(ValueError, match="non-placeable or unknown"):
+            validate_pairs(block.circuit, list(block.groups),
+                           [type(block.pairs[0])("m1", "ghost")])
+
+    def test_cross_group_pair_needs_a_super_group(self):
+        block = five_transistor_ota()
+        pair = type(block.pairs[0])("m1", "mp1")  # input pair vs pmos load
+        with pytest.raises(ValueError, match="share no super-group"):
+            validate_pairs(block.circuit, list(block.groups), [pair])
+
+    def test_super_group_allows_cross_group_pair(self):
+        block = five_transistor_ota()
+        pair = type(block.pairs[0])("m1", "mp1")
+        alliance = SuperGroup("sym", ("input_pair", "pload"))
+        validate_pairs(block.circuit, list(block.groups), [pair], [alliance])
+
+
+class TestValidationReport:
+    def test_dangling_net_is_an_error(self):
+        ckt = Circuit("dangle")
+        ckt.add(_nmos("m1", "floaty", "g1", "gnd"))
+        ckt.add(VoltageSource("vg", {"p": "g1", "n": "gnd"}, dc=0.5))
+        report = validate_constraints(ckt, extract_constraints(ckt))
+        assert any(f.code == "dangling" for f in report.errors)
+
+    def test_shorted_mosfet_is_an_error(self):
+        ckt = Circuit("shorted")
+        ckt.add(Mosfet("m1", {"d": "n", "g": "n", "s": "n", "b": "n"},
+                       polarity=+1, width=2e-6, length=0.2e-6, n_units=1))
+        ckt.add(VoltageSource("vn", {"p": "n", "n": "gnd"}, dc=0.5))
+        report = validate_constraints(ckt, extract_constraints(ckt))
+        assert any(f.code == "shorted" for f in report.errors)
+
+    def test_missing_ground_is_an_error(self):
+        ckt = Circuit("floating")
+        ckt.add(Mosfet("m1", {"d": "a", "g": "b", "s": "c", "b": "c"},
+                       polarity=+1, width=2e-6, length=0.2e-6, n_units=1))
+        ckt.add(VoltageSource("va", {"p": "a", "n": "b"}, dc=0.5))
+        ckt.add(VoltageSource("vc", {"p": "c", "n": "b"}, dc=0.1))
+        report = validate_constraints(ckt, extract_constraints(ckt))
+        assert any(f.code == "rail" and f.level == "error"
+                   for f in report.findings)
+
+    def test_mismatched_pair_is_an_error(self):
+        block = five_transistor_ota()
+        bad = ConstraintSet(
+            groups=block.groups,
+            pairs=block.pairs + (type(block.pairs[0])("m1", "mtail"),),
+            super_groups=(SuperGroup("sym", ("input_pair", "tail")),),
+        )
+        report = validate_constraints(block.circuit, bad)
+        assert any(f.code == "pair-size" for f in report.errors)
+
+    def test_suite_contract_gaps_are_warnings(self):
+        block = five_transistor_ota()
+        report = validate_constraints(
+            block.circuit, extract_constraints(block.circuit),
+            kind="ota", params={})
+        assert report.ok  # warnings never block registration
+        assert any(f.code == "suite-contract" for f in report.warnings)
+
+    def test_raise_if_errors(self):
+        ckt = Circuit("dangle")
+        ckt.add(_nmos("m1", "floaty", "g1", "gnd"))
+        ckt.add(VoltageSource("vg", {"p": "g1", "n": "gnd"}, dc=0.5))
+        report = validate_constraints(ckt, extract_constraints(ckt))
+        with pytest.raises(ConstraintValidationError, match="dangling"):
+            report.raise_if_errors()
+
+    def test_summary_mentions_counts(self):
+        block = current_mirror()
+        report = validate_constraints(
+            block.circuit, extract_constraints(block.circuit),
+            kind="cm", params=block.params)
+        assert "2 groups" in report.summary()
+        assert "0 errors" in report.summary()

@@ -1,0 +1,126 @@
+"""Property-based SPICE round trips: export → import → export is identity.
+
+Widths are drawn from a power-of-two grid so the exporter's per-unit
+width division (``w = width / n_units``) is exact in floating point —
+the identity claimed here is bit-exact, not approximate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    Capacitor,
+    Circuit,
+    HierarchicalCircuit,
+    Instance,
+    Mosfet,
+    Resistor,
+    SubcktDef,
+    VoltageSource,
+)
+from repro.netlist.spice import from_spice, parse_spice, to_spice
+
+NETS = ("gnd", "vdd", "n1", "n2", "n3", "n4")
+UNIT_WIDTHS = (0.5e-6, 1e-6, 2e-6, 4e-6)
+LENGTHS = (0.1e-6, 0.2e-6, 0.5e-6)
+N_UNITS = (1, 2, 4)
+
+
+@st.composite
+def mosfets(draw, index: int = 0, nets=NETS):
+    n_units = draw(st.sampled_from(N_UNITS))
+    return Mosfet(
+        f"m{index}",
+        {
+            "d": draw(st.sampled_from(nets)),
+            "g": draw(st.sampled_from(nets)),
+            "s": draw(st.sampled_from(nets)),
+            "b": draw(st.sampled_from(("gnd", "vdd"))),
+        },
+        polarity=draw(st.sampled_from((+1, -1))),
+        width=draw(st.sampled_from(UNIT_WIDTHS)) * n_units,
+        length=draw(st.sampled_from(LENGTHS)),
+        n_units=n_units,
+    )
+
+
+@st.composite
+def flat_circuits(draw):
+    ckt = Circuit("prop")
+    for i in range(draw(st.integers(1, 5))):
+        ckt.add(draw(mosfets(index=i)))
+    for i in range(draw(st.integers(0, 2))):
+        p, n = draw(st.sampled_from([
+            (a, b) for a in NETS for b in NETS if a != b]))
+        ckt.add(VoltageSource(f"v{i}", {"p": p, "n": n},
+                              dc=draw(st.sampled_from((0.0, 0.55, 1.1)))))
+    if draw(st.booleans()):
+        ckt.add(Resistor("r0", {"a": "n1", "b": "n2"},
+                         value=draw(st.sampled_from((100.0, 1500.0)))))
+    if draw(st.booleans()):
+        ckt.add(Capacitor("c0", {"a": "n3", "b": "gnd"},
+                          value=draw(st.sampled_from((1e-14, 1e-12)))))
+    return ckt
+
+
+@st.composite
+def hierarchical_circuits(draw):
+    cell_nets = ("p1", "p2", "w1", "gnd")
+    devices = tuple(
+        draw(mosfets(index=i, nets=cell_nets))
+        for i in range(draw(st.integers(1, 2)))
+    )
+    hc = HierarchicalCircuit("prop_hier")
+    hc.add_subckt(SubcktDef("cell", ("p1", "p2"), devices=devices))
+    hc.add(VoltageSource("vvdd", {"p": "vdd", "n": "gnd"}, dc=1.1))
+    for name in ("a", "b")[: draw(st.integers(1, 2))]:
+        hc.add_instance(Instance(
+            name, "cell",
+            (draw(st.sampled_from(NETS)), draw(st.sampled_from(NETS))),
+        ))
+    return hc
+
+
+class TestFlatRoundTrip:
+    @given(flat_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_import_of_export_preserves_everything(self, ckt):
+        restored = from_spice(to_spice(ckt), name=ckt.name)
+        assert {d.name for d in ckt} == {d.name for d in restored}
+        for device in ckt:
+            twin = restored.device(device.name)
+            assert twin.conns == device.conns
+            assert type(twin) is type(device)
+        for mosfet in ckt.mosfets():
+            twin = restored.device(mosfet.name)
+            assert twin.polarity == mosfet.polarity
+            assert twin.n_units == mosfet.n_units
+            assert twin.width == mosfet.width      # exact: power-of-two grid
+            assert twin.length == mosfet.length
+
+    @given(flat_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_export_is_idempotent(self, ckt):
+        deck = to_spice(ckt)
+        assert to_spice(from_spice(deck, name=ckt.name)) == deck
+
+
+class TestHierarchicalRoundTrip:
+    @given(hierarchical_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_parse_of_export_is_structurally_identical(self, hc):
+        assert parse_spice(to_spice(hc), name=hc.name) == hc
+
+    @given(hierarchical_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_export_is_idempotent(self, hc):
+        deck = to_spice(hc)
+        assert to_spice(parse_spice(deck, name=hc.name)) == deck
+
+    @given(hierarchical_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_flatten_commutes_with_round_trip(self, hc):
+        direct = hc.flatten().circuit
+        rebuilt = parse_spice(to_spice(hc), name=hc.name).flatten().circuit
+        assert {d.name for d in direct} == {d.name for d in rebuilt}
+        for device in direct:
+            assert rebuilt.device(device.name).conns == device.conns

@@ -57,9 +57,11 @@ class TestSpecRequestBridge:
 
     def test_inline_spice_builds_a_block(self):
         deck = (
-            "m1 d vg gnd gnd nmos40 w=1e-6 l=0.15e-6 m=2\n"
-            "m2 o vg gnd gnd nmos40 w=1e-6 l=0.15e-6 m=2\n"
-            "vdd vddn 0 dc 1.1\n"
+            "mm1 vg vg gnd gnd nmos40 w=1e-6 l=0.15e-6 m=2\n"
+            "mm2 o vg gnd gnd nmos40 w=1e-6 l=0.15e-6 m=2\n"
+            "vvvdd vdd 0 dc 1.1\n"
+            "iiref vdd vg dc 2e-5\n"
+            "vvprobe o 0 dc 0.55\n"
         )
         request = PlacementRequest(spice=deck, spice_kind="cm",
                                    spice_name="mini", steps=10)
