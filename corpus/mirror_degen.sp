@@ -1,0 +1,21 @@
+* source-degenerated wide mirror: a resistor under every leg, same gate rail shape
+*# kind: cm
+*# inputs: bias
+*# outputs: n1 n2 n3
+*# canvas: 6x6
+*# params: {"iref": 2e-05, "vdd": 1.1, "probe_sources": ["vprobe1", "vprobe2", "vprobe3"]}
+*# groups: nmirror:mref,mo1,mo2,mo3
+mmref bias bias s0 gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo1 n1 bias s1 gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo2 n2 bias s2 gnd nmos40 w=1e-06 l=5e-07 m=2
+mmo3 n3 bias s3 gnd nmos40 w=1e-06 l=5e-07 m=2
+rrd0 s0 gnd 2e3
+rrd1 s1 gnd 2e3
+rrd2 s2 gnd 2e3
+rrd3 s3 gnd 2e3
+vvvdd vdd gnd dc 1.1 ac 0
+iiref vdd bias dc 2e-05 ac 0
+vvprobe1 n1 gnd dc 0.55 ac 0
+vvprobe2 n2 gnd dc 0.55 ac 0
+vvprobe3 n3 gnd dc 0.55 ac 0
+.end

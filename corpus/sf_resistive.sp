@@ -1,0 +1,17 @@
+* resistively-loaded source-follower pair; one load card deliberately written reversed
+*# kind: ota
+*# inputs: vip vin
+*# outputs: outp outn
+*# canvas: 4x4
+*# params: {"vdd": 1.1, "vcm": 0.6}
+*# groups: sf_pair:m1,m2
+mm1 vdd vip outp gnd nmos40 w=2e-06 l=2.5e-07 m=2
+mm2 vdd vin outn gnd nmos40 w=2e-06 l=2.5e-07 m=2
+rrl1 outp gnd 5e3
+rrl2 gnd outn 5e3
+ccl1 outp gnd 2e-14
+ccl2 outn gnd 2e-14
+vvvdd vdd gnd dc 1.1 ac 0
+vvvip vip gnd dc 0.6 ac 0.001
+vvvin vin gnd dc 0.6 ac -0.001
+.end

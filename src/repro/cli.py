@@ -307,9 +307,54 @@ def _build_parser() -> argparse.ArgumentParser:
                             "first completed job's result (keyed by the "
                             "canonical request hash; persists across "
                             "restarts with --journal-dir)")
+    serve.add_argument("--result-cache-max-entries", type=int, default=None,
+                       metavar="N",
+                       help="cap the result cache at N distinct request "
+                            "hashes, evicting least-recently-served "
+                            "entries (implies --result-cache)")
+    serve.add_argument("--result-cache-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="expire result-cache entries this long after "
+                            "their job finished; the TTL is journaled, so "
+                            "expiry survives --journal-dir restarts "
+                            "(implies --result-cache)")
     serve.add_argument("--corpus", action="store_true",
                        help="also register every bundled corpus deck, so "
                             "/place and /train accept corpus circuit names")
+
+    zoo = sub.add_parser(
+        "zoo",
+        help="signature-indexed policy zoo: cross-circuit warm-start "
+             "transfer",
+    )
+    zoo.add_argument("action", choices=("build", "list", "match", "train-all"),
+                     help="build: print a circuit's primitive signatures; "
+                          "list: show stored policies carrying zoo "
+                          "signature metadata; match: dry-run the "
+                          "warm-start auto-selection for a circuit; "
+                          "train-all: train and store a zoo policy for "
+                          "every corpus deck")
+    zoo.add_argument("--circuit", default=None,
+                     help="circuit for build/match (builtin or corpus "
+                          "name; build defaults to all)")
+    zoo.add_argument("--placer", choices=("ql", "flat"), default="ql")
+    zoo.add_argument("--min-tier", choices=("exact", "coarse"),
+                     default="coarse",
+                     help="weakest signature tier a group match may use")
+    zoo.add_argument("--max-sources", type=int, default=4,
+                     help="most stored policies folded per agent")
+    zoo.add_argument("--policy-dir", metavar="DIR",
+                     help="policy store directory (default: ./policies)")
+    zoo.add_argument("--workers", type=int, default=2,
+                     help="train-all: islands per synchronisation round")
+    zoo.add_argument("--rounds", type=int, default=2,
+                     help="train-all: synchronisation rounds")
+    zoo.add_argument("--steps", type=int, default=150,
+                     help="train-all: optimizer steps per worker per round")
+    zoo.add_argument("--seed", type=int, default=0)
+    zoo.add_argument("--jobs", type=_jobs_arg, default=1,
+                     help="worker processes for train-all campaigns")
+    _add_backend_flag(zoo)
 
     corpus = sub.add_parser(
         "corpus",
@@ -522,7 +567,11 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue_depth,
         max_inflight_per_client=args.max_inflight,
         dedup=args.dedup,
-        result_cache=args.result_cache,
+        result_cache=(args.result_cache
+                      or args.result_cache_max_entries is not None
+                      or args.result_cache_ttl is not None),
+        result_cache_max_entries=args.result_cache_max_entries,
+        result_cache_ttl_s=args.result_cache_ttl,
     )
     cluster_spec = getattr(service.backend, "spec", None)
     if cluster_spec is not None:
@@ -595,6 +644,82 @@ def _cmd_corpus(args) -> int:
               f"units={block.circuit.total_units()}")
     print(f"registered {len(entries)} corpus circuit(s); "
           f"registry now: {', '.join(registry.keys())}")
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    """Inspect and populate the signature-indexed policy zoo.
+
+    ``build`` and ``match`` are read-only dry runs of exactly what the
+    service's ``warm_policy="auto"`` path computes; ``train-all`` runs a
+    short island campaign per corpus deck and stores each master policy
+    (with its signature metadata) as ``zoo-<deck>``, so a subsequent
+    ``repro place --warm-policy auto`` or served ``/place`` has something
+    to transfer from.
+    """
+    import json as _json
+
+    from repro.service.corpus import corpus_registry, list_corpus
+    from repro.zoo import ZooIndex, signature_meta
+
+    registry = corpus_registry()
+
+    def _block(name: str):
+        try:
+            return registry.build(name)
+        except KeyError as exc:
+            raise SystemExit(f"zoo: {exc}")
+
+    if args.action == "build":
+        names = [args.circuit] if args.circuit else sorted(registry.keys())
+        for name in names:
+            meta = signature_meta(_block(name))
+            print(f"{name}: {meta['circuit_signature']}")
+            for group, key in sorted(meta["groups"].items()):
+                print(f"  {group:<12s} {key}")
+        return 0
+
+    service = _make_service(args, registry=registry)
+
+    if args.action == "list":
+        entries = ZooIndex(service.policies).entries()
+        if not entries:
+            print("no zoo-indexed policies stored "
+                  f"(root: {service.policies.root})")
+            return 0
+        for info in entries:
+            zoo_meta = info.meta["zoo"]
+            print(f"{info.ref:<20s} {zoo_meta.get('circuit_signature', '')}")
+            visits = zoo_meta.get("group_visits", {})
+            for group, key in sorted(zoo_meta.get("groups", {}).items()):
+                print(f"  {group:<12s} {key}  "
+                      f"(visits: {visits.get(group, 0)})")
+        return 0
+
+    if args.action == "match":
+        if not args.circuit:
+            raise SystemExit("zoo: match needs --circuit")
+        match = ZooIndex(service.policies).match(
+            _block(args.circuit), placer=args.placer,
+            min_tier=args.min_tier, max_sources=args.max_sources,
+        )
+        print(_json.dumps(match.report, indent=2, sort_keys=True))
+        return 0
+
+    # train-all: one stored zoo policy per corpus deck.
+    refs = []
+    for entry in list_corpus():
+        request = TrainRequest(
+            circuit=entry.name, workers=args.workers, rounds=args.rounds,
+            steps=args.steps, placer=args.placer, seed=args.seed,
+            save_policy=f"zoo-{entry.name}",
+        )
+        result = service.train(request)
+        refs.append(result.policy)
+        print(f"  {entry.name:<22s} -> {result.policy} "
+              f"(best {result.best_cost:.4f}, "
+              f"{result.sims_used} simulations)")
+    print(f"zoo: stored {len(refs)} polic(ies) in {service.policies.root}")
     return 0
 
 
@@ -742,6 +867,7 @@ def main(argv: list[str] | None = None) -> int:
         "place": _cmd_place,
         "train": _cmd_train,
         "serve": _cmd_serve,
+        "zoo": _cmd_zoo,
         "corpus": _cmd_corpus,
         "worker": _cmd_worker,
         "profile": _cmd_profile,

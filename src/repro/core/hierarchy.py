@@ -256,6 +256,11 @@ class MultiLevelPlacer:
         sim_counter: callable returning cumulative simulator evaluations
             (pass ``lambda: evaluator.sim_count``); defaults to counting
             objective calls.
+        exploration: ``"epsilon"`` (default) or ``"ucb"`` — passed to all
+            agents; UCB replaces the global epsilon schedule with a
+            deterministic per-entry visit-count bonus, the natural mode
+            when warm-start tables (which carry visits) are loaded.
+        ucb_c: UCB exploration strength (``"ucb"`` mode only).
     """
 
     def __init__(
@@ -271,6 +276,8 @@ class MultiLevelPlacer:
         batch: int = 1,
         seed: int = 0,
         sim_counter: Callable[[], int] | None = None,
+        exploration: str = "epsilon",
+        ucb_c: float = 0.5,
     ):
         if episode_length < 1:
             raise ValueError(f"episode_length must be >= 1, got {episode_length}")
@@ -292,9 +299,11 @@ class MultiLevelPlacer:
         seed_seq = np.random.SeedSequence(seed)
         children = seed_seq.spawn(1 + len(env.group_names))
         self.top_agent = QAgent(alpha, gamma, epsilon,
-                                np.random.default_rng(children[0]))
+                                np.random.default_rng(children[0]),
+                                exploration=exploration, ucb_c=ucb_c)
         self.bottom_agents = {
-            name: QAgent(alpha, gamma, epsilon, np.random.default_rng(child))
+            name: QAgent(alpha, gamma, epsilon, np.random.default_rng(child),
+                         exploration=exploration, ucb_c=ucb_c)
             for name, child in zip(env.group_names, children[1:])
         }
         self._objective_calls = 0
@@ -506,6 +515,8 @@ class FlatQPlacer:
         batch: int = 1,
         seed: int = 0,
         sim_counter: Callable[[], int] | None = None,
+        exploration: str = "epsilon",
+        ucb_c: float = 0.5,
     ):
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
@@ -517,6 +528,7 @@ class FlatQPlacer:
         self.agent = QAgent(
             alpha, gamma, epsilon if epsilon is not None else EpsilonSchedule(),
             np.random.default_rng(seed),
+            exploration=exploration, ucb_c=ucb_c,
         )
         self._objective_calls = 0
         self._sim_counter = sim_counter if sim_counter is not None else (

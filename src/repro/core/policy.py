@@ -90,3 +90,82 @@ def epsilon_greedy_topk(
     rest = [a for a in legal_actions if a != primary]
     rest.sort(key=lambda a: -q_values.get(a, 0.0))
     return [primary] + rest[: k - 1]
+
+
+def _ucb_scores(
+    q_values: dict, visit_counts: dict, legal_actions: list, t: int, c: float
+) -> list[float]:
+    bonus_scale = np.sqrt(np.log(t + 2.0))
+    return [
+        q_values.get(a, 0.0)
+        + c * float(bonus_scale) / np.sqrt(visit_counts.get(a, 0) + 1.0)
+        for a in legal_actions
+    ]
+
+
+def ucb_select(
+    q_values: dict,
+    visit_counts: dict,
+    legal_actions: list,
+    t: int,
+    c: float = 0.5,
+):
+    """UCB1-style visit-aware action selection.
+
+    Score each legal action ``Q(s, a) + c * sqrt(log(t + 2) / (n(s, a) + 1))``
+    and take the argmax.  Unvisited actions get the full bonus, so the
+    policy systematically tries what a transferred warm-start table has
+    no evidence about, while heavily-visited entries are trusted at face
+    value — the reason this mode replaces the global epsilon schedule
+    when a zoo warm start is loaded: a decayed schedule would barely
+    explore, a fresh one would trash the transferred policy.
+
+    Fully deterministic: no RNG is consumed, and score ties break in
+    legal-action order.
+
+    Args:
+        q_values: action → Q estimate for the current state.
+        visit_counts: action → Bellman-update count for the state.
+        legal_actions: candidate actions (must be non-empty).
+        t: global optimizer step (drives the slowly-growing numerator).
+        c: exploration strength (0 is pure greedy with deterministic
+            tie-breaks).
+    """
+    if not legal_actions:
+        raise ValueError("no legal actions to select from")
+    if t < 0:
+        raise ValueError(f"step cannot be negative, got {t}")
+    if c < 0:
+        raise ValueError(f"ucb exploration constant cannot be negative, got {c}")
+    scores = _ucb_scores(q_values, visit_counts, legal_actions, t, c)
+    return legal_actions[int(np.argmax(scores))]
+
+
+def ucb_topk(
+    q_values: dict,
+    visit_counts: dict,
+    legal_actions: list,
+    t: int,
+    c: float,
+    k: int,
+):
+    """The UCB pick plus up to ``k - 1`` runners-up by UCB score.
+
+    The first returned action is exactly :func:`ucb_select`; the extras
+    are the remaining legal actions ranked by the same score (stable
+    sort: legal-list order breaks ties).  ``k = 1`` reproduces unbatched
+    selection exactly.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    primary = ucb_select(q_values, visit_counts, legal_actions, t, c)
+    if k == 1:
+        return [primary]
+    scored = {
+        a: s for a, s in zip(
+            legal_actions,
+            _ucb_scores(q_values, visit_counts, legal_actions, t, c))
+    }
+    rest = [a for a in legal_actions if a != primary]
+    rest.sort(key=lambda a: -scored[a])
+    return [primary] + rest[: k - 1]

@@ -17,7 +17,13 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_topk
+from repro.core.policy import (
+    EpsilonSchedule,
+    epsilon_greedy,
+    epsilon_greedy_topk,
+    ucb_select,
+    ucb_topk,
+)
 
 #: Conflict rules :meth:`QTable.merge` understands — the single source
 #: every merge-rule validation (specs, campaigns, CLI choices) refers to.
@@ -25,6 +31,13 @@ from repro.core.policy import EpsilonSchedule, epsilon_greedy, epsilon_greedy_to
 #: synchronisation: heavily-updated entries dominate lightly-explored
 #: ones instead of a blind max).
 MERGE_HOWS = ("theirs", "ours", "max", "visits")
+
+#: Exploration modes :class:`QAgent` understands — ``"epsilon"`` is the
+#: paper's decaying epsilon-greedy schedule; ``"ucb"`` replaces it with a
+#: deterministic visit-aware UCB bonus (the right mode when a warm-start
+#: table already carries visit evidence — see :func:`repro.core.policy
+#: .ucb_select`).
+EXPLORATIONS = ("epsilon", "ucb")
 
 
 @dataclass
@@ -106,6 +119,10 @@ class QTable:
     def visits(self, state, action) -> int:
         """Visit count of an entry (0 for unvisited / loaded-cold entries)."""
         return self._visits.get(state, {}).get(action, 0)
+
+    def visit_counts(self, state) -> dict:
+        """Action → visit count mapping of a state ({} if unvisited)."""
+        return self._visits.get(state, {})
 
     def copy(self) -> "QTable":
         """An independent copy (entries are immutable, so one level deep)."""
@@ -245,6 +262,12 @@ class QAgent:
         gamma: discount factor (paper's gamma).
         epsilon: exploration schedule.
         rng: random generator (shared or per-agent).
+        exploration: ``"epsilon"`` (default) for the decaying
+            epsilon-greedy schedule, or ``"ucb"`` for deterministic
+            visit-aware UCB selection — the per-entry visit counts the
+            table already records drive the exploration bonus instead of
+            the global schedule.
+        ucb_c: UCB exploration strength (only used in ``"ucb"`` mode).
     """
 
     def __init__(
@@ -253,20 +276,30 @@ class QAgent:
         gamma: float = 0.9,
         epsilon: EpsilonSchedule | None = None,
         rng: np.random.Generator | None = None,
+        exploration: str = "epsilon",
+        ucb_c: float = 0.5,
     ):
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         if not 0.0 <= gamma < 1.0:
             raise ValueError(f"gamma must be in [0, 1), got {gamma}")
+        if exploration not in EXPLORATIONS:
+            raise ValueError(
+                f"exploration must be one of {EXPLORATIONS}, got {exploration!r}"
+            )
+        if ucb_c < 0:
+            raise ValueError(f"ucb_c cannot be negative, got {ucb_c}")
         self.alpha = alpha
         self.gamma = gamma
         self.epsilon = epsilon if epsilon is not None else EpsilonSchedule()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.exploration = exploration
+        self.ucb_c = ucb_c
         self.table = QTable()
         self.steps = 0
 
     def select(self, state, legal_actions: list, step: int | None = None):
-        """Epsilon-greedy action selection.
+        """One exploratory action pick (epsilon-greedy or UCB).
 
         Args:
             state: current state.
@@ -276,22 +309,34 @@ class QAgent:
                 acting 1/N of the time would otherwise stay explorative N
                 times longer).  Defaults to this agent's own counter.
         """
-        eps = self.epsilon.value(self.steps if step is None else step)
+        t = self.steps if step is None else step
         self.steps += 1
+        if self.exploration == "ucb":
+            return ucb_select(
+                self.table.actions(state), self.table.visit_counts(state),
+                legal_actions, t, self.ucb_c,
+            )
+        eps = self.epsilon.value(t)
         return epsilon_greedy(self.table.actions(state), legal_actions, eps, self.rng)
 
     def select_many(
         self, state, legal_actions: list, k: int, step: int | None = None
     ) -> list:
-        """The epsilon-greedy action plus up to ``k - 1`` greedy extras.
+        """The exploratory action plus up to ``k - 1`` ranked extras.
 
         One *selection event* (one schedule step, the same RNG draws as
         :meth:`select` for the first action), returning the candidate set
         a batched evaluator prices in one shot.  ``k = 1`` is exactly
         :meth:`select`.
         """
-        eps = self.epsilon.value(self.steps if step is None else step)
+        t = self.steps if step is None else step
         self.steps += 1
+        if self.exploration == "ucb":
+            return ucb_topk(
+                self.table.actions(state), self.table.visit_counts(state),
+                legal_actions, t, self.ucb_c, k,
+            )
+        eps = self.epsilon.value(t)
         return epsilon_greedy_topk(
             self.table.actions(state), legal_actions, eps, self.rng, k
         )

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.eval.batch_suites import BATCH_SUITES
 from repro.eval.metrics import Metrics
+from repro.eval.objective import ObjectiveWeights
 from repro.eval.suites import SUITES, Warm
 from repro.eval.warm import WarmStore
 from repro.layout.context import device_contexts_all, unit_context_arrays
@@ -56,6 +57,10 @@ class PlacementEvaluator:
             (``"compiled"``/``"legacy"``); ``None`` follows the process
             default.  One compiled topology per testbench variant is
             cached and reused for the entire optimization run.
+        objective: preference weights conditioning the :meth:`cost`
+            composition (see :class:`~repro.eval.objective
+            .ObjectiveWeights`); ``None`` means the default vector,
+            which reproduces the historical scalar cost bit for bit.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class PlacementEvaluator:
         cache_size: int = 50_000,
         corner=None,
         engine: str | None = None,
+        objective: ObjectiveWeights | None = None,
     ):
         if cost_area_weight < 0:
             raise ValueError("cost_area_weight cannot be negative")
@@ -77,6 +83,7 @@ class PlacementEvaluator:
             variation = default_variation_model(canvas_extent=extent)
         self.variation = variation
         self.cost_area_weight = cost_area_weight
+        self.objective = objective if objective is not None else ObjectiveWeights()
         self.corner = corner
         self.engine = engine
         self.sim_count = 0
@@ -291,11 +298,21 @@ class PlacementEvaluator:
         return out  # type: ignore[return-value]
 
     def _cost_of(self, placement: Placement, metrics: Metrics) -> float:
-        primary = metrics.primary_value
-        if self.cost_area_weight == 0:
-            return primary
-        spread = placement.area_cells() / max(1, len(placement))
-        return primary * (1.0 + self.cost_area_weight * max(0.0, spread - 1.0))
+        weights = self.objective
+        cost = weights.matching * metrics.primary_value
+        area_weight = self.cost_area_weight * weights.area
+        if area_weight != 0:
+            spread = placement.area_cells() / max(1, len(placement))
+            cost = cost * (1.0 + area_weight * max(0.0, spread - 1.0))
+        # Zero-weight additive terms are *skipped*, not added: this keeps
+        # default-weight costs bit-identical to the historical scalar and
+        # tolerates penalty metrics that lack the proxy values.
+        if weights.noise:
+            cost += weights.noise * float(metrics.values.get("power_w", 0.0))
+        if weights.parasitics:
+            cost += weights.parasitics * float(
+                metrics.values.get("wirelength_um", 0.0))
+        return cost
 
     def cost(self, placement: Placement) -> float:
         """Scalar objective (lower is better).
@@ -305,6 +322,12 @@ class PlacementEvaluator:
         bounding-box area per unit.  The area term keeps the optimizer
         from trading micro-improvements in mismatch for unbounded sprawl —
         the same role area plays in the paper's FOM.
+
+        With non-default :class:`~repro.eval.objective.ObjectiveWeights`
+        the composition is preference-conditioned: ``matching`` scales
+        the headline term, ``area`` scales the area weight, and
+        ``noise``/``parasitics`` add power and wirelength proxies.  The
+        default vector reproduces the plain scalar cost bit for bit.
         """
         return self._cost_of(placement, self.evaluate(placement))
 

@@ -35,7 +35,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.netlist.circuit import Circuit
-from repro.netlist.devices import Device, Mosfet
+from repro.netlist.devices import Capacitor, Device, Mosfet, Resistor
 from repro.netlist.hierarchy import Flattened, HierarchicalCircuit
 from repro.netlist.nets import is_ground, is_rail, is_supply
 from repro.netlist.primitives import (
@@ -88,6 +88,11 @@ def _net_signature(net_index: NetIndex, net: str, exclude: frozenset[str]) -> tu
             continue
         if isinstance(device, Mosfet):
             sig.append(("m", device.polarity, device.width, device.length, port))
+        elif isinstance(device, (Resistor, Capacitor)):
+            # Passives are orientation-free: a load written ``r out gnd``
+            # matches its mirror-image ``r gnd out``, but only at equal
+            # value — the port says nothing, the value says everything.
+            sig.append((type(device).__name__, device.value))
         else:
             sig.append((type(device).__name__, port))
     return tuple(sorted(sig, key=repr))
@@ -203,14 +208,43 @@ class _Extractor:
             self._claim(claimed, [a.name, b.name], GroupKind.DIFF_PAIR, "dp")
             self.pairs.append(MatchedPair(a.name, b.name, weight=2.0))
 
+    def _source_rail(self, m: Mosfet) -> str | None:
+        """The rail ``m``'s source reaches: directly, or through resistors.
+
+        Source-degenerated mirrors and loads interpose a resistor between
+        each leg and the rail; the mirror shape survives as long as every
+        *other* device on the source net is a resistor whose far terminal
+        lands on one common rail.  Anything else on the net (a tail
+        device, another branch) means this is not a degenerated rail leg.
+        """
+        source = m.net("s")
+        if is_ground(source) or is_supply(source):
+            return source
+        rails: set[str] = set()
+        for device, port in self.net_index.get(source, ()):
+            if device.name == m.name:
+                continue
+            if not isinstance(device, Resistor):
+                return None
+            far = device.net("b" if port == "a" else "a")
+            if not (is_ground(far) or is_supply(far)):
+                return None
+            rails.add(far)
+        return rails.pop() if len(rails) == 1 else None
+
     def _rail_buckets(self, pool: list[Mosfet]) -> dict[tuple, list[Mosfet]]:
-        """Bucket by (gate net, rail source, polarity) — mirror/load shape."""
+        """Bucket by (gate net, rail source, polarity) — mirror/load shape.
+
+        The rail may be reached through degeneration resistors
+        (:meth:`_source_rail`), so ``mref bias bias s0`` + ``r s0 gnd``
+        buckets exactly like the undegenerated ``mref bias bias gnd``.
+        """
         buckets: dict[tuple, list[Mosfet]] = {}
         for m in pool:
-            source = m.net("s")
-            if not (is_ground(source) or is_supply(source)):
+            rail = self._source_rail(m)
+            if rail is None:
                 continue
-            buckets.setdefault((m.net("g"), source, m.polarity), []).append(m)
+            buckets.setdefault((m.net("g"), rail, m.polarity), []).append(m)
         return buckets
 
     def _mirrors(self, claimed, free) -> None:

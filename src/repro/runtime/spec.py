@@ -26,8 +26,9 @@ from repro.core.annealing import SimulatedAnnealingPlacer
 from repro.core.hierarchy import FlatQPlacer, MultiLevelPlacer
 from repro.core.optimizer import PlacerResult
 from repro.core.policy import EpsilonSchedule
-from repro.core.qlearning import MERGE_HOWS
+from repro.core.qlearning import EXPLORATIONS, MERGE_HOWS
 from repro.eval.evaluator import PlacementEvaluator
+from repro.eval.objective import ObjectiveWeights
 from repro.eval.metrics import Metrics
 from repro.layout.env import PlacementEnv
 from repro.layout.generators import banded_placement
@@ -109,6 +110,12 @@ class RunSpec:
         return_tables: ship the placer's learned Q-tables back on the
             outcome (``RunOutcome.tables``) so a driver can merge them
             into a master policy.  Q-learning placers only.
+        objective_weights: preference weights conditioning the
+            evaluator's cost composition, as sorted ``(name, value)``
+            pairs so the spec stays hashable; ``()`` means the default
+            vector (the historical scalar cost, bit for bit).
+        exploration: agent exploration mode — ``"epsilon"`` or ``"ucb"``
+            (Q-learning placers only).
     """
 
     key: Hashable
@@ -130,6 +137,8 @@ class RunSpec:
     initial_tables: Any = field(default=None, hash=False)
     warm_start_how: str = "theirs"
     return_tables: bool = False
+    objective_weights: tuple[tuple[str, float], ...] = ()
+    exploration: str = "epsilon"
 
     def __post_init__(self) -> None:
         if self.placer not in PLACERS:
@@ -156,6 +165,22 @@ class RunSpec:
                 "initial_tables/return_tables need a Q-learning placer; "
                 "SA has no tables to share"
             )
+        object.__setattr__(
+            self, "objective_weights",
+            tuple(sorted(
+                (str(k), float(v)) for k, v in self.objective_weights
+            )),
+        )
+        # Validate eagerly so a bad weight vector fails at spec-build
+        # time, not inside a worker process.
+        ObjectiveWeights.from_mapping(dict(self.objective_weights))
+        if self.exploration not in EXPLORATIONS:
+            raise ValueError(
+                f"exploration must be one of {EXPLORATIONS}, "
+                f"got {self.exploration!r}"
+            )
+        if self.exploration == "ucb" and self.placer == "sa":
+            raise ValueError("exploration='ucb' needs a Q-learning placer")
 
     def describe(self) -> str:
         """Human-readable identity: which circuit/placer/seed this is.
@@ -234,6 +259,8 @@ class RunSpec:
             stop_at_target=request.stop_at_target,
             initial_tables=initial_tables,
             warm_start_how=request.warm_start_how,
+            objective_weights=tuple(sorted(request.objective.items())),
+            exploration=request.exploration,
         )
 
     def to_request(self) -> PlacementRequest:
@@ -280,6 +307,8 @@ class RunSpec:
             epsilon_decay_frac=self.epsilon_decay_frac,
             ql_worse_tolerance=self.ql_worse_tolerance,
             warm_start_how=self.warm_start_how,
+            objective=dict(self.objective_weights),
+            exploration=self.exploration,
         )
 
 
@@ -314,8 +343,12 @@ def build_block(spec: RunSpec) -> AnalogBlock:
 
 
 def _make_evaluator(spec: RunSpec, block: AnalogBlock) -> PlacementEvaluator:
+    objective = (
+        ObjectiveWeights.from_mapping(dict(spec.objective_weights))
+        if spec.objective_weights else None
+    )
     if spec.variation_kind is None:
-        return PlacementEvaluator(block)
+        return PlacementEvaluator(block, objective=objective)
     tech = generic_tech_40()
     extent = max(block.canvas) * tech.grid_pitch
     variation = default_variation_model(
@@ -323,7 +356,9 @@ def _make_evaluator(spec: RunSpec, block: AnalogBlock) -> PlacementEvaluator:
         kind=spec.variation_kind,
         with_lde=spec.variation_with_lde,
     )
-    return PlacementEvaluator(block, tech=tech, variation=variation)
+    return PlacementEvaluator(
+        block, tech=tech, variation=variation, objective=objective
+    )
 
 
 def _make_placer(spec: RunSpec, env: PlacementEnv, evaluator: PlacementEvaluator):
@@ -338,7 +373,8 @@ def _make_placer(spec: RunSpec, env: PlacementEnv, evaluator: PlacementEvaluator
         0.9, 0.05, max(1, int(spec.epsilon_decay_frac * spec.max_steps))
     )
     kwargs: dict[str, Any] = dict(
-        epsilon=epsilon, batch=spec.batch, seed=spec.seed, sim_counter=counter
+        epsilon=epsilon, batch=spec.batch, seed=spec.seed, sim_counter=counter,
+        exploration=spec.exploration,
     )
     if spec.ql_worse_tolerance is not None:
         kwargs["worse_tolerance"] = spec.ql_worse_tolerance

@@ -46,6 +46,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -159,6 +160,20 @@ class RecoveryReport:
     undecodable: list[str] = field(default_factory=list)
 
 
+def validate_result_cache_bounds(
+    max_entries: int | None, ttl_s: float | None
+) -> None:
+    """Reject nonsense cache bounds; shared by :class:`JobManager` and
+    the service facade so ``repro serve`` fails at startup, not on the
+    first submit to its lazily-built manager."""
+    if max_entries is not None and max_entries < 1:
+        raise ValueError(
+            f"result_cache_max_entries must be >= 1, got {max_entries}"
+        )
+    if ttl_s is not None and ttl_s <= 0:
+        raise ValueError(f"result_cache_ttl_s must be > 0, got {ttl_s}")
+
+
 def _percentile(sorted_values: list[float], q: float) -> float | None:
     """Nearest-rank percentile of an ascending list (``None`` if empty)."""
     if not sorted_values:
@@ -185,6 +200,15 @@ class JobManager:
         result_cache: serve a request identical to an already *done*
             one from its stored result without re-running (the new job
             is born terminal, flagged ``cached``).
+        result_cache_max_entries: cap on distinct request hashes the
+            result cache indexes; the least-recently-*served* entry is
+            evicted first (``None`` = unbounded, the historical
+            behavior).  Eviction only forgets the index entry — the job
+            records and journal lines stay.
+        result_cache_ttl_s: result-cache entries older than this (since
+            their job finished) stop serving hits.  The TTL is stamped
+            into each ``done`` journal entry, so a restart replaying
+            the journal re-applies it to the original completion time.
     """
 
     def __init__(
@@ -197,6 +221,8 @@ class JobManager:
         max_inflight_per_client: int | None = None,
         dedup: bool = False,
         result_cache: bool = False,
+        result_cache_max_entries: int | None = None,
+        result_cache_ttl_s: float | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -210,6 +236,8 @@ class JobManager:
                 "max_inflight_per_client must be >= 1, got "
                 f"{max_inflight_per_client}"
             )
+        validate_result_cache_bounds(result_cache_max_entries,
+                                     result_cache_ttl_s)
         self._runner = runner
         self._workers = workers
         self._journal = journal
@@ -217,6 +245,8 @@ class JobManager:
         self.max_inflight_per_client = max_inflight_per_client
         self.dedup = dedup
         self.result_cache = result_cache
+        self.result_cache_max_entries = result_cache_max_entries
+        self.result_cache_ttl_s = result_cache_ttl_s
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -224,8 +254,12 @@ class JobManager:
         self._records: dict[str, JobRecord] = {}
         self._futures: dict[str, Future] = {}
         self._inflight_by_hash: dict[str, str] = {}
-        #: request hash -> id of a *done* job holding its result.
-        self._result_by_hash: dict[str, str] = {}
+        #: request hash -> (id of a *done* job holding its result,
+        #: completion wall-clock time); ordered oldest-served-first so
+        #: the cap evicts LRU.
+        self._result_by_hash: "OrderedDict[str, tuple[str, float]]" = (
+            OrderedDict()
+        )
         self._counter = 0
         self._shutdown = False
         self._started_monotonic = time.monotonic()
@@ -233,6 +267,8 @@ class JobManager:
         self.stats = {
             "dedup_hits": 0,
             "result_cache_hits": 0,
+            "result_cache_evicted": 0,
+            "result_cache_expired": 0,
             "rejected_queue_full": 0,
             "rejected_client_limit": 0,
             "recovered": 0,
@@ -265,6 +301,45 @@ class JobManager:
                 == record.id):
             del self._inflight_by_hash[record.request_hash]
 
+    def _cache_store(
+        self, request_hash: str, job_id: str, done_t: float,
+        ttl_s: float | None = None,
+    ) -> None:
+        """Index a finished job's result for cache hits (lock held).
+
+        Entries past their TTL never land (a replay may offer stale
+        ones); the LRU cap evicts the least-recently-served entry.
+        """
+        ttl = ttl_s if ttl_s is not None else self.result_cache_ttl_s
+        if ttl is not None and time.time() - done_t > ttl:
+            self.stats["result_cache_expired"] += 1
+            return
+        self._result_by_hash[request_hash] = (job_id, done_t)
+        self._result_by_hash.move_to_end(request_hash)
+        while (self.result_cache_max_entries is not None
+               and len(self._result_by_hash)
+               > self.result_cache_max_entries):
+            self._result_by_hash.popitem(last=False)
+            self.stats["result_cache_evicted"] += 1
+
+    def _cache_lookup(self, request_hash: str) -> str | None:
+        """Job id serving this hash, or ``None`` (lock held).
+
+        A hit refreshes the entry's LRU position; an expired entry is
+        dropped on the spot, so TTL'd results age out lazily.
+        """
+        entry = self._result_by_hash.get(request_hash)
+        if entry is None:
+            return None
+        job_id, done_t = entry
+        if (self.result_cache_ttl_s is not None
+                and time.time() - done_t > self.result_cache_ttl_s):
+            del self._result_by_hash[request_hash]
+            self.stats["result_cache_expired"] += 1
+            return None
+        self._result_by_hash.move_to_end(request_hash)
+        return job_id
+
     def _queued_count(self) -> int:
         return sum(
             1 for r in self._records.values() if r.state == QUEUED
@@ -296,15 +371,21 @@ class JobManager:
                 # failure path below — in memory the job fails, on disk
                 # the torn "done" line is dropped at replay and the job
                 # re-runs, deterministically, to the same result.
+                done_extra = (
+                    {"ttl_s": self.result_cache_ttl_s}
+                    if self.result_cache_ttl_s is not None else {}
+                )
                 self._append_journal(
-                    journal_mod.DONE, job_id, result=payload
+                    journal_mod.DONE, job_id, result=payload, **done_extra
                 )
                 record.state = DONE
                 record.result = result
                 record.finished_at = time.time()
                 self._drop_inflight_hash(record)
                 if self.result_cache and record.request_hash is not None:
-                    self._result_by_hash[record.request_hash] = job_id
+                    self._cache_store(
+                        record.request_hash, job_id, record.finished_at
+                    )
             return result
         except Exception as exc:  # noqa: BLE001 — stored, not swallowed
             with self._lock:
@@ -350,8 +431,13 @@ class JobManager:
             request=request_payload, client=client,
             request_hash=request_hash,
         )
+        done_extra = (
+            {"ttl_s": self.result_cache_ttl_s}
+            if self.result_cache_ttl_s is not None else {}
+        )
         self._append_journal(
-            journal_mod.DONE, job_id, result=payload, cached=True
+            journal_mod.DONE, job_id, result=payload, cached=True,
+            **done_extra,
         )
         now = time.time()
         record = JobRecord(
@@ -392,7 +478,7 @@ class JobManager:
                     "job manager is shut down; submission rejected"
                 )
             cached_source = (
-                self._result_by_hash.get(request_hash)
+                self._cache_lookup(request_hash)
                 if self.result_cache and request_hash is not None
                 else None
             )
@@ -562,8 +648,14 @@ class JobManager:
                     sims.append(int(sims_used))
             uptime_s = time.monotonic() - self._started_monotonic
             stats = dict(self.stats)
+            cache_entries = len(self._result_by_hash)
         durations.sort()
         return {
+            "result_cache": {
+                "entries": cache_entries,
+                "max_entries": self.result_cache_max_entries,
+                "ttl_s": self.result_cache_ttl_s,
+            },
             "uptime_s": uptime_s,
             "jobs": counts,
             "queue_depth": counts[QUEUED],
@@ -680,7 +772,15 @@ class JobManager:
             self._futures[job.id] = future
             if (record.state == DONE and self.result_cache
                     and record.request_hash is not None):
-                self._result_by_hash[record.request_hash] = job.id
+                # Re-seed against the *journaled* completion time and
+                # TTL, not the replay time — entries that aged out while
+                # the process was down must not come back, and the LRU
+                # cap applies across the replay too.
+                self._cache_store(
+                    record.request_hash, job.id,
+                    job.done_t if job.done_t is not None else time.time(),
+                    ttl_s=job.ttl_s,
+                )
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (optionally) wait for running jobs."""

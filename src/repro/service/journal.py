@@ -170,6 +170,10 @@ class ReplayedJob:
         request_hash: canonical request hash, if journaled.
         cached: the ``done`` entry was served from the result cache
             rather than executed.
+        done_t: wall-clock time of the ``done`` entry (the journal
+            line's ``t``) — what result-cache TTLs age against.
+        ttl_s: result-cache TTL stamped into the ``done`` entry by the
+            manager that wrote it, if any.
     """
 
     id: str
@@ -181,6 +185,8 @@ class ReplayedJob:
     client: str | None = None
     request_hash: str | None = None
     cached: bool = False
+    done_t: float | None = None
+    ttl_s: float | None = None
 
     @property
     def interrupted(self) -> bool:
@@ -215,6 +221,8 @@ def replay_journal(entries: Iterable[dict]) -> list[ReplayedJob]:
             job.state = DONE
             job.result = entry.get("result")
             job.cached = bool(entry.get("cached", False))
+            job.done_t = entry.get("t")
+            job.ttl_s = entry.get("ttl_s")
         elif event == FAILED:
             job.state = FAILED
             job.error = entry.get("error")

@@ -157,9 +157,18 @@ class PolicyStore:
                 with open(folder / f"v{version:04d}.json", "x",
                           encoding="utf-8") as handle:
                     json.dump(payload, handle)
-                return f"{name}@{version}"
             except FileExistsError:
                 version += 1
+                continue
+            # Sidecar meta file: everything list() surfaces (including
+            # the zoo signature map) without touching table payloads.
+            (folder / f"v{version:04d}.meta.json").write_text(json.dumps({
+                "name": name,
+                "version": version,
+                "entries": stats.kept,
+                "meta": payload["meta"],
+            }))
+            return f"{name}@{version}"
 
     def load(self, ref: str) -> tuple[dict[tuple, QTable], dict]:
         """Read a policy back → ``(tables, meta)``.
@@ -174,9 +183,13 @@ class PolicyStore:
         """Every stored version of every policy, name-then-version order.
 
         Snapshots are *not* rebuilt into live Q-tables (no per-entry
-        ``literal_eval``): the entry count is the ``pruned_kept`` stamp
-        :meth:`save` wrote into each file's meta, falling back to the
-        raw payload shape for snapshots from other writers.
+        ``literal_eval``) and — for anything :meth:`save` wrote — the
+        table payloads are not even read: each save leaves a sidecar
+        ``vNNNN.meta.json`` carrying the full metadata (including the
+        zoo signature map the :class:`~repro.zoo.index.ZooIndex` scans),
+        so listing a large store stays cheap.  Snapshots from other
+        writers (no sidecar) fall back to reading the payload, with the
+        entry count taken from the ``pruned_kept`` stamp when present.
         """
         if not self.root.is_dir():
             return []
@@ -185,6 +198,16 @@ class PolicyStore:
             if not folder.is_dir() or not _NAME_RE.match(folder.name):
                 continue
             for version in self.versions(folder.name):
+                sidecar = folder / f"v{version:04d}.meta.json"
+                if sidecar.is_file():
+                    summary = json.loads(sidecar.read_text())
+                    out.append(PolicyInfo(
+                        name=folder.name,
+                        version=version,
+                        entries=int(summary.get("entries", 0)),
+                        meta=dict(summary.get("meta", {})),
+                    ))
+                    continue
                 payload = json.loads(
                     (folder / f"v{version:04d}.json").read_text()
                 )

@@ -30,8 +30,9 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Mapping
 
-from repro.core.qlearning import MERGE_HOWS
+from repro.core.qlearning import EXPLORATIONS, MERGE_HOWS
 from repro.eval.metrics import Metrics
+from repro.eval.objective import ObjectiveWeights
 from repro.layout.placement import CanvasSpec, Placement
 
 #: Version of the request/result wire schemas written by this build.
@@ -42,6 +43,16 @@ PLACER_KINDS = ("ql", "flat", "sa")
 
 #: Placer kinds that can train/share policies (SA has no tables).
 TRAINABLE_PLACER_KINDS = ("ql", "flat")
+
+#: ``warm_policy`` sentinel: let the zoo index pick the warm start.
+WARM_AUTO = "auto"
+
+#: Options a request's ``zoo`` mapping may carry (warm-auto tuning).
+ZOO_KEYS = ("min_tier", "max_sources")
+
+#: Zoo match tiers (mirrors :data:`repro.zoo.signature.MATCH_TIERS`,
+#: restated here so the wire schema never imports the zoo subsystem).
+ZOO_TIERS = ("exact", "coarse")
 
 
 def _check_schema_version(data: Mapping[str, Any], what: str) -> None:
@@ -105,8 +116,20 @@ class PlacementRequest:
         ql_worse_tolerance: move-acceptance tolerance (``None`` = placer
             default); Q-learning placers only.
         warm_policy: policy-store reference (``"name"`` = latest version,
-            ``"name@3"`` = pinned) whose tables warm-start the placer.
+            ``"name@3"`` = pinned) whose tables warm-start the placer, or
+            ``"auto"`` to let the zoo index assemble a composite warm
+            start by signature matching.
         warm_start_how: :meth:`QTable.merge` rule for the warm start.
+        zoo: options for the ``"auto"`` warm start — ``min_tier``
+            (``"exact"``/``"coarse"``) and ``max_sources`` (policies
+            folded per group); only legal with ``warm_policy="auto"``.
+        objective: preference weights over the cost composition
+            (``matching``/``area``/``noise``/``parasitics`` — see
+            :class:`repro.eval.objective.ObjectiveWeights`); the empty
+            default reproduces the historical scalar cost bit for bit.
+        exploration: ``"epsilon"`` (the paper's decaying schedule) or
+            ``"ucb"`` (deterministic visit-aware bonus — the natural
+            pairing with a warm-started table); Q-learning placers only.
         schema_version: wire-format version, stamped automatically.
     """
 
@@ -128,6 +151,9 @@ class PlacementRequest:
     ql_worse_tolerance: float | None = None
     warm_policy: str | None = None
     warm_start_how: str = "theirs"
+    zoo: Mapping[str, Any] = field(default_factory=dict)
+    objective: Mapping[str, float] = field(default_factory=dict)
+    exploration: str = "epsilon"
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -138,6 +164,11 @@ class PlacementRequest:
             if value is not None:
                 object.__setattr__(self, name, tuple(value))
         object.__setattr__(self, "spice_params", dict(self.spice_params))
+        object.__setattr__(self, "zoo", dict(self.zoo))
+        object.__setattr__(
+            self, "objective",
+            {key: float(value) for key, value in dict(self.objective).items()},
+        )
         if (self.circuit is None) == (self.spice is None):
             raise ValueError(
                 "exactly one of circuit= (registry key) or spice= "
@@ -160,6 +191,39 @@ class PlacementRequest:
             )
         if self.warm_policy is not None and self.placer == "sa":
             raise ValueError("warm_policy needs a Q-learning placer")
+        if self.zoo and self.warm_policy != WARM_AUTO:
+            raise ValueError(
+                "zoo options are only meaningful with warm_policy='auto'"
+            )
+        unknown_zoo = set(self.zoo) - set(ZOO_KEYS)
+        if unknown_zoo:
+            raise ValueError(
+                f"unknown zoo options {sorted(unknown_zoo)}; "
+                f"valid keys: {list(ZOO_KEYS)}"
+            )
+        if "min_tier" in self.zoo and self.zoo["min_tier"] not in ZOO_TIERS:
+            raise ValueError(
+                f"zoo min_tier must be one of {ZOO_TIERS}, "
+                f"got {self.zoo['min_tier']!r}"
+            )
+        if "max_sources" in self.zoo:
+            if (not isinstance(self.zoo["max_sources"], int)
+                    or isinstance(self.zoo["max_sources"], bool)
+                    or self.zoo["max_sources"] < 1):
+                raise ValueError(
+                    "zoo max_sources must be an integer >= 1, "
+                    f"got {self.zoo['max_sources']!r}"
+                )
+        # Validate eagerly: a bad weight should 400 at submission, not
+        # fail the job at execution time.
+        ObjectiveWeights.from_mapping(self.objective)
+        if self.exploration not in EXPLORATIONS:
+            raise ValueError(
+                f"exploration must be one of {EXPLORATIONS}, "
+                f"got {self.exploration!r}"
+            )
+        if self.exploration == "ucb" and self.placer == "sa":
+            raise ValueError("exploration='ucb' needs a Q-learning placer")
 
     @property
     def circuit_label(self) -> str:

@@ -47,7 +47,11 @@ from repro.runtime.resilience import (
     resilient_map_runs,
 )
 from repro.runtime.spec import RunSpec, map_runs
-from repro.service.jobs import JobManager, JobRecord
+from repro.service.jobs import (
+    JobManager,
+    JobRecord,
+    validate_result_cache_bounds,
+)
 from repro.service.journal import JobJournal
 from repro.service.policies import PolicyStore
 from repro.service.registry import (
@@ -56,10 +60,12 @@ from repro.service.registry import (
     default_registry,
 )
 from repro.service.requests import (
+    WARM_AUTO,
     PlacementRequest,
     PlacementResult,
     TrainRequest,
 )
+from repro.zoo import ZooIndex, signature_meta
 
 #: Where a service stores policies when the caller does not say.
 DEFAULT_POLICY_DIR = "policies"
@@ -98,6 +104,10 @@ class PlacementService:
             request hash; ``"cached": true`` on the job record) instead
             of re-running it.  With a journal the index survives
             restarts — recovered terminal jobs re-seed it.
+        result_cache_max_entries / result_cache_ttl_s: bound the result
+            cache — LRU cap on indexed request hashes and an age limit
+            (stamped into journal ``done`` entries so both survive a
+            restart replay); see :class:`JobManager`.
     """
 
     def __init__(
@@ -115,6 +125,8 @@ class PlacementService:
         max_inflight_per_client: int | None = None,
         dedup: bool = False,
         result_cache: bool = False,
+        result_cache_max_entries: int | None = None,
+        result_cache_ttl_s: float | None = None,
     ):
         self.registry = registry if registry is not None else default_registry()
         if isinstance(policies, PolicyStore):
@@ -129,6 +141,10 @@ class PlacementService:
         self.max_inflight_per_client = max_inflight_per_client
         self.dedup = dedup
         self.result_cache = result_cache
+        validate_result_cache_bounds(result_cache_max_entries,
+                                     result_cache_ttl_s)
+        self.result_cache_max_entries = result_cache_max_entries
+        self.result_cache_ttl_s = result_cache_ttl_s
         self.draining = False
         self._jobs: JobManager | None = None
         self.journal: JobJournal | None = None
@@ -154,6 +170,8 @@ class PlacementService:
             max_inflight_per_client=self.max_inflight_per_client,
             dedup=self.dedup,
             result_cache=self.result_cache,
+            result_cache_max_entries=self.result_cache_max_entries,
+            result_cache_ttl_s=self.result_cache_ttl_s,
         )
 
     @staticmethod
@@ -182,6 +200,28 @@ class PlacementService:
             return None
         tables, __ = self.policies.load(ref)
         return tables
+
+    def _request_block(self, request: PlacementRequest):
+        """The live block a placement request describes (for zoo matching)."""
+        if request.spice is not None:
+            return self.registry.block_from_spice(
+                request.spice, **request.spice_kwargs()
+            )
+        return self.registry.build(request.circuit)
+
+    def _auto_warm(self, request: PlacementRequest):
+        """Zoo-matched warm start for a ``warm_policy="auto"`` request.
+
+        Returns ``(tables_or_None, report)``.  An empty store — or no
+        signature match — is not an error: the run simply starts cold
+        and the echoed report says why.
+        """
+        match = ZooIndex(self.policies).match(
+            self._request_block(request),
+            placer=request.placer,
+            **request.zoo,
+        )
+        return (None if match.is_empty else match.tables), match.report
 
     def _check_circuit(self, request: Any) -> None:
         circuit = getattr(request, "circuit", None)
@@ -243,6 +283,11 @@ class PlacementService:
         summary (circuit, placer, seed, attempts, final error).
         """
         self._check_circuit(request)
+        zoo_report = None
+        if request.warm_policy == WARM_AUTO:
+            initial_tables, zoo_report = self._auto_warm(request)
+        else:
+            initial_tables = self._warm_tables(request.warm_policy)
         resilient = self.retry is not None or self.fault_plan is not None
         spec = RunSpec.from_request(
             request,
@@ -250,7 +295,7 @@ class PlacementService:
             # Fault plans address specs by key; include the seed so
             # per-seed faults can be scripted against served batches.
             key=("place", request.seed) if resilient else "place",
-            initial_tables=self._warm_tables(request.warm_policy),
+            initial_tables=initial_tables,
         )
         if resilient:
             report = resilient_map_runs(
@@ -262,7 +307,10 @@ class PlacementService:
                 raise RuntimeError(outcome.summary())
         else:
             outcome = map_runs([spec], self.backend)[0]
-        return PlacementResult.from_outcome(request, outcome)
+        result = PlacementResult.from_outcome(request, outcome)
+        if zoo_report is not None:
+            result.params["zoo"] = zoo_report
+        return result
 
     def train(
         self,
@@ -311,6 +359,9 @@ class PlacementService:
                 merge_how=request.merge_how,
                 rounds_run=campaign.rounds_run,
                 best_cost=campaign.best_cost,
+                # The signature map that makes this snapshot visible to
+                # the zoo index for cross-circuit warm starts.
+                zoo=signature_meta(block, campaign.master_tables),
             )
         return PlacementResult.from_campaign(
             request, campaign, metrics=metrics, policy=policy_ref

@@ -1,0 +1,40 @@
+"""The policy zoo: signature-indexed cross-circuit policy transfer.
+
+The paper's bottom-level state encoding is translation-invariant and
+group-local, so a group agent's Q-table is a property of the *primitive*
+(diff pair of two 3-finger NMOS devices, four-way 2-finger mirror, ...),
+not of the circuit it was learned on.  This package turns that into a
+serving feature:
+
+* :mod:`repro.zoo.signature` canonicalizes a circuit's constraint groups
+  into hashable signatures (primitive kind, polarity, member geometry,
+  pairing structure — never device or group *names*);
+* :mod:`repro.zoo.index` matches a never-seen circuit's groups against
+  every signature-stamped policy in a
+  :class:`~repro.service.policies.PolicyStore` and assembles a composite
+  warm-start snapshot, remapped onto the new circuit's agent addresses.
+
+``/place`` requests opt in with ``warm_policy: "auto"``; ``repro zoo``
+drives corpus-wide training and offline matching.
+"""
+
+from repro.zoo.signature import (
+    MATCH_TIERS,
+    GroupSignature,
+    block_signatures,
+    circuit_signature,
+    group_signature,
+    signature_meta,
+)
+from repro.zoo.index import ZooIndex, ZooMatch
+
+__all__ = [
+    "GroupSignature",
+    "MATCH_TIERS",
+    "ZooIndex",
+    "ZooMatch",
+    "block_signatures",
+    "circuit_signature",
+    "group_signature",
+    "signature_meta",
+]

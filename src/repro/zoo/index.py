@@ -1,0 +1,249 @@
+"""The signature index: assemble composite warm starts from the policy zoo.
+
+:class:`ZooIndex` scans a :class:`~repro.service.policies.PolicyStore`'s
+metadata (never the table payloads) for the ``zoo`` signature maps
+training stamps into every snapshot, matches a target block's groups
+against them, and builds a composite ``export_tables()``-style snapshot:
+
+* per target group, the best-matching stored group wins by **signature
+  specificity** (``"exact"`` — the full signature agrees, so the tables
+  share a state/action space — beats ``"coarse"`` — kind/polarity/arity
+  agree but unit counts differ), then by recorded Bellman-update visits;
+* when several policies match at the winning tier, their tables **fold**
+  with the ``"visits"``-weighted merge rule, so heavily-trained evidence
+  dominates light exploration;
+* the source table is **remapped** onto the target's agent address
+  (``("bottom", <target group>)``) — group names are positional artifacts
+  of each extraction run, only signatures correspond;
+* the top-level (or flat single-agent) table transfers only on
+  whole-circuit signature equality — its state is global, so anything
+  less specific would be noise.
+
+The match is fully deterministic: stores list in name/version order and
+every ranking breaks ties lexically on the policy ref.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.qlearning import QTable
+from repro.netlist.library import AnalogBlock
+from repro.service.policies import PolicyInfo, PolicyStore
+from repro.zoo.signature import (
+    GroupSignature,
+    MATCH_TIERS,
+    block_signatures,
+    circuit_signature,
+)
+
+#: Default cap on how many same-tier policies fold into one group table.
+DEFAULT_MAX_SOURCES = 4
+
+
+@dataclass
+class ZooMatch:
+    """A composite warm start plus the report explaining it.
+
+    Attributes:
+        tables: ``agent address -> QTable`` snapshot, remapped onto the
+            target circuit's addresses — feed it straight to
+            ``placer.warm_start_from`` / ``RunSpec.initial_tables``.
+        report: JSON-plain match report (echoed into placement results).
+    """
+
+    tables: dict = field(default_factory=dict)
+    report: dict = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tables
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One stored group that matches one target group."""
+
+    tier: str
+    visits: int
+    info: PolicyInfo
+    group: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.info.ref}:{self.group}"
+
+    def sort_key(self) -> tuple:
+        # Highest visits first; ref then group name as deterministic ties.
+        return (-self.visits, self.info.ref, self.group)
+
+
+class ZooIndex:
+    """Signature matching over one policy store.
+
+    Args:
+        store: the policy store to index.  Only snapshots whose meta
+            carries a ``zoo`` signature map participate (``repro zoo
+            train-all`` and served ``/train`` jobs stamp it); plain
+            snapshots are simply invisible to the index.
+    """
+
+    def __init__(self, store: PolicyStore):
+        self.store = store
+
+    # ----------------------------------------------------------- scanning
+
+    def entries(self) -> list[PolicyInfo]:
+        """Signature-stamped policies, name/version order (meta only)."""
+        return [
+            info for info in self.store.list()
+            if isinstance(info.meta.get("zoo"), dict)
+            and isinstance(info.meta["zoo"].get("groups"), dict)
+        ]
+
+    # ----------------------------------------------------------- matching
+
+    def match(
+        self,
+        block: AnalogBlock,
+        *,
+        placer: str = "ql",
+        min_tier: str = "coarse",
+        max_sources: int = DEFAULT_MAX_SOURCES,
+    ) -> ZooMatch:
+        """Assemble the composite warm start for a (possibly unseen) block.
+
+        Args:
+            block: the target circuit.
+            placer: target placer kind — ``"ql"`` transfers per-group
+                bottom tables (plus the top table on a whole-circuit
+                match); ``"flat"`` transfers only the single-agent table
+                and only on a whole-circuit match; anything else matches
+                nothing.
+            min_tier: least-specific tier allowed (``"exact"`` restricts
+                to state-space-compatible matches; ``"coarse"``, the
+                default, also accepts kind/polarity/arity matches).
+            max_sources: cap on same-tier policies folded per group.
+        """
+        if min_tier not in MATCH_TIERS:
+            raise ValueError(
+                f"min_tier must be one of {MATCH_TIERS}, got {min_tier!r}"
+            )
+        if max_sources < 1:
+            raise ValueError(f"max_sources must be >= 1, got {max_sources}")
+        infos = self.entries()
+        target_circuit_sig = circuit_signature(block)
+        report: dict = {
+            "circuit_signature": target_circuit_sig,
+            "policies_scanned": len(infos),
+            "groups": {},
+            "top": None,
+        }
+        tables: dict[tuple, QTable] = {}
+        loaded: dict[str, dict] = {}
+
+        def tables_of(info: PolicyInfo) -> dict:
+            if info.ref not in loaded:
+                loaded[info.ref] = self.store.load(info.ref)[0]
+            return loaded[info.ref]
+
+        if placer == "ql":
+            self._match_groups(block, infos, min_tier, max_sources,
+                               tables, report, tables_of)
+            top_sources = self._fold_address(
+                ("top",), ("top",), target_circuit_sig, infos, max_sources,
+                tables, tables_of,
+            )
+        elif placer == "flat":
+            top_sources = self._fold_address(
+                ("agent",), ("agent",), target_circuit_sig, infos,
+                max_sources, tables, tables_of,
+            )
+        else:
+            top_sources = []
+        if top_sources:
+            address = ("top",) if placer == "ql" else ("agent",)
+            report["top"] = {
+                "sources": top_sources,
+                "entries": tables[address].n_entries,
+            }
+        return ZooMatch(tables=tables, report=report)
+
+    # ---------------------------------------------------------- internals
+
+    def _match_groups(self, block, infos, min_tier, max_sources,
+                      tables, report, tables_of) -> None:
+        signatures = block_signatures(block)
+        for group_name, sig in signatures.items():
+            candidates = self._candidates(sig, infos, min_tier)
+            entry: dict = {"signature": sig.key(), "tier": None,
+                           "sources": [], "entries": 0}
+            if candidates:
+                best_tier = min(
+                    candidates, key=lambda c: MATCH_TIERS.index(c.tier)
+                ).tier
+                chosen = sorted(
+                    (c for c in candidates if c.tier == best_tier),
+                    key=_Candidate.sort_key,
+                )[:max_sources]
+                folded = QTable()
+                for cand in chosen:
+                    source = tables_of(cand.info).get(("bottom", cand.group))
+                    if source is not None:
+                        folded.merge(source, how="visits")
+                if folded.n_entries:
+                    tables[("bottom", group_name)] = folded
+                    entry.update(
+                        tier=best_tier,
+                        sources=[c.label for c in chosen],
+                        entries=folded.n_entries,
+                    )
+            report["groups"][group_name] = entry
+
+    def _candidates(self, sig: GroupSignature, infos,
+                    min_tier: str) -> list[_Candidate]:
+        allowed = MATCH_TIERS[: MATCH_TIERS.index(min_tier) + 1]
+        out: list[_Candidate] = []
+        key, coarse = sig.key(), sig.coarse_key()
+        for info in infos:
+            zoo = info.meta["zoo"]
+            visits = zoo.get("group_visits", {})
+            for group, stored_key in zoo["groups"].items():
+                if stored_key == key:
+                    tier = "exact"
+                else:
+                    try:
+                        stored = GroupSignature.from_key(stored_key)
+                    except ValueError:
+                        continue
+                    if stored.coarse_key() != coarse:
+                        continue
+                    tier = "coarse"
+                if tier not in allowed:
+                    continue
+                out.append(_Candidate(
+                    tier=tier, visits=int(visits.get(group, 0)),
+                    info=info, group=group,
+                ))
+        return out
+
+    def _fold_address(self, source_address, target_address, target_sig,
+                      infos, max_sources, tables, tables_of) -> list[str]:
+        """Fold whole-circuit-matched tables at one agent address."""
+        matched = [
+            info for info in infos
+            if info.meta["zoo"].get("circuit_signature") == target_sig
+        ]
+        matched.sort(
+            key=lambda i: (-int(i.meta["zoo"].get("top_visits", 0)), i.ref)
+        )
+        sources = []
+        folded = QTable()
+        for info in matched[:max_sources]:
+            table = tables_of(info).get(source_address)
+            if table is not None:
+                folded.merge(table, how="visits")
+                sources.append(info.ref)
+        if folded.n_entries:
+            tables[target_address] = folded
+        return sources if folded.n_entries else []

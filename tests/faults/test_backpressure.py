@@ -198,5 +198,6 @@ class TestHTTPContract:
         assert health["serving"] == {
             "dedup_hits": 0, "rejected_queue_full": 0,
             "rejected_client_limit": 0, "recovered": 0, "requeued": 0,
-            "result_cache_hits": 0,
+            "result_cache_hits": 0, "result_cache_evicted": 0,
+            "result_cache_expired": 0,
         }

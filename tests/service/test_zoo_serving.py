@@ -1,0 +1,175 @@
+"""Serving the policy zoo: ``warm_policy="auto"``, ref pinning, and the
+HTTP contract around them — schema errors are 400 at submit, unknown
+refs fail the job loudly, an empty zoo falls back to a cold start with
+the match report echoed."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import PlacementRequest, TrainRequest
+from repro.service.http import make_server, server_thread
+from repro.service.service import PlacementService
+
+QUICK = dict(circuit="cm", steps=25, seed=3)
+
+
+def _post_json(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url) as resp:
+        return json.loads(resp.read())
+
+
+@pytest.fixture(scope="module")
+def zoo_served(tmp_path_factory):
+    """A service whose store holds one trained, zoo-stamped cm policy."""
+    tmp_path = tmp_path_factory.mktemp("zoo")
+    service = PlacementService(policies=tmp_path / "policies")
+    trained = service.train(TrainRequest(
+        circuit="cm", workers=2, rounds=1, steps=40, seed=0,
+        save_policy="cm-base",
+    ))
+    assert trained.policy == "cm-base@1"
+    server = make_server(service)
+    server_thread(server)
+    yield server.url, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestRequestSchema:
+    def test_zoo_options_require_auto(self):
+        with pytest.raises(ValueError, match="auto"):
+            PlacementRequest(**QUICK, zoo={"min_tier": "exact"})
+        with pytest.raises(ValueError, match="min_tier"):
+            PlacementRequest(**QUICK, warm_policy="auto",
+                             zoo={"min_tier": "fuzzy"})
+        with pytest.raises(ValueError, match="zoo"):
+            PlacementRequest(**QUICK, warm_policy="auto",
+                             zoo={"sources": 2})
+
+    def test_http_rejects_bad_zoo_payloads_as_400(self, zoo_served):
+        url, __ = zoo_served
+        bad = [
+            {**QUICK, "zoo": {"min_tier": "exact"}},           # no auto
+            {**QUICK, "warm_policy": "auto",
+             "zoo": {"max_sources": 0}},                       # bad cap
+            {**QUICK, "objective": {"speed": 1.0}},            # bad weight
+            {**QUICK, "exploration": "boltzmann"},             # bad mode
+        ]
+        for payload in bad:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post_json(url + "/place", payload)
+            assert err.value.code == 400
+
+
+class TestWarmPolicyRefs:
+    def test_pinned_ref_equals_latest(self, zoo_served):
+        __, service = zoo_served
+        pinned = service.place(
+            PlacementRequest(**QUICK, warm_policy="cm-base@1"))
+        latest = service.place(
+            PlacementRequest(**QUICK, warm_policy="cm-base"))
+        assert pinned.to_json_dict() == latest.to_json_dict()
+
+    def test_unknown_ref_fails_the_job_not_a_fallback(self, zoo_served):
+        url, service = zoo_served
+        __, payload = _post_json(
+            url + "/place",
+            PlacementRequest(**QUICK, warm_policy="cm-base@9").to_json_dict())
+        job = payload["job"]
+        deadline = time.time() + 60
+        while (service.jobs.status(job).state not in ("done", "failed")
+               and time.time() < deadline):
+            time.sleep(0.05)
+        record = service.jobs.status(job)
+        assert record.state == "failed"
+        assert "no version 9" in record.error
+
+    def test_unknown_name_is_a_404_probe_via_policies(self, zoo_served):
+        url, __ = zoo_served
+        # The store's listing is how clients discover valid refs; an
+        # unknown name is simply absent (and /policies/<x> is no route).
+        names = {p["name"] for p in _get_json(url + "/policies")["policies"]}
+        assert "cm-base" in names and "nope" not in names
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(url + "/policies/nope")
+        assert err.value.code == 404
+
+
+class TestAutoWarm:
+    def test_auto_with_match_echoes_report_and_beats_schema(self, zoo_served):
+        __, service = zoo_served
+        result = service.place(
+            PlacementRequest(**QUICK, warm_policy="auto"))
+        report = result.params["zoo"]
+        assert report["policies_scanned"] >= 1
+        matched = [g for g in report["groups"].values() if g["tier"]]
+        assert matched, report
+        assert all(g["tier"] == "exact" for g in matched)
+        assert any("cm-base@1" in src
+                   for g in matched for src in g["sources"])
+
+    def test_auto_report_served_over_http(self, zoo_served):
+        url, __ = zoo_served
+        status, payload = _post_json(
+            url + "/place?wait=1",
+            PlacementRequest(**QUICK, warm_policy="auto").to_json_dict())
+        assert status == 200
+        assert payload["result"]["params"]["zoo"]["policies_scanned"] >= 1
+
+    def test_auto_on_empty_store_is_cold_fallback(self, tmp_path):
+        service = PlacementService(policies=tmp_path / "empty")
+        try:
+            auto = service.place(
+                PlacementRequest(**QUICK, warm_policy="auto"))
+            cold = service.place(PlacementRequest(**QUICK))
+            report = auto.params.pop("zoo")
+            assert report["policies_scanned"] == 0
+            assert all(g["tier"] is None for g in report["groups"].values())
+            assert auto.to_json_dict() == cold.to_json_dict()
+        finally:
+            service.close()
+
+    def test_ucb_exploration_and_objective_thread_through_serving(
+            self, zoo_served):
+        """The new request fields reach the runtime: UCB mode runs (and
+        is deterministic), non-default objectives change the cost."""
+        __, service = zoo_served
+        ucb_a = service.place(
+            PlacementRequest(**QUICK, warm_policy="auto",
+                             exploration="ucb"))
+        ucb_b = service.place(
+            PlacementRequest(**QUICK, warm_policy="auto",
+                             exploration="ucb"))
+        assert ucb_a.to_json_dict() == ucb_b.to_json_dict()
+
+        default = service.place(PlacementRequest(**QUICK))
+        weighted = service.place(
+            PlacementRequest(**QUICK,
+                             objective={"noise": 5.0, "parasitics": 1.0}))
+        assert weighted.best_cost > default.best_cost
+
+    def test_sa_placer_rejects_ucb(self):
+        with pytest.raises(ValueError, match="Q-learning placer"):
+            PlacementRequest(**QUICK, placer="sa", exploration="ucb")
+
+    def test_policies_listing_surfaces_zoo_meta(self, zoo_served):
+        url, __ = zoo_served
+        infos = _get_json(url + "/policies")["policies"]
+        zoo_meta = next(p for p in infos if p["ref"] == "cm-base@1")["meta"]
+        assert "zoo" in zoo_meta
+        assert zoo_meta["zoo"]["groups"]
+        assert zoo_meta["zoo"]["top_visits"] > 0

@@ -1,0 +1,170 @@
+"""ZooIndex: signature matching, tiered specificity, visit-weighted folds."""
+
+import pytest
+
+from repro.core.qlearning import QTable
+from repro.service import default_registry
+from repro.service.corpus import build_entry, list_corpus
+from repro.service.policies import PolicyStore
+from repro.zoo import GroupSignature, ZooIndex, signature_meta
+
+CORPUS = {entry.name: entry for entry in list_corpus()}
+
+
+def _corpus_block(name):
+    return build_entry(CORPUS[name])
+
+
+def _mirror_tables(block, value, visits):
+    """A minimal ql-shaped snapshot for ``block`` with uniform stats."""
+    tables = {("top",): QTable()}
+    tables[("top",)].set("g", 0, value, visits=visits)
+    for group in block.groups:
+        table = QTable()
+        table.set("s", 0, value, visits=visits)
+        tables[("bottom", group.name)] = table
+    return tables
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PolicyStore(tmp_path / "policies")
+
+
+class TestScanning:
+    def test_empty_store_matches_nothing(self, store):
+        match = ZooIndex(store).match(_corpus_block("mirror_degen"))
+        assert match.is_empty
+        assert match.report["policies_scanned"] == 0
+        assert match.report["groups"]["cm0"]["tier"] is None
+
+    def test_plain_snapshots_are_invisible(self, store):
+        block = default_registry().build("cm")
+        store.save("plain", _mirror_tables(block, 1.0, 1))
+        assert ZooIndex(store).entries() == []
+        store.save("stamped", _mirror_tables(block, 1.0, 1),
+                   zoo=signature_meta(block, _mirror_tables(block, 1.0, 1)))
+        assert [info.ref for info in ZooIndex(store).entries()] \
+            == ["stamped@1"]
+
+
+class TestMatching:
+    def test_exact_cross_circuit_transfer(self, store):
+        """mirror_wide's trained mirror warms mirror_degen's — the decks
+        share no device names, only structure."""
+        wide = _corpus_block("mirror_wide")
+        tables = _mirror_tables(wide, 2.0, 5)
+        store.save("zoo-mw", tables, zoo=signature_meta(wide, tables))
+
+        degen = _corpus_block("mirror_degen")
+        match = ZooIndex(store).match(degen)
+        assert not match.is_empty
+        entry = match.report["groups"]["cm0"]
+        assert entry["tier"] == "exact"
+        assert entry["sources"] == ["zoo-mw@1:cm0"]
+        # Remapped onto the *target's* agent address.
+        assert ("bottom", "cm0") in match.tables
+        # Different circuit signatures: no top-table transfer.
+        assert match.report["top"] is None
+        assert ("top",) not in match.tables
+
+    def test_whole_circuit_match_transfers_top_table(self, store):
+        block = _corpus_block("mirror_wide")
+        tables = _mirror_tables(block, 2.0, 5)
+        store.save("zoo-mw", tables, zoo=signature_meta(block, tables))
+        match = ZooIndex(store).match(_corpus_block("mirror_wide"))
+        assert match.report["top"] == {"sources": ["zoo-mw@1"], "entries": 1}
+        assert ("top",) in match.tables
+
+    def test_min_tier_exact_rejects_coarse(self, store):
+        """A same-kind/polarity group with different unit counts matches
+        at coarse tier only, so min_tier='exact' leaves it cold."""
+        wide = _corpus_block("mirror_wide")
+        tables = _mirror_tables(wide, 2.0, 5)
+        meta = signature_meta(wide, tables)
+        # Perturb the stored signature's unit counts: exact no longer
+        # holds, coarse still does.
+        sig = GroupSignature.from_key(meta["groups"]["cm0"])
+        meta["groups"]["cm0"] = GroupSignature(
+            kind=sig.kind,
+            members=tuple((p, u + 1) for p, u in sig.members),
+            internal_pairs=sig.internal_pairs,
+        ).key()
+        store.save("zoo-mw", tables, zoo=meta)
+
+        degen = _corpus_block("mirror_degen")
+        coarse = ZooIndex(store).match(degen, min_tier="coarse")
+        assert coarse.report["groups"]["cm0"]["tier"] == "coarse"
+        exact = ZooIndex(store).match(degen, min_tier="exact")
+        assert exact.report["groups"]["cm0"]["tier"] is None
+        assert exact.is_empty
+
+    def test_exact_beats_coarse_and_visits_rank_sources(self, store):
+        wide = _corpus_block("mirror_wide")
+        # Policy A: exact signature, few visits.
+        tables_a = _mirror_tables(wide, 1.0, 2)
+        store.save("aa", tables_a, zoo=signature_meta(wide, tables_a))
+        # Policy B: coarse-only signature, many visits.
+        tables_b = _mirror_tables(wide, 9.0, 99)
+        meta_b = signature_meta(wide, tables_b)
+        sig = GroupSignature.from_key(meta_b["groups"]["cm0"])
+        meta_b["groups"]["cm0"] = GroupSignature(
+            sig.kind, tuple((p, u + 2) for p, u in sig.members),
+            sig.internal_pairs).key()
+        store.save("bb", tables_b, zoo=meta_b)
+
+        match = ZooIndex(store).match(_corpus_block("mirror_degen"))
+        entry = match.report["groups"]["cm0"]
+        assert entry["tier"] == "exact"
+        assert entry["sources"] == ["aa@1:cm0"]
+
+    def test_visits_weighted_fold_and_max_sources(self, store):
+        wide = _corpus_block("mirror_wide")
+        heavy = _mirror_tables(wide, 4.0, 30)
+        light = _mirror_tables(wide, 0.0, 10)
+        store.save("heavy", heavy, zoo=signature_meta(wide, heavy))
+        store.save("light", light, zoo=signature_meta(wide, light))
+
+        match = ZooIndex(store).match(_corpus_block("mirror_degen"))
+        entry = match.report["groups"]["cm0"]
+        assert sorted(entry["sources"]) == ["heavy@1:cm0", "light@1:cm0"]
+        folded = match.tables[("bottom", "cm0")]
+        # Visit-weighted average: (30*4 + 10*0) / 40 = 3.0.
+        assert folded.get("s", 0) == pytest.approx(3.0)
+        assert folded.visits("s", 0) == 40
+
+        capped = ZooIndex(store).match(_corpus_block("mirror_degen"),
+                                       max_sources=1)
+        # Highest visits wins the single slot.
+        assert capped.report["groups"]["cm0"]["sources"] == ["heavy@1:cm0"]
+        assert capped.tables[("bottom", "cm0")].get("s", 0) \
+            == pytest.approx(4.0)
+
+    def test_flat_placer_needs_whole_circuit_match(self, store):
+        block = _corpus_block("mirror_wide")
+        tables = {("agent",): QTable()}
+        tables[("agent",)].set("s", 0, 1.0, visits=3)
+        store.save("flat-mw", tables, zoo=signature_meta(block, tables))
+
+        same = ZooIndex(store).match(_corpus_block("mirror_wide"),
+                                     placer="flat")
+        assert ("agent",) in same.tables
+        other = ZooIndex(store).match(_corpus_block("mirror_degen"),
+                                      placer="flat")
+        assert other.is_empty
+
+    def test_validation(self, store):
+        block = default_registry().build("cm")
+        with pytest.raises(ValueError, match="min_tier"):
+            ZooIndex(store).match(block, min_tier="fuzzy")
+        with pytest.raises(ValueError, match="max_sources"):
+            ZooIndex(store).match(block, max_sources=0)
+
+    def test_report_is_json_plain(self, store):
+        import json
+
+        wide = _corpus_block("mirror_wide")
+        tables = _mirror_tables(wide, 2.0, 5)
+        store.save("zoo-mw", tables, zoo=signature_meta(wide, tables))
+        report = ZooIndex(store).match(_corpus_block("mirror_degen")).report
+        assert json.loads(json.dumps(report)) == report
